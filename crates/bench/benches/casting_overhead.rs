@@ -1,0 +1,53 @@
+//! Criterion bench: the casting stage itself (Algorithm 2), comparison
+//! sort vs counting sort (the DESIGN.md sort ablation), against the
+//! baseline's in-path coalesce sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tcast_core::{tensor_casting, tensor_casting_counting};
+use tcast_datasets::{Popularity, TableWorkload};
+
+fn bench_casting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("casting");
+    for (name, rows) in [("dense_ids", 20_000u32), ("sparse_ids", 5_000_000u32)] {
+        let workload = TableWorkload::new(
+            Popularity::Zipf {
+                rows: rows as usize,
+                exponent: 1.05,
+            },
+            10,
+        );
+        let index = workload.generator(5).next_batch(2048);
+        group.throughput(Throughput::Elements(index.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("comparison_sort", name),
+            &index,
+            |b, idx| {
+                b.iter(|| tensor_casting(black_box(idx)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("counting_sort", name),
+            &index,
+            |b, idx| {
+                b.iter(|| tensor_casting_counting(black_box(idx)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorted_by_src_only", name),
+            &index,
+            |b, idx| {
+                b.iter(|| black_box(idx).sorted_by_src());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_casting
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: the dense MLP substrate (forward and backward) at
+//! DLRM-relevant layer shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tcast_tensor::{Activation, Matrix, Mlp};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp");
+    // (name, input dim, widths) — RM1's bottom and top stacks.
+    let shapes: [(&str, usize, &[usize]); 2] = [
+        ("bottom_256_128_64", 13, &[256, 128, 64]),
+        ("top_256_64_1", 119, &[256, 64, 1]),
+    ];
+    for (name, input, widths) in shapes {
+        for batch in [256usize, 1024] {
+            let mut mlp = Mlp::new(input, widths, Activation::Relu, 1).unwrap();
+            let flops = mlp.forward_flops(batch);
+            let mut x = Matrix::zeros(batch, input);
+            for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+                *v = (i as f32 * 0.1).sin();
+            }
+            group.throughput(Throughput::Elements(flops));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/forward"), batch),
+                &x,
+                |b, x| {
+                    b.iter(|| mlp.forward(black_box(x)).unwrap());
+                },
+            );
+            let y = mlp.forward(&x).unwrap();
+            let dy = Matrix::filled(y.rows(), y.cols(), 1.0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/fwd_bwd"), batch),
+                &x,
+                |b, x| {
+                    b.iter(|| {
+                        mlp.forward(black_box(x)).unwrap();
+                        mlp.backward(black_box(&dy)).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mlp
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 16: Tensor Casting sensitivity to training batch size
+//! (8K/16K/32K mini-batches, the "several tens of thousands" regime of
+//! MLPerf-style recommendation training).
+
+use tcast_bench::{banner, speedup, LARGE_BATCHES};
+use tcast_system::{render_table, Calibration, DesignPoint, RmModel, SystemWorkload};
+
+fn main() {
+    banner("Fig. 16", "Sensitivity to training batch size (b8K-32K)");
+    let cal = Calibration::default();
+    let mut rows = Vec::new();
+    let mut max_speedup = 0.0f64;
+    for model in RmModel::all() {
+        for &batch in &LARGE_BATCHES {
+            let wl = SystemWorkload::build(model.clone(), batch, 64, 42);
+            let cpu = speedup(&wl, DesignPoint::BaselineCpuGpu, DesignPoint::OursCpu, &cal);
+            let nmp = speedup(&wl, DesignPoint::BaselineCpuGpu, DesignPoint::OursNmp, &cal);
+            max_speedup = max_speedup.max(nmp);
+            rows.push(vec![
+                format!("{} b{batch}", model.name),
+                "1.00x".into(),
+                format!("{cpu:.2}x"),
+                format!("{nmp:.2}x"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["config", "Baseline", "Ours(CPU)", "Ours(NMP)"], &rows)
+    );
+    println!("max Ours(NMP) speedup at large batch: {max_speedup:.1}x (paper: up to 15x; Ours(CPU) reaches 1.4-2.8x)");
+}

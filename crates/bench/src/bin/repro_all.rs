@@ -1,0 +1,51 @@
+//! Runs every table/figure reproduction in sequence (the full
+//! EXPERIMENTS.md regeneration). Respects `FAST=1` for a quick pass.
+
+use std::process::Command;
+
+const BINS: [&str; 12] = [
+    "table1_memory",
+    "table2_models",
+    "fig04_breakdown",
+    "fig05_locality",
+    "fig06_traffic",
+    "fig09_timeline",
+    "fig12_latency",
+    "fig13_speedup",
+    "fig14_energy",
+    "fig15_utilization",
+    "fig16_batch_sweep",
+    "fig17_dim_sweep",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory").to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS.iter().chain(["sweep_link"].iter()) {
+        let path = dir.join(bin);
+        if !path.exists() {
+            eprintln!("[repro_all] skipping {bin}: not built (run `cargo build -p tcast-bench --release --bins`)");
+            continue;
+        }
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("[repro_all] {bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("[repro_all] failed to launch {bin}: {e}");
+                failures.push(*bin);
+            }
+        }
+        println!();
+    }
+    if failures.is_empty() {
+        println!("[repro_all] all reproductions completed");
+    } else {
+        eprintln!("[repro_all] failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Memoization of casted index arrays.
+//!
+//! Evaluation loops and multi-epoch training revisit identical index
+//! arrays (the same validation batches every epoch; hot batches in
+//! cached data loaders). Since Algorithm 2 is a pure function of the
+//! index array, its output can be cached and the casting cost paid once.
+//! The cache is keyed by a 64-bit FNV-1a hash of the full `(src, dst,
+//! num_outputs)` content and verified by equality on hit, so hash
+//! collisions cannot return a wrong casted array.
+
+use std::collections::HashMap;
+
+use crate::casted_index::CastedIndexArray;
+use crate::casting::tensor_casting;
+use tcast_embedding::IndexArray;
+
+/// An LRU-less bounded memo table for casted index arrays.
+///
+/// ```
+/// use tcast_core::CastingCache;
+/// use tcast_embedding::IndexArray;
+///
+/// let mut cache = CastingCache::new(16);
+/// let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+/// let first = cache.get_or_cast(&index).clone();
+/// let again = cache.get_or_cast(&index).clone();
+/// assert_eq!(first, again);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CastingCache {
+    capacity: usize,
+    entries: HashMap<u64, Vec<(IndexArray, CastedIndexArray)>>,
+    len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CastingCache {
+    /// Creates a cache holding at most `capacity` casted arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached arrays.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the casted array for `index`, computing and caching it on
+    /// first sight. When the cache is full, a miss evicts everything
+    /// (epoch boundaries naturally refill it; simpler and O(1) amortized
+    /// versus tracking recency).
+    pub fn get_or_cast(&mut self, index: &IndexArray) -> &CastedIndexArray {
+        let key = hash_index(index);
+        // Split-borrow gymnastics: check for a hit first.
+        let hit_pos = self
+            .entries
+            .get(&key)
+            .and_then(|bucket| bucket.iter().position(|(idx, _)| idx == index));
+        if let Some(pos) = hit_pos {
+            self.hits += 1;
+            return &self.entries.get(&key).expect("bucket exists")[pos].1;
+        }
+        self.misses += 1;
+        if self.len >= self.capacity {
+            self.entries.clear();
+            self.len = 0;
+        }
+        let casted = tensor_casting(index);
+        let bucket = self.entries.entry(key).or_default();
+        bucket.push((index.clone(), casted));
+        self.len += 1;
+        &bucket.last().expect("just pushed").1
+    }
+}
+
+fn hash_index(index: &IndexArray) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    let mut feed = |v: u32| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    feed(index.num_outputs() as u32);
+    for &s in index.src() {
+        feed(s);
+    }
+    for &d in index.dst() {
+        feed(d);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(seed: u32) -> IndexArray {
+        IndexArray::from_samples(&[vec![seed, seed + 1], vec![seed + 2]]).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_identical_result() {
+        let mut cache = CastingCache::new(4);
+        let index = idx(1);
+        let direct = tensor_casting(&index);
+        assert_eq!(cache.get_or_cast(&index), &direct);
+        assert_eq!(cache.get_or_cast(&index), &direct);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_indices_do_not_collide() {
+        let mut cache = CastingCache::new(8);
+        for s in 0..5 {
+            let index = idx(s * 10);
+            assert_eq!(cache.get_or_cast(&index), &tensor_casting(&index));
+        }
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.len(), 5);
+        // Revisit all: pure hits.
+        for s in 0..5 {
+            let index = idx(s * 10);
+            cache.get_or_cast(&index);
+        }
+        assert_eq!(cache.hits(), 5);
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut cache = CastingCache::new(3);
+        for s in 0..10 {
+            cache.get_or_cast(&idx(s));
+        }
+        assert!(cache.len() <= 3);
+        assert_eq!(cache.misses(), 10);
+    }
+
+    #[test]
+    fn equal_content_different_allocation_hits() {
+        let mut cache = CastingCache::new(4);
+        let a = IndexArray::from_pairs(vec![5, 6], vec![0, 1], 2).unwrap();
+        let b = IndexArray::from_pairs(vec![5, 6], vec![0, 1], 2).unwrap();
+        cache.get_or_cast(&a);
+        cache.get_or_cast(&b);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn same_pairs_different_outputs_miss() {
+        // num_outputs participates in identity: a trailing empty slot
+        // changes the gradient-table height.
+        let mut cache = CastingCache::new(4);
+        let a = IndexArray::from_pairs(vec![1], vec![0], 1).unwrap();
+        let b = IndexArray::from_pairs(vec![1], vec![0], 2).unwrap();
+        cache.get_or_cast(&a);
+        cache.get_or_cast(&b);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        CastingCache::new(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Algorithm 2: the Tensor Casting index transformation.
+//!
+//! Walking Fig. 8's example, with original pairs
+//! `[(1,0), (2,0), (4,0), (0,1), (2,1)]`:
+//!
+//! 1. **Sort-by-key** on `src` (stable): `[(0,1), (1,0), (2,0), (2,1), (4,0)]`.
+//! 2. The sorted `dst` column — `[1, 0, 0, 1, 0]` — *is* the casted `src`:
+//!    it says which gradient-table row each lookup's gradient lives in.
+//! 3. **Scan** for non-consecutive ids: `[1, 1, 1, 0, 1]`.
+//! 4. **Cumulative sum** minus one: `[0, 1, 2, 2, 3]` — the casted `dst`,
+//!    i.e. which coalesced output row each gathered gradient reduces into.
+
+use crate::casted_index::CastedIndexArray;
+use tcast_embedding::IndexArray;
+
+/// Runs Algorithm 2 (sort-by-key → scan → cumulative sum) on an index
+/// array, producing the casted index array used by
+/// [`crate::casted_gather_reduce`].
+///
+/// The sort is the packed-key stable sort shared with the baseline
+/// coalescer so that both paths order tied lookups identically (this is
+/// what makes the equivalence *bitwise*, not just approximate).
+///
+/// ```
+/// use tcast_core::tensor_casting;
+/// use tcast_embedding::IndexArray;
+///
+/// let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+/// let casted = tensor_casting(&index);
+/// assert_eq!(casted.gather_src(), &[1, 0, 0, 1, 0]);
+/// assert_eq!(casted.reduce_dst(), &[0, 1, 2, 2, 3]);
+/// assert_eq!(casted.unique_rows(), &[0, 1, 2, 4]);
+/// ```
+pub fn tensor_casting(index: &IndexArray) -> CastedIndexArray {
+    // Step 1: SortByKey(src, dst), stable.
+    let (sorted_src, sorted_dst) = index.sorted_by_src();
+    build_casted(&sorted_src, sorted_dst, index.num_outputs())
+}
+
+/// Variant of [`tensor_casting`] that sorts with a counting sort over the
+/// `src` id range instead of a comparison sort.
+///
+/// When the table's *touched* id range is dense (the common case for hot
+/// recommendation tables), counting sort is O(n + range) and typically
+/// faster; the result is identical. This is the sort-algorithm ablation
+/// called out in DESIGN.md. Falls back to [`tensor_casting`] when the id
+/// range exceeds `4 * n` (sparse touch pattern).
+pub fn tensor_casting_counting(index: &IndexArray) -> CastedIndexArray {
+    let n = index.len();
+    let Some(max_src) = index.max_src() else {
+        return tensor_casting(index);
+    };
+    let range = max_src as usize + 1;
+    if range > 4 * n.max(1) {
+        return tensor_casting(index);
+    }
+    // Counting sort by src, stable by construction.
+    let mut counts = vec![0u32; range + 1];
+    for &s in index.src() {
+        counts[s as usize + 1] += 1;
+    }
+    for i in 0..range {
+        counts[i + 1] += counts[i];
+    }
+    let mut sorted_src = vec![0u32; n];
+    let mut sorted_dst = vec![0u32; n];
+    let mut cursor = counts;
+    for (&s, &d) in index.src().iter().zip(index.dst().iter()) {
+        let at = cursor[s as usize] as usize;
+        sorted_src[at] = s;
+        sorted_dst[at] = d;
+        cursor[s as usize] += 1;
+    }
+    build_casted(&sorted_src, sorted_dst, index.num_outputs())
+}
+
+/// Steps 2-3 of Algorithm 2 over pre-sorted pairs: scan for run starts,
+/// cumulative-sum into `reduce_dst`, collect `unique_rows`.
+fn build_casted(
+    sorted_src: &[u32],
+    sorted_dst: Vec<u32>,
+    num_outputs: usize,
+) -> CastedIndexArray {
+    let n = sorted_src.len();
+    let mut reduce_dst = Vec::with_capacity(n);
+    let mut unique_rows = Vec::new();
+    // scan[i] = (sorted_src[i] != sorted_src[i-1]) ? 1 : 0, scan[0] = 1;
+    // reduce_dst = cumulative_sum(scan) - 1, fused into one pass.
+    let mut current: i64 = -1;
+    let mut prev: Option<u32> = None;
+    for (i, &s) in sorted_src.iter().enumerate() {
+        if prev != Some(s) {
+            current += 1;
+            unique_rows.push(s);
+        }
+        let _ = i;
+        reduce_dst.push(current as u32);
+        prev = Some(s);
+    }
+    CastedIndexArray::new(sorted_dst, reduce_dst, unique_rows, num_outputs)
+        .expect("casting output satisfies invariants by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig8_index() -> IndexArray {
+        IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap()
+    }
+
+    #[test]
+    fn fig8_walkthrough() {
+        let c = tensor_casting(&fig8_index());
+        assert_eq!(c.gather_src(), &[1, 0, 0, 1, 0]);
+        assert_eq!(c.reduce_dst(), &[0, 1, 2, 2, 3]);
+        assert_eq!(c.unique_rows(), &[0, 1, 2, 4]);
+        assert_eq!(c.num_gradient_rows(), 2);
+    }
+
+    #[test]
+    fn counting_variant_matches_comparison_sort() {
+        let c1 = tensor_casting(&fig8_index());
+        let c2 = tensor_casting_counting(&fig8_index());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn counting_variant_on_sparse_range_falls_back() {
+        // max_src >> 4n triggers the comparison-sort fallback; results must
+        // still be identical.
+        let idx =
+            IndexArray::from_pairs(vec![1_000_000, 5, 1_000_000], vec![0, 1, 2], 3).unwrap();
+        assert_eq!(tensor_casting(&idx), tensor_casting_counting(&idx));
+    }
+
+    #[test]
+    fn all_unique_srcs_yield_identity_reduce() {
+        let idx = IndexArray::from_pairs(vec![30, 10, 20], vec![0, 1, 2], 3).unwrap();
+        let c = tensor_casting(&idx);
+        // Sorted srcs: 10,20,30 -> three distinct outputs 0,1,2.
+        assert_eq!(c.reduce_dst(), &[0, 1, 2]);
+        assert_eq!(c.unique_rows(), &[10, 20, 30]);
+        assert_eq!(c.gather_src(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn all_same_src_yields_single_output() {
+        let idx = IndexArray::from_pairs(vec![7; 4], vec![0, 1, 2, 3], 4).unwrap();
+        let c = tensor_casting(&idx);
+        assert_eq!(c.reduce_dst(), &[0, 0, 0, 0]);
+        assert_eq!(c.unique_rows(), &[7]);
+        // Stable: gradient-table rows in original order.
+        assert_eq!(c.gather_src(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexArray::from_pairs(vec![], vec![], 0).unwrap();
+        let c = tensor_casting(&idx);
+        assert!(c.is_empty());
+        assert_eq!(c.num_unique(), 0);
+    }
+
+    #[test]
+    fn unique_count_matches_index_array() {
+        let idx = IndexArray::from_samples(&[vec![3, 3, 9], vec![9, 1, 3]]).unwrap();
+        let c = tensor_casting(&idx);
+        assert_eq!(c.num_unique(), idx.unique_src_count());
+    }
+}

@@ -1,0 +1,181 @@
+//! Fully-fused backward: casted gather-reduce and the optimizer scatter
+//! in a single pass.
+//!
+//! The paper keeps the casted gather-reduce and the scatter as two
+//! operators (Fig. 9b shows them back-to-back) because framework
+//! optimizer APIs consume an explicit coalesced-gradient tensor. But once
+//! both run on the same engine, nothing forces the coalesced gradients to
+//! be materialized at all: each coalesced row can be accumulated in
+//! registers and applied to its table row immediately, saving one `U x D`
+//! write plus one `U x D` read. This module implements that
+//! further-fused variant as a natural *extension* of the paper's design
+//! (ablated in `benches/` and `tcast_system::ablation`).
+
+use crate::casted_index::CastedIndexArray;
+use tcast_embedding::{optim::SparseOptimizer, EmbeddingError, EmbeddingTable};
+use tcast_tensor::Matrix;
+
+/// Runs the whole embedding backward in one fused pass: for every
+/// coalesced output row, gather-and-reduce its gradient rows from the
+/// `B x D` gradient table into an accumulator, then immediately apply the
+/// optimizer update to the embedding table row.
+///
+/// Produces exactly the same final table state as
+/// [`crate::casted_gather_reduce`] followed by
+/// `tcast_embedding::scatter_apply` (asserted in tests), while touching
+/// the coalesced gradients only in on-chip/register state.
+///
+/// # Errors
+///
+/// Returns an error when `grads` does not match the casted array's
+/// gradient-table shape, when a unique row exceeds the table, or on a
+/// dimension mismatch.
+pub fn fused_casted_backward(
+    table: &mut EmbeddingTable,
+    grads: &Matrix,
+    casted: &CastedIndexArray,
+    optimizer: &mut dyn SparseOptimizer,
+) -> Result<(), EmbeddingError> {
+    if grads.rows() != casted.num_gradient_rows() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: casted.num_gradient_rows(),
+            found: grads.rows(),
+        });
+    }
+    if grads.cols() != table.dim() {
+        return Err(EmbeddingError::DimMismatch {
+            expected: table.dim(),
+            found: grads.cols(),
+        });
+    }
+    if let Some(&bad) = casted
+        .unique_rows()
+        .iter()
+        .find(|&&r| r as usize >= table.rows())
+    {
+        return Err(EmbeddingError::SrcOutOfBounds {
+            src: bad,
+            rows: table.rows(),
+        });
+    }
+
+    let dim = table.dim();
+    let gather_src = casted.gather_src();
+    let reduce_dst = casted.reduce_dst();
+    let mut acc = vec![0.0f32; dim];
+    let mut i = 0usize;
+    let n = gather_src.len();
+    for (u, &row) in casted.unique_rows().iter().enumerate() {
+        acc.fill(0.0);
+        // reduce_dst is non-decreasing: the lookups of coalesced row `u`
+        // are the contiguous run with reduce_dst == u.
+        while i < n && reduce_dst[i] as usize == u {
+            let g = grads.row(gather_src[i] as usize);
+            for (a, &v) in acc.iter_mut().zip(g.iter()) {
+                *a += v;
+            }
+            i += 1;
+        }
+        optimizer.update_row(row, table.row_mut(row as usize), &acc);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casting::tensor_casting;
+    use crate::gather_reduce::casted_gather_reduce;
+    use tcast_embedding::{
+        optim::{Adagrad, Sgd},
+        scatter_apply, IndexArray,
+    };
+    use tcast_tensor::SplitMix64;
+
+    fn workload(seed: u64) -> (EmbeddingTable, IndexArray, Matrix) {
+        let mut rng = SplitMix64::new(seed);
+        let table = EmbeddingTable::seeded(300, 8, seed);
+        let samples: Vec<Vec<u32>> = (0..48)
+            .map(|_| (0..5).map(|_| rng.next_below(300) as u32).collect())
+            .collect();
+        let index = IndexArray::from_samples(&samples).unwrap();
+        let mut grads = Matrix::zeros(48, 8);
+        for v in grads.as_mut_slice() {
+            *v = rng.next_range(-1.0, 1.0);
+        }
+        (table, index, grads)
+    }
+
+    #[test]
+    fn fused_equals_two_step_with_sgd() {
+        let (table, index, grads) = workload(1);
+        let casted = tensor_casting(&index);
+
+        let mut fused_table = table.clone();
+        fused_casted_backward(&mut fused_table, &grads, &casted, &mut Sgd::new(0.1)).unwrap();
+
+        let mut two_step_table = table.clone();
+        let coalesced = casted_gather_reduce(&grads, &casted).unwrap();
+        scatter_apply(&mut two_step_table, &coalesced, &mut Sgd::new(0.1)).unwrap();
+
+        assert_eq!(fused_table.max_abs_diff(&two_step_table).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fused_equals_two_step_with_adagrad() {
+        let (table, index, grads) = workload(2);
+        let casted = tensor_casting(&index);
+
+        let mut fused_table = table.clone();
+        fused_casted_backward(
+            &mut fused_table,
+            &grads,
+            &casted,
+            &mut Adagrad::new(0.1, 1e-8),
+        )
+        .unwrap();
+
+        let mut two_step_table = table.clone();
+        let coalesced = casted_gather_reduce(&grads, &casted).unwrap();
+        scatter_apply(&mut two_step_table, &coalesced, &mut Adagrad::new(0.1, 1e-8)).unwrap();
+
+        assert_eq!(fused_table.max_abs_diff(&two_step_table).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fused_validates_shapes() {
+        let (mut table, index, grads) = workload(3);
+        let casted = tensor_casting(&index);
+        let wrong_rows = Matrix::zeros(grads.rows() + 1, 8);
+        assert!(
+            fused_casted_backward(&mut table, &wrong_rows, &casted, &mut Sgd::new(0.1)).is_err()
+        );
+        let wrong_dim = Matrix::zeros(grads.rows(), 4);
+        assert!(
+            fused_casted_backward(&mut table, &wrong_dim, &casted, &mut Sgd::new(0.1)).is_err()
+        );
+    }
+
+    #[test]
+    fn fused_rejects_rows_beyond_table() {
+        let index = IndexArray::from_samples(&[vec![5]]).unwrap();
+        let casted = tensor_casting(&index);
+        let mut small_table = EmbeddingTable::zeros(5, 4);
+        let grads = Matrix::zeros(1, 4);
+        assert!(matches!(
+            fused_casted_backward(&mut small_table, &grads, &casted, &mut Sgd::new(0.1)),
+            Err(EmbeddingError::SrcOutOfBounds { src: 5, rows: 5 })
+        ));
+    }
+
+    #[test]
+    fn fused_on_empty_workload_is_noop() {
+        let index = IndexArray::from_pairs(vec![], vec![], 0).unwrap();
+        let casted = tensor_casting(&index);
+        let mut table = EmbeddingTable::seeded(10, 4, 9);
+        let before = table.clone();
+        let grads = Matrix::zeros(0, 4);
+        fused_casted_backward(&mut table, &grads, &casted, &mut Sgd::new(0.5)).unwrap();
+        assert_eq!(table.max_abs_diff(&before).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Algorithm 3: the T.Casted gradient gather-reduce kernel.
+//!
+//! With the casted index array in hand, the whole baseline backward
+//! pipeline (expand → sort → accumulate) collapses into the single fused
+//! loop of the paper's Algorithm 3:
+//!
+//! ```text
+//! for i in 0..n {
+//!     coal_grad[dst[i]] += grad[src[i]]
+//! }
+//! ```
+//!
+//! No `n x D` expanded intermediate is materialized and no sort runs on
+//! the backward critical path — the two properties that cut memory
+//! intensity by ~2x (Section IV-A) and unify backward with the forward
+//! gather-reduce primitive (Section IV-C).
+
+use crate::casted_index::CastedIndexArray;
+use crate::casting::tensor_casting;
+use tcast_embedding::{CoalescedGradients, EmbeddingError, IndexArray};
+use tcast_tensor::Matrix;
+
+/// The fused casted gather-reduce (Algorithm 3's `GatherReduce`): gathers
+/// row `gather_src[i]` of the `B x D` gradient table and reduces it into
+/// coalesced row `reduce_dst[i]`.
+///
+/// Returns the same [`CoalescedGradients`] the baseline
+/// `gradient_expand_coalesce` produces.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `grads.rows()` differs
+/// from `casted.num_gradient_rows()`.
+pub fn casted_gather_reduce(
+    grads: &Matrix,
+    casted: &CastedIndexArray,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    if grads.rows() != casted.num_gradient_rows() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: casted.num_gradient_rows(),
+            found: grads.rows(),
+        });
+    }
+    let dim = grads.cols();
+    let mut out = Matrix::zeros(casted.num_unique(), dim);
+    for (&src, &dst) in casted.gather_src().iter().zip(casted.reduce_dst().iter()) {
+        let row = grads.row(src as usize);
+        let acc = out.row_mut(dst as usize);
+        for (a, &v) in acc.iter_mut().zip(row.iter()) {
+            *a += v;
+        }
+    }
+    CoalescedGradients::new(casted.unique_rows().to_vec(), out)
+}
+
+/// Parallel variant of [`casted_gather_reduce`].
+///
+/// Because `reduce_dst` is non-decreasing, the lookups split into
+/// contiguous chunks at output-row boundaries: each thread owns a disjoint
+/// band of coalesced rows, making the parallelization race-free — the same
+/// structure the NMP cores exploit per rank.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `grads.rows()` differs
+/// from `casted.num_gradient_rows()`.
+pub fn casted_gather_reduce_parallel(
+    grads: &Matrix,
+    casted: &CastedIndexArray,
+    threads: usize,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    if grads.rows() != casted.num_gradient_rows() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: casted.num_gradient_rows(),
+            found: grads.rows(),
+        });
+    }
+    let dim = grads.cols();
+    let unique = casted.num_unique();
+    let mut out = Matrix::zeros(unique, dim);
+    if unique == 0 {
+        return CoalescedGradients::new(casted.unique_rows().to_vec(), out);
+    }
+    let threads = threads.max(1).min(unique);
+    let per = unique.div_ceil(threads);
+    let reduce_dst = casted.reduce_dst();
+    let gather_src = casted.gather_src();
+
+    // Start offset (in lookup space) of every output row.
+    let mut row_start = vec![0usize; unique + 1];
+    row_start[unique] = reduce_dst.len();
+    let mut prev = 0usize;
+    for (i, &d) in reduce_dst.iter().enumerate() {
+        let d = d as usize;
+        for slot in row_start.iter_mut().take(d + 1).skip(prev + 1) {
+            *slot = i;
+        }
+        if d > prev {
+            prev = d;
+        }
+    }
+
+    let buf = out.as_mut_slice();
+    std::thread::scope(|scope| {
+        let mut rest = buf;
+        for t in 0..threads {
+            let ulo = t * per;
+            let uhi = ((t + 1) * per).min(unique);
+            if ulo >= uhi {
+                break;
+            }
+            let (band, tail) = rest.split_at_mut((uhi - ulo) * dim);
+            rest = tail;
+            let row_start = &row_start;
+            scope.spawn(move || {
+                for u in ulo..uhi {
+                    let acc = &mut band[(u - ulo) * dim..(u - ulo + 1) * dim];
+                    for &src in &gather_src[row_start[u]..row_start[u + 1]] {
+                        let row = grads.row(src as usize);
+                        for (a, &v) in acc.iter_mut().zip(row.iter()) {
+                            *a += v;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    CoalescedGradients::new(casted.unique_rows().to_vec(), out)
+}
+
+/// Convenience composition (Algorithm 3 top-level,
+/// `T.CASTED_GRAD_GATHER_REDUCE`): run the casting stage then the fused
+/// kernel.
+///
+/// In the real runtime the casting stage is precomputed during forward
+/// propagation ([`crate::CastingPipeline`]); this synchronous form exists
+/// for tests and for modeling the *exposed*-casting ablation.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `grads.rows()` differs
+/// from `index.num_outputs()`.
+pub fn casted_backward(
+    grads: &Matrix,
+    index: &IndexArray,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    let casted = tensor_casting(index);
+    casted_gather_reduce(grads, &casted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast_embedding::gradient_expand_coalesce;
+    use tcast_tensor::SplitMix64;
+
+    fn fig_index() -> IndexArray {
+        IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap()
+    }
+
+    #[test]
+    fn fig7_example() {
+        let grads = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0]]).unwrap();
+        let c = casted_backward(&grads, &fig_index()).unwrap();
+        assert_eq!(c.rows(), &[0, 1, 2, 4]);
+        assert_eq!(c.grads().row(0), &[2.0, 20.0]); // G[1] -> E[0]
+        assert_eq!(c.grads().row(1), &[1.0, 10.0]); // G[0] -> E[1]
+        assert_eq!(c.grads().row(2), &[3.0, 30.0]); // G[0]+G[1] -> E[2]
+        assert_eq!(c.grads().row(3), &[1.0, 10.0]); // G[0] -> E[4]
+    }
+
+    #[test]
+    fn equals_baseline_exactly_on_example() {
+        let grads = Matrix::from_rows(&[&[0.25, -1.5], &[3.5, 0.125]]).unwrap();
+        let baseline = gradient_expand_coalesce(&grads, &fig_index()).unwrap();
+        let casted = casted_backward(&grads, &fig_index()).unwrap();
+        assert_eq!(baseline.rows(), casted.rows());
+        // Bitwise identical: same accumulation order.
+        assert_eq!(baseline.grads().as_slice(), casted.grads().as_slice());
+    }
+
+    #[test]
+    fn equals_baseline_on_random_workloads() {
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..20 {
+            let batch = 1 + (rng.next_below(64) as usize);
+            let pooling = 1 + (rng.next_below(8) as usize);
+            let table_rows = 1 + rng.next_below(100);
+            let dim = 1 + (rng.next_below(16) as usize);
+            let samples: Vec<Vec<u32>> = (0..batch)
+                .map(|_| {
+                    (0..pooling)
+                        .map(|_| rng.next_below(table_rows) as u32)
+                        .collect()
+                })
+                .collect();
+            let index = IndexArray::from_samples(&samples).unwrap();
+            let mut grads = Matrix::zeros(batch, dim);
+            for v in grads.as_mut_slice() {
+                *v = rng.next_range(-2.0, 2.0);
+            }
+            let baseline = gradient_expand_coalesce(&grads, &index).unwrap();
+            let casted = casted_backward(&grads, &index).unwrap();
+            assert_eq!(baseline.rows(), casted.rows(), "trial {trial}");
+            assert_eq!(
+                baseline.grads().as_slice(),
+                casted.grads().as_slice(),
+                "trial {trial}: gradients differ"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = SplitMix64::new(7);
+        let samples: Vec<Vec<u32>> = (0..128)
+            .map(|_| (0..6).map(|_| rng.next_below(50) as u32).collect())
+            .collect();
+        let index = IndexArray::from_samples(&samples).unwrap();
+        let mut grads = Matrix::zeros(128, 8);
+        for v in grads.as_mut_slice() {
+            *v = rng.next_range(-1.0, 1.0);
+        }
+        let casted = tensor_casting(&index);
+        let serial = casted_gather_reduce(&grads, &casted).unwrap();
+        for threads in [1, 2, 5, 16] {
+            let par = casted_gather_reduce_parallel(&grads, &casted, threads).unwrap();
+            assert_eq!(serial.rows(), par.rows());
+            assert!(serial.max_abs_diff(&par).unwrap() < 1e-5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_gradient_rows() {
+        let casted = tensor_casting(&fig_index());
+        let wrong = Matrix::zeros(3, 2);
+        assert!(casted_gather_reduce(&wrong, &casted).is_err());
+        assert!(casted_gather_reduce_parallel(&wrong, &casted, 2).is_err());
+    }
+
+    #[test]
+    fn empty_workload() {
+        let index = IndexArray::from_pairs(vec![], vec![], 0).unwrap();
+        let casted = tensor_casting(&index);
+        let grads = Matrix::zeros(0, 4);
+        let c = casted_gather_reduce(&grads, &casted).unwrap();
+        assert!(c.is_empty());
+        let cp = casted_gather_reduce_parallel(&grads, &casted, 4).unwrap();
+        assert!(cp.is_empty());
+    }
+}

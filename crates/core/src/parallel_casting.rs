@@ -1,0 +1,137 @@
+//! Multi-threaded Tensor Casting: Algorithm 2 with its dominant cost —
+//! the sort-by-key — parallelized.
+//!
+//! The paper runs the casting on a GPU (thousands of lanes); the host
+//! analogue is a chunked parallel sort: partition the packed
+//! `(src, position)` keys, sort each partition on its own thread, then
+//! k-way merge. Because every packed key is unique, the merged order is
+//! identical to the serial stable sort's, so the result is *exactly* the
+//! serial [`crate::tensor_casting`] output.
+
+use crate::casted_index::CastedIndexArray;
+use tcast_embedding::IndexArray;
+
+/// Parallel variant of [`crate::tensor_casting`] using `threads` sort
+/// workers. Bit-identical results to the serial transform.
+pub fn tensor_casting_parallel(index: &IndexArray, threads: usize) -> CastedIndexArray {
+    let n = index.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return crate::casting::tensor_casting(index);
+    }
+
+    // Pack (src, position); unique keys make merge order deterministic.
+    let src = index.src();
+    let keys: Vec<u64> = src
+        .iter()
+        .enumerate()
+        .map(|(pos, &s)| ((s as u64) << 32) | pos as u64)
+        .collect();
+
+    // Sort chunks in parallel.
+    let chunk = n.div_ceil(threads);
+    let mut sorted_chunks: Vec<Vec<u64>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = keys
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut v = c.to_vec();
+                    v.sort_unstable();
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            sorted_chunks.push(h.join().expect("sort worker panicked"));
+        }
+    });
+
+    // K-way merge via a simple cursor scan (k is small).
+    let mut cursors = vec![0usize; sorted_chunks.len()];
+    let mut merged = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, chunk) in sorted_chunks.iter().enumerate() {
+            if let Some(&key) = chunk.get(cursors[i]) {
+                if best.is_none_or(|(_, b)| key < b) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        let Some((i, key)) = best else { break };
+        cursors[i] += 1;
+        merged.push(key);
+    }
+
+    // Unpack and run the scan/cumsum stages.
+    let dst = index.dst();
+    let mut sorted_src = Vec::with_capacity(n);
+    let mut sorted_dst = Vec::with_capacity(n);
+    for key in merged {
+        sorted_src.push((key >> 32) as u32);
+        sorted_dst.push(dst[(key & 0xFFFF_FFFF) as usize]);
+    }
+    let mut reduce_dst = Vec::with_capacity(n);
+    let mut unique_rows = Vec::new();
+    let mut current: i64 = -1;
+    let mut prev: Option<u32> = None;
+    for &s in &sorted_src {
+        if prev != Some(s) {
+            current += 1;
+            unique_rows.push(s);
+        }
+        reduce_dst.push(current as u32);
+        prev = Some(s);
+    }
+    CastedIndexArray::new(sorted_dst, reduce_dst, unique_rows, index.num_outputs())
+        .expect("parallel casting output satisfies invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casting::tensor_casting;
+    use tcast_tensor::SplitMix64;
+
+    fn random_index(n_samples: usize, pooling: usize, rows: u64, seed: u64) -> IndexArray {
+        let mut rng = SplitMix64::new(seed);
+        let samples: Vec<Vec<u32>> = (0..n_samples)
+            .map(|_| (0..pooling).map(|_| rng.next_below(rows) as u32).collect())
+            .collect();
+        IndexArray::from_samples(&samples).unwrap()
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_serial() {
+        let idx = random_index(8, 4, 100, 1);
+        assert_eq!(tensor_casting_parallel(&idx, 8), tensor_casting(&idx));
+    }
+
+    #[test]
+    fn large_inputs_match_serial_exactly() {
+        let idx = random_index(512, 8, 1000, 2);
+        assert!(idx.len() >= 1024);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                tensor_casting_parallel(&idx, threads),
+                tensor_casting(&idx),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_duplication_matches_serial() {
+        // Only 4 distinct rows: long equal-key runs across chunks stress
+        // the merge's stability.
+        let idx = random_index(1024, 2, 4, 3);
+        assert_eq!(tensor_casting_parallel(&idx, 4), tensor_casting(&idx));
+    }
+
+    #[test]
+    fn single_thread_matches_serial() {
+        let idx = random_index(512, 4, 500, 4);
+        assert_eq!(tensor_casting_parallel(&idx, 1), tensor_casting(&idx));
+    }
+}

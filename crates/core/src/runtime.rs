@@ -1,0 +1,368 @@
+//! The software runtime of Section IV-B: hide the casting stage inside
+//! forward propagation.
+//!
+//! "An important observation from Algorithm 2 is that all the data
+//! structures required to generate the T.Casted index array is already
+//! available at the very beginning of forward propagation." The paper
+//! therefore ships the index arrays to the (otherwise idle) GPU, casts
+//! them there while the CPU runs embedding gather-reduce, and has the
+//! casted arrays ready by the time backpropagation needs them (Fig. 9b).
+//!
+//! [`CastingPipeline`] is the host-side embodiment: a dedicated worker
+//! thread plays the role of the GPU's casting kernel. Training code
+//! submits the iteration's index arrays *before* starting forward
+//! propagation and collects the casted arrays when backward reaches the
+//! embedding layers; the pipeline records how much of the casting latency
+//! was actually exposed (i.e. how long the collect blocked).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::casted_index::CastedIndexArray;
+use crate::casting::tensor_casting;
+use tcast_embedding::IndexArray;
+
+/// A handle for one submitted casting job (one training iteration's worth
+/// of index arrays, one per embedding table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobTicket(u64);
+
+/// Aggregate pipeline timing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Jobs completed by the worker.
+    pub jobs_completed: u64,
+    /// Total time the worker spent casting (would-be GPU kernel time).
+    pub casting_time: Duration,
+    /// Total time callers spent blocked in [`CastingPipeline::collect`] —
+    /// the *exposed* casting latency. Zero means casting was fully hidden
+    /// under forward propagation, the Fig. 9b ideal.
+    pub exposed_wait: Duration,
+}
+
+impl PipelineStats {
+    /// Fraction of casting time that was hidden under other work
+    /// (1.0 = fully hidden). Returns 1.0 when no casting has run.
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.casting_time.is_zero() {
+            return 1.0;
+        }
+        let exposed = self.exposed_wait.as_secs_f64();
+        let total = self.casting_time.as_secs_f64();
+        (1.0 - (exposed / total).min(1.0)).max(0.0)
+    }
+}
+
+struct Job {
+    id: u64,
+    indices: Vec<IndexArray>,
+}
+
+struct JobResult {
+    id: u64,
+    casted: Vec<CastedIndexArray>,
+}
+
+/// Asynchronous casting pipeline: submit index arrays early, collect
+/// casted arrays when backward needs them.
+///
+/// ```
+/// use tcast_core::CastingPipeline;
+/// use tcast_embedding::IndexArray;
+///
+/// let mut pipeline = CastingPipeline::new();
+/// let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+/// let ticket = pipeline.submit(vec![index]);
+/// // ... forward propagation runs here, overlapped with casting ...
+/// let casted = pipeline.collect(ticket);
+/// assert_eq!(casted[0].gather_src(), &[1, 0, 0, 1, 0]);
+/// ```
+pub struct CastingPipeline {
+    tx: Option<Sender<Job>>,
+    rx: Receiver<JobResult>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    ready: HashMap<u64, Vec<CastedIndexArray>>,
+    next_id: u64,
+    stats: Arc<Mutex<PipelineStats>>,
+}
+
+impl CastingPipeline {
+    /// Spawns the casting worker thread.
+    pub fn new() -> Self {
+        Self::with_workers(1)
+    }
+
+    /// Spawns `workers` casting worker threads sharing one job queue —
+    /// the host-side analogue of widening the GPU casting kernel. Jobs
+    /// complete out of order under load; [`CastingPipeline::collect`]
+    /// reorders transparently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one casting worker");
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (res_tx, res_rx) = unbounded::<JobResult>();
+        let stats = Arc::new(Mutex::new(PipelineStats::default()));
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let worker_stats = Arc::clone(&stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("tcast-casting-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let start = Instant::now();
+                        let casted: Vec<CastedIndexArray> =
+                            job.indices.iter().map(tensor_casting).collect();
+                        let elapsed = start.elapsed();
+                        {
+                            let mut s = worker_stats.lock();
+                            s.jobs_completed += 1;
+                            s.casting_time += elapsed;
+                        }
+                        if res_tx.send(JobResult { id: job.id, casted }).is_err() {
+                            break; // pipeline dropped
+                        }
+                    }
+                })
+                .expect("spawn casting worker");
+            handles.push(handle);
+        }
+        Self {
+            tx: Some(job_tx),
+            rx: res_rx,
+            workers: handles,
+            ready: HashMap::new(),
+            next_id: 0,
+            stats,
+        }
+    }
+
+    /// Submits one iteration's index arrays (one per table) for casting.
+    /// Returns a ticket to [`CastingPipeline::collect`] with.
+    ///
+    /// Call this *before* forward propagation so the casting latency
+    /// overlaps with it.
+    pub fn submit(&mut self, indices: Vec<IndexArray>) -> JobTicket {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tx
+            .as_ref()
+            .expect("pipeline not shut down")
+            .send(Job { id, indices })
+            .expect("casting worker alive");
+        JobTicket(id)
+    }
+
+    /// Blocks until the given job's casted arrays are ready and returns
+    /// them. Time spent blocking is recorded as *exposed* casting latency
+    /// in [`PipelineStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket was never issued by this pipeline, was already
+    /// collected, or the worker thread died.
+    pub fn collect(&mut self, ticket: JobTicket) -> Vec<CastedIndexArray> {
+        assert!(ticket.0 < self.next_id, "unknown ticket {ticket:?}");
+        if let Some(casted) = self.ready.remove(&ticket.0) {
+            return casted;
+        }
+        let start = Instant::now();
+        loop {
+            let result = self.rx.recv().expect("casting worker alive");
+            if result.id == ticket.0 {
+                self.stats.lock().exposed_wait += start.elapsed();
+                return result.casted;
+            }
+            self.ready.insert(result.id, result.casted);
+        }
+    }
+
+    /// Returns whether the given job has already finished (non-blocking).
+    pub fn is_ready(&mut self, ticket: JobTicket) -> bool {
+        while let Ok(result) = self.rx.try_recv() {
+            self.ready.insert(result.id, result.casted);
+        }
+        self.ready.contains_key(&ticket.0)
+    }
+
+    /// Snapshot of the pipeline's timing statistics.
+    pub fn stats(&self) -> PipelineStats {
+        *self.stats.lock()
+    }
+}
+
+impl Default for CastingPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CastingPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CastingPipeline")
+            .field("next_id", &self.next_id)
+            .field("buffered", &self.ready.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for CastingPipeline {
+    fn drop(&mut self) {
+        // Close the job channel so the workers exit, then join them.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather_reduce::casted_gather_reduce;
+    use tcast_embedding::gradient_expand_coalesce;
+    use tcast_tensor::{Matrix, SplitMix64};
+
+    fn random_indices(count: usize, seed: u64) -> Vec<IndexArray> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                let samples: Vec<Vec<u32>> = (0..16)
+                    .map(|_| (0..4).map(|_| rng.next_below(40) as u32).collect())
+                    .collect();
+                IndexArray::from_samples(&samples).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_collect_roundtrip() {
+        let mut p = CastingPipeline::new();
+        let indices = random_indices(3, 1);
+        let expected: Vec<_> = indices.iter().map(tensor_casting).collect();
+        let ticket = p.submit(indices);
+        let casted = p.collect(ticket);
+        assert_eq!(casted, expected);
+        assert_eq!(p.stats().jobs_completed, 1);
+    }
+
+    #[test]
+    fn multiple_in_flight_jobs_collect_in_any_order() {
+        let mut p = CastingPipeline::new();
+        let a = random_indices(2, 2);
+        let b = random_indices(2, 3);
+        let ea: Vec<_> = a.iter().map(tensor_casting).collect();
+        let eb: Vec<_> = b.iter().map(tensor_casting).collect();
+        let ta = p.submit(a);
+        let tb = p.submit(b);
+        // Collect out of submission order.
+        assert_eq!(p.collect(tb), eb);
+        assert_eq!(p.collect(ta), ea);
+        assert_eq!(p.stats().jobs_completed, 2);
+    }
+
+    #[test]
+    fn pipelined_training_loop_matches_baseline() {
+        // Double-buffered usage: iteration i trains while i+1 casts.
+        let mut p = CastingPipeline::new();
+        let mut rng = SplitMix64::new(9);
+        let iters: Vec<Vec<IndexArray>> = (0..5).map(|i| random_indices(2, 100 + i)).collect();
+
+        let mut tickets = std::collections::VecDeque::new();
+        tickets.push_back(p.submit(iters[0].clone()));
+        for i in 0..iters.len() {
+            if i + 1 < iters.len() {
+                tickets.push_back(p.submit(iters[i + 1].clone()));
+            }
+            let casted = p.collect(tickets.pop_front().unwrap());
+            for (index, c) in iters[i].iter().zip(casted.iter()) {
+                let mut grads = Matrix::zeros(index.num_outputs(), 4);
+                for v in grads.as_mut_slice() {
+                    *v = rng.next_range(-1.0, 1.0);
+                }
+                let via_pipeline = casted_gather_reduce(&grads, c).unwrap();
+                let baseline = gradient_expand_coalesce(&grads, index).unwrap();
+                assert_eq!(baseline.grads().as_slice(), via_pipeline.grads().as_slice());
+            }
+        }
+        assert_eq!(p.stats().jobs_completed, 5);
+    }
+
+    #[test]
+    fn is_ready_becomes_true() {
+        let mut p = CastingPipeline::new();
+        let ticket = p.submit(random_indices(1, 4));
+        // Poll until ready (worker is fast; bound the wait).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !p.is_ready(ticket) {
+            assert!(Instant::now() < deadline, "worker never finished");
+            std::thread::yield_now();
+        }
+        let casted = p.collect(ticket);
+        assert_eq!(casted.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ticket")]
+    fn collect_unknown_ticket_panics() {
+        let mut p = CastingPipeline::new();
+        p.collect(JobTicket(42));
+    }
+
+    #[test]
+    fn hidden_fraction_bounds() {
+        let s = PipelineStats::default();
+        assert_eq!(s.hidden_fraction(), 1.0);
+        let s = PipelineStats {
+            jobs_completed: 1,
+            casting_time: Duration::from_millis(10),
+            exposed_wait: Duration::from_millis(10),
+        };
+        assert!(s.hidden_fraction() < 1e-9);
+        let s = PipelineStats {
+            jobs_completed: 1,
+            casting_time: Duration::from_millis(10),
+            exposed_wait: Duration::from_millis(5),
+        };
+        assert!((s.hidden_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_worker_pipeline_is_correct_under_load() {
+        let mut p = CastingPipeline::with_workers(4);
+        let jobs: Vec<(Vec<IndexArray>, _)> = (0..12)
+            .map(|i| {
+                let indices = random_indices(2, 200 + i);
+                let ticket = p.submit(indices.clone());
+                (indices, ticket)
+            })
+            .collect();
+        for (indices, ticket) in jobs {
+            let expected: Vec<_> = indices.iter().map(tensor_casting).collect();
+            assert_eq!(p.collect(ticket), expected);
+        }
+        assert_eq!(p.stats().jobs_completed, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one casting worker")]
+    fn zero_workers_rejected() {
+        CastingPipeline::with_workers(0);
+    }
+
+    #[test]
+    fn drop_joins_worker_cleanly() {
+        let mut p = CastingPipeline::new();
+        let _ = p.submit(random_indices(1, 5));
+        drop(p); // must not hang or panic even with an uncollected job
+    }
+}

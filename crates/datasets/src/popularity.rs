@@ -1,0 +1,280 @@
+//! Popularity distributions over embedding-table rows.
+//!
+//! The gradient-coalescing behaviour the paper analyzes (Fig. 5) is
+//! entirely a function of *how often distinct lookups collide*, i.e. the
+//! popularity distribution of table rows. Two models cover the datasets:
+//! uniform (the paper's "Random") and truncated Zipf (everything real).
+
+use tcast_tensor::SplitMix64;
+
+/// A popularity model over `rows` table entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Every row equally likely — the paper's "Random" dataset.
+    Uniform {
+        /// Table cardinality.
+        rows: usize,
+    },
+    /// Truncated Zipf: row of popularity-rank `k` (1-based) has weight
+    /// `1 / k^exponent`. Larger exponents mean stronger skew (more
+    /// coalescing).
+    Zipf {
+        /// Table cardinality.
+        rows: usize,
+        /// Zipf exponent `s > 0`.
+        exponent: f64,
+    },
+}
+
+impl Popularity {
+    /// Table cardinality.
+    pub fn rows(&self) -> usize {
+        match *self {
+            Popularity::Uniform { rows } | Popularity::Zipf { rows, .. } => rows,
+        }
+    }
+
+    /// Returns a copy with a different cardinality (used to scale presets
+    /// down for fast tests without changing the skew).
+    pub fn with_rows(&self, rows: usize) -> Popularity {
+        match *self {
+            Popularity::Uniform { .. } => Popularity::Uniform { rows },
+            Popularity::Zipf { exponent, .. } => Popularity::Zipf { rows, exponent },
+        }
+    }
+
+    /// The probability of the rank-`k` most popular row (0-based rank).
+    ///
+    /// This is the "probability function that quantifies an embedding
+    /// table entry's likelihood of lookup" plotted in Fig. 5a.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= rows` or the table is empty.
+    pub fn rank_probability(&self, rank: usize) -> f64 {
+        assert!(rank < self.rows(), "rank {rank} out of range");
+        match *self {
+            Popularity::Uniform { rows } => 1.0 / rows as f64,
+            Popularity::Zipf { rows, exponent } => {
+                let h: f64 = harmonic(rows, exponent);
+                ((rank + 1) as f64).powf(-exponent) / h
+            }
+        }
+    }
+
+    /// Builds a sampler for this distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn sampler(&self) -> CdfSampler {
+        CdfSampler::new(self)
+    }
+}
+
+/// Generalized harmonic number `H(n, s) = sum_{k=1..n} k^-s`.
+fn harmonic(n: usize, s: f64) -> f64 {
+    (1..=n).map(|k| (k as f64).powf(-s)).sum()
+}
+
+/// Exact inverse-CDF sampler: O(rows) precomputation, O(log rows) per
+/// sample via binary search, deterministic given the RNG.
+///
+/// Sampled ids are *popularity ranks* (0 = most popular). Real tables
+/// store hot rows at arbitrary ids; since row placement does not affect
+/// any statistic we model (collision rates, traffic, timing are
+/// placement-independent under the paper's interleaving), rank ids are
+/// used directly.
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    cdf: Vec<f64>,
+    uniform_rows: Option<usize>,
+}
+
+impl CdfSampler {
+    /// Builds the sampler for a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution has zero rows.
+    pub fn new(pop: &Popularity) -> Self {
+        let rows = pop.rows();
+        assert!(rows > 0, "popularity model must have at least one row");
+        match *pop {
+            Popularity::Uniform { rows } => Self {
+                cdf: Vec::new(),
+                uniform_rows: Some(rows),
+            },
+            Popularity::Zipf { rows, exponent } => {
+                let mut cdf = Vec::with_capacity(rows);
+                let mut acc = 0.0f64;
+                for k in 1..=rows {
+                    acc += (k as f64).powf(-exponent);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for v in &mut cdf {
+                    *v /= total;
+                }
+                Self {
+                    cdf,
+                    uniform_rows: None,
+                }
+            }
+        }
+    }
+
+    /// Number of rows this sampler draws from.
+    pub fn rows(&self) -> usize {
+        self.uniform_rows.unwrap_or(self.cdf.len())
+    }
+
+    /// Draws one row id.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        if let Some(rows) = self.uniform_rows {
+            return rng.next_below(rows as u64) as u32;
+        }
+        let u = rng.next_f32() as f64;
+        // First index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u32
+    }
+
+    /// Draws `count` row ids.
+    pub fn sample_many(&self, count: usize, rng: &mut SplitMix64) -> Vec<u32> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rank_probability_is_flat() {
+        let p = Popularity::Uniform { rows: 100 };
+        assert!((p.rank_probability(0) - 0.01).abs() < 1e-12);
+        assert_eq!(p.rank_probability(0), p.rank_probability(99));
+    }
+
+    #[test]
+    fn zipf_probabilities_decrease_and_sum_to_one() {
+        let p = Popularity::Zipf {
+            rows: 1000,
+            exponent: 1.1,
+        };
+        let mut sum = 0.0;
+        let mut prev = f64::INFINITY;
+        for k in 0..1000 {
+            let q = p.rank_probability(k);
+            assert!(q <= prev);
+            prev = q;
+            sum += q;
+        }
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_rows_preserves_family() {
+        let z = Popularity::Zipf {
+            rows: 10,
+            exponent: 0.8,
+        };
+        assert_eq!(
+            z.with_rows(99),
+            Popularity::Zipf {
+                rows: 99,
+                exponent: 0.8
+            }
+        );
+        let u = Popularity::Uniform { rows: 10 };
+        assert_eq!(u.with_rows(99), Popularity::Uniform { rows: 99 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_probability_bounds_checked() {
+        Popularity::Uniform { rows: 5 }.rank_probability(5);
+    }
+
+    #[test]
+    fn uniform_sampler_covers_range() {
+        let s = Popularity::Uniform { rows: 16 }.sampler();
+        let mut rng = SplitMix64::new(1);
+        let draws = s.sample_many(4000, &mut rng);
+        assert!(draws.iter().all(|&d| d < 16));
+        let mut seen = [false; 16];
+        for d in draws {
+            seen[d as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "4000 draws must hit all 16 rows");
+    }
+
+    #[test]
+    fn zipf_sampler_matches_analytic_head_probability() {
+        let pop = Popularity::Zipf {
+            rows: 1000,
+            exponent: 1.0,
+        };
+        let s = pop.sampler();
+        let mut rng = SplitMix64::new(2);
+        let n = 200_000;
+        let draws = s.sample_many(n, &mut rng);
+        let head = draws.iter().filter(|&&d| d == 0).count() as f64 / n as f64;
+        let expect = pop.rank_probability(0);
+        assert!(
+            (head - expect).abs() < 0.01,
+            "empirical {head} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn zipf_skew_increases_collisions() {
+        let mut rng = SplitMix64::new(3);
+        let mut unique = |e: f64| {
+            let s = Popularity::Zipf {
+                rows: 10_000,
+                exponent: e,
+            }
+            .sampler();
+            let mut d = s.sample_many(5000, &mut rng);
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        };
+        let weak = unique(0.5);
+        let strong = unique(1.5);
+        assert!(
+            strong < weak,
+            "stronger skew must produce fewer unique ids ({strong} !< {weak})"
+        );
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let s = Popularity::Zipf {
+            rows: 100,
+            exponent: 1.0,
+        }
+        .sampler();
+        let a = s.sample_many(50, &mut SplitMix64::new(7));
+        let b = s.sample_many(50, &mut SplitMix64::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_distribution_panics() {
+        Popularity::Uniform { rows: 0 }.sampler();
+    }
+
+    #[test]
+    fn single_row_always_sampled() {
+        let s = Popularity::Zipf {
+            rows: 1,
+            exponent: 2.0,
+        }
+        .sampler();
+        let mut rng = SplitMix64::new(4);
+        assert!(s.sample_many(100, &mut rng).iter().all(|&d| d == 0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-dataset popularity presets (the paper's Fig. 5a datasets).
+//!
+//! Each preset fixes the cardinality of the dataset's *largest embedding
+//! table* (what Fig. 5a plots) and a Zipf exponent fitted to the
+//! qualitative shape of its published lookup-frequency curve. The ordering
+//! of skew matters more than the absolute exponents: MovieLens (a small,
+//! head-heavy catalog) coalesces best, Criteo ads traffic is strongly
+//! skewed, Amazon and Alibaba have broader catalogs with milder skew, and
+//! Random is the uniform control — the same qualitative ordering visible
+//! in the paper's Fig. 5b.
+
+use crate::popularity::Popularity;
+use crate::workload::TableWorkload;
+
+/// The five dataset rows of Figs. 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// Uniform-random lookups (the paper's locality-free control).
+    Random,
+    /// Amazon Review (Books): ~2.3 M items, mild skew.
+    AmazonBooks,
+    /// MovieLens-20M: ~27 k movies, strong head concentration.
+    MovieLens20M,
+    /// Alibaba Taobao UserBehavior: ~4.1 M items, mild-moderate skew.
+    AlibabaUserBehavior,
+    /// Criteo Kaggle display ads: ~1.3 M ids in the largest table,
+    /// strong skew.
+    CriteoKaggle,
+}
+
+impl DatasetPreset {
+    /// All presets in the paper's Fig. 5/6 presentation order.
+    pub const ALL: [DatasetPreset; 5] = [
+        DatasetPreset::Random,
+        DatasetPreset::AmazonBooks,
+        DatasetPreset::MovieLens20M,
+        DatasetPreset::AlibabaUserBehavior,
+        DatasetPreset::CriteoKaggle,
+    ];
+
+    /// Display name used in figure output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetPreset::Random => "Random",
+            DatasetPreset::AmazonBooks => "Amazon",
+            DatasetPreset::MovieLens20M => "MovieLens",
+            DatasetPreset::AlibabaUserBehavior => "Alibaba",
+            DatasetPreset::CriteoKaggle => "Criteo Ads",
+        }
+    }
+
+    /// The popularity model of the dataset's largest embedding table.
+    pub fn popularity(&self) -> Popularity {
+        match self {
+            DatasetPreset::Random => Popularity::Uniform { rows: 1_000_000 },
+            DatasetPreset::AmazonBooks => Popularity::Zipf {
+                rows: 2_300_000,
+                exponent: 0.85,
+            },
+            DatasetPreset::MovieLens20M => Popularity::Zipf {
+                rows: 27_000,
+                exponent: 1.15,
+            },
+            DatasetPreset::AlibabaUserBehavior => Popularity::Zipf {
+                rows: 4_100_000,
+                exponent: 0.75,
+            },
+            DatasetPreset::CriteoKaggle => Popularity::Zipf {
+                rows: 1_300_000,
+                exponent: 1.05,
+            },
+        }
+    }
+
+    /// Builds a [`TableWorkload`] for this dataset with the given pooling
+    /// factor (lookups per sample; the paper's Fig. 5/6 uses 10).
+    pub fn table_workload(&self, pooling: usize) -> TableWorkload {
+        TableWorkload::new(self.popularity(), pooling)
+    }
+}
+
+impl std::fmt::Display for DatasetPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast_tensor::SplitMix64;
+
+    #[test]
+    fn all_presets_have_distinct_names() {
+        let mut names: Vec<&str> = DatasetPreset::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn random_is_uniform() {
+        assert!(matches!(
+            DatasetPreset::Random.popularity(),
+            Popularity::Uniform { .. }
+        ));
+    }
+
+    #[test]
+    fn real_datasets_are_zipf() {
+        for p in [
+            DatasetPreset::AmazonBooks,
+            DatasetPreset::MovieLens20M,
+            DatasetPreset::AlibabaUserBehavior,
+            DatasetPreset::CriteoKaggle,
+        ] {
+            assert!(matches!(p.popularity(), Popularity::Zipf { .. }), "{p}");
+        }
+    }
+
+    #[test]
+    fn skew_ordering_matches_fig5b() {
+        // Coalescing effectiveness (unique/lookups, lower = better
+        // coalescing) must order: MovieLens < Criteo < Amazon/Alibaba <
+        // Random — the qualitative ordering of the paper's Fig. 5b.
+        // Scaled-down tables keep test time low while preserving ordering.
+        let mut ratios = std::collections::HashMap::new();
+        for p in DatasetPreset::ALL {
+            let pop = p.popularity().with_rows(100_000);
+            let sampler = pop.sampler();
+            let mut rng = SplitMix64::new(11);
+            let mut draws = sampler.sample_many(20_480, &mut rng);
+            draws.sort_unstable();
+            draws.dedup();
+            ratios.insert(p.name(), draws.len() as f64 / 20_480.0);
+        }
+        assert!(ratios["MovieLens"] < ratios["Criteo Ads"]);
+        assert!(ratios["Criteo Ads"] < ratios["Amazon"]);
+        assert!(ratios["Amazon"] < ratios["Random"]);
+        assert!(ratios["Alibaba"] < ratios["Random"]);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DatasetPreset::CriteoKaggle.to_string(), "Criteo Ads");
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-table workload specification and index-array generation.
+
+use crate::popularity::{CdfSampler, Popularity};
+use tcast_embedding::IndexArray;
+use tcast_tensor::SplitMix64;
+
+/// The workload of one embedding table: its popularity model and the
+/// pooling factor (lookups per sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableWorkload {
+    popularity: Popularity,
+    pooling: usize,
+}
+
+impl TableWorkload {
+    /// Creates a workload spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pooling == 0` (every sample must gather at least once).
+    pub fn new(popularity: Popularity, pooling: usize) -> Self {
+        assert!(pooling > 0, "pooling factor must be positive");
+        Self {
+            popularity,
+            pooling,
+        }
+    }
+
+    /// The table's popularity model.
+    pub fn popularity(&self) -> Popularity {
+        self.popularity
+    }
+
+    /// Lookups per sample.
+    pub fn pooling(&self) -> usize {
+        self.pooling
+    }
+
+    /// Table cardinality.
+    pub fn rows(&self) -> usize {
+        self.popularity.rows()
+    }
+
+    /// Returns a copy with a scaled-down/up cardinality (same skew).
+    pub fn with_rows(&self, rows: usize) -> TableWorkload {
+        TableWorkload {
+            popularity: self.popularity.with_rows(rows),
+            pooling: self.pooling,
+        }
+    }
+
+    /// Returns a copy with a different pooling factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pooling == 0`.
+    pub fn with_pooling(&self, pooling: usize) -> TableWorkload {
+        TableWorkload::new(self.popularity, pooling)
+    }
+
+    /// Builds a seeded generator for this workload.
+    pub fn generator(&self, seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator::new(*self, seed)
+    }
+}
+
+/// A seeded stream of mini-batch index arrays for one table.
+///
+/// Successive calls to [`WorkloadGenerator::next_batch`] advance the RNG,
+/// modelling a training stream; two generators with equal seeds produce
+/// identical streams (which is what lets the baseline and casted training
+/// runs see the same data).
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    spec: TableWorkload,
+    sampler: CdfSampler,
+    rng: SplitMix64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(spec: TableWorkload, seed: u64) -> Self {
+        Self {
+            sampler: spec.popularity().sampler(),
+            spec,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The underlying workload spec.
+    pub fn spec(&self) -> TableWorkload {
+        self.spec
+    }
+
+    /// Generates the next mini-batch's index array
+    /// (`batch * pooling` lookups, `batch` outputs).
+    pub fn next_batch(&mut self, batch: usize) -> IndexArray {
+        let pooling = self.spec.pooling();
+        let n = batch * pooling;
+        let mut src = Vec::with_capacity(n);
+        let mut dst = Vec::with_capacity(n);
+        for b in 0..batch {
+            for _ in 0..pooling {
+                src.push(self.sampler.sample(&mut self.rng));
+                dst.push(b as u32);
+            }
+        }
+        IndexArray::from_pairs(src, dst, batch).expect("generated pairs are in range")
+    }
+
+    /// Generates a *multi-hot* mini-batch: each sample draws a uniform
+    /// pooling count in `[1, 2 * pooling)` (mean ~= the spec's pooling
+    /// factor), modelling variable-length categorical features such as
+    /// Criteo's multi-valued fields and Taobao behaviour histories.
+    pub fn next_batch_multihot(&mut self, batch: usize) -> IndexArray {
+        let pooling = self.spec.pooling();
+        let mut src = Vec::with_capacity(batch * pooling);
+        let mut dst = Vec::with_capacity(batch * pooling);
+        for b in 0..batch {
+            let count = 1 + self.rng.next_below(2 * pooling as u64 - 1) as usize;
+            for _ in 0..count {
+                src.push(self.sampler.sample(&mut self.rng));
+                dst.push(b as u32);
+            }
+        }
+        IndexArray::from_pairs(src, dst, batch).expect("generated pairs are in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TableWorkload {
+        TableWorkload::new(
+            Popularity::Zipf {
+                rows: 5000,
+                exponent: 1.0,
+            },
+            4,
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling factor must be positive")]
+    fn zero_pooling_rejected() {
+        TableWorkload::new(Popularity::Uniform { rows: 10 }, 0);
+    }
+
+    #[test]
+    fn next_batch_shape() {
+        let mut gen = spec().generator(1);
+        let idx = gen.next_batch(64);
+        assert_eq!(idx.num_outputs(), 64);
+        assert_eq!(idx.len(), 64 * 4);
+        assert!(idx.max_src().unwrap() < 5000);
+        // dst slots are 0..64, each appearing `pooling` times.
+        for b in 0..64u32 {
+            assert_eq!(idx.dst().iter().filter(|&&d| d == b).count(), 4);
+        }
+    }
+
+    #[test]
+    fn generators_with_same_seed_agree() {
+        let mut a = spec().generator(9);
+        let mut b = spec().generator(9);
+        assert_eq!(a.next_batch(32), b.next_batch(32));
+        assert_eq!(a.next_batch(32), b.next_batch(32));
+    }
+
+    #[test]
+    fn successive_batches_differ() {
+        let mut gen = spec().generator(3);
+        assert_ne!(gen.next_batch(32), gen.next_batch(32));
+    }
+
+    #[test]
+    fn multihot_batches_have_variable_pooling_with_right_mean() {
+        let mut gen = spec().generator(5);
+        let idx = gen.next_batch_multihot(512);
+        assert_eq!(idx.num_outputs(), 512);
+        // Every sample has at least one lookup.
+        for b in 0..512u32 {
+            assert!(idx.dst().iter().any(|&d| d == b), "sample {b} empty");
+        }
+        // Counts vary (not all equal to the nominal pooling factor).
+        let counts: Vec<usize> = (0..512u32)
+            .map(|b| idx.dst().iter().filter(|&&d| d == b).count())
+            .collect();
+        assert!(counts.iter().any(|&c| c != counts[0]));
+        // Mean lands near the spec's pooling factor (4): E = (1 + 7)/2 = 4.
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - 4.0).abs() < 0.5, "mean pooling {mean}");
+        assert!(idx.max_src().unwrap() < 5000);
+    }
+
+    #[test]
+    fn multihot_is_seeded() {
+        let a = spec().generator(9).next_batch_multihot(64);
+        let b = spec().generator(9).next_batch_multihot(64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_rows_and_pooling_rescale() {
+        let s = spec().with_rows(100).with_pooling(2);
+        assert_eq!(s.rows(), 100);
+        assert_eq!(s.pooling(), 2);
+        let idx = s.generator(0).next_batch(8);
+        assert_eq!(idx.len(), 16);
+        assert!(idx.max_src().unwrap() < 100);
+    }
+}

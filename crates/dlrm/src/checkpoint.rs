@@ -1,0 +1,285 @@
+//! Model checkpointing: save and restore all trainable parameters of a
+//! [`Dlrm`] in a self-describing little-endian binary format.
+//!
+//! Production recommendation training checkpoints constantly (the
+//! embedding tables *are* the model, and they are expensive to retrain);
+//! this module provides that capability without external serialization
+//! dependencies. Format:
+//!
+//! ```text
+//! magic   "TCKP"        4 bytes
+//! version u32           (currently 1)
+//! mlps    2 x MlpBlock  (bottom, top)
+//! tables  u32 count, then per table: rows u32, dim u32, rows*dim f32
+//!
+//! MlpBlock: layers u32, then per layer:
+//!   in u32, out u32, weights in*out f32, bias out f32
+//! ```
+//!
+//! Restores validate every shape against the receiving model, so loading
+//! a checkpoint into a differently-configured model fails cleanly.
+
+use crate::model::Dlrm;
+use std::io::{self, Read, Write};
+use tcast_tensor::{Matrix, Mlp};
+
+const MAGIC: &[u8; 4] = b"TCKP";
+const VERSION: u32 = 1;
+
+/// Errors from writing or reading checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic/version/truncation.
+    Format(String),
+    /// Shape mismatch against the receiving model.
+    Shape(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::Shape(m) => write!(f, "checkpoint shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes all trainable parameters of `model` to `w`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failure.
+pub fn save_checkpoint(w: &mut impl Write, model: &Dlrm) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_mlp(w, model.bottom())?;
+    write_mlp(w, model.top())?;
+    let count = model.num_tables() as u32;
+    w.write_all(&count.to_le_bytes())?;
+    for i in 0..model.num_tables() {
+        let t = model.table(i);
+        w.write_all(&(t.rows() as u32).to_le_bytes())?;
+        w.write_all(&(t.dim() as u32).to_le_bytes())?;
+        write_f32s(w, t.as_slice())?;
+    }
+    Ok(())
+}
+
+/// Restores parameters into `model` from a checkpoint written by
+/// [`save_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] on corruption or
+/// [`CheckpointError::Shape`] when the checkpoint does not match the
+/// model architecture. On a shape error the model may be partially
+/// restored; callers should discard it.
+pub fn load_checkpoint(r: &mut impl Read, model: &mut Dlrm) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)
+        .map_err(|_| CheckpointError::Format("file shorter than header".into()))?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    read_mlp(r, model.bottom_mut())?;
+    read_mlp(r, model.top_mut())?;
+    let count = read_u32(r)? as usize;
+    if count != model.num_tables() {
+        return Err(CheckpointError::Shape(format!(
+            "checkpoint has {count} tables, model has {}",
+            model.num_tables()
+        )));
+    }
+    for i in 0..count {
+        let rows = read_u32(r)? as usize;
+        let dim = read_u32(r)? as usize;
+        let t = model.table_mut(i);
+        if rows != t.rows() || dim != t.dim() {
+            return Err(CheckpointError::Shape(format!(
+                "table {i}: checkpoint {rows}x{dim}, model {}x{}",
+                t.rows(),
+                t.dim()
+            )));
+        }
+        read_f32s(r, t.as_mut_slice())?;
+    }
+    Ok(())
+}
+
+fn write_mlp(w: &mut impl Write, mlp: &Mlp) -> Result<(), CheckpointError> {
+    w.write_all(&(mlp.depth() as u32).to_le_bytes())?;
+    for layer in mlp.layers() {
+        w.write_all(&(layer.in_dim() as u32).to_le_bytes())?;
+        w.write_all(&(layer.out_dim() as u32).to_le_bytes())?;
+        write_f32s(w, layer.weight().as_slice())?;
+        write_f32s(w, layer.bias())?;
+    }
+    Ok(())
+}
+
+fn read_mlp(r: &mut impl Read, mlp: &mut Mlp) -> Result<(), CheckpointError> {
+    let depth = read_u32(r)? as usize;
+    if depth != mlp.depth() {
+        return Err(CheckpointError::Shape(format!(
+            "checkpoint MLP depth {depth}, model {}",
+            mlp.depth()
+        )));
+    }
+    for layer in mlp.layers_mut() {
+        let in_dim = read_u32(r)? as usize;
+        let out_dim = read_u32(r)? as usize;
+        if in_dim != layer.in_dim() || out_dim != layer.out_dim() {
+            return Err(CheckpointError::Shape(format!(
+                "checkpoint layer {in_dim}x{out_dim}, model {}x{}",
+                layer.in_dim(),
+                layer.out_dim()
+            )));
+        }
+        let mut weights = vec![0.0f32; in_dim * out_dim];
+        read_f32s(r, &mut weights)?;
+        let mut bias = vec![0.0f32; out_dim];
+        read_f32s(r, &mut bias)?;
+        let weight = Matrix::from_vec(in_dim, out_dim, weights)
+            .map_err(|e| CheckpointError::Shape(e.to_string()))?;
+        layer
+            .set_parameters(weight, bias)
+            .map_err(|e| CheckpointError::Shape(e.to_string()))?;
+    }
+    Ok(())
+}
+
+fn write_f32s(w: &mut impl Write, vals: &[f32]) -> Result<(), CheckpointError> {
+    for &v in vals {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s(r: &mut impl Read, out: &mut [f32]) -> Result<(), CheckpointError> {
+    let mut buf = [0u8; 4];
+    for v in out {
+        r.read_exact(&mut buf)
+            .map_err(|_| CheckpointError::Format("truncated checkpoint".into()))?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|_| CheckpointError::Format("truncated checkpoint".into()))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DlrmConfig;
+    use crate::trainer::{BackwardMode, Trainer};
+    use tcast_datasets::SyntheticCtr;
+
+    fn trained_model() -> Dlrm {
+        let config = DlrmConfig::tiny();
+        let mut data = SyntheticCtr::new(config.table_workloads(), config.dense_features, 1);
+        let mut trainer = Trainer::new(config, BackwardMode::Baseline, 7).unwrap();
+        for _ in 0..3 {
+            trainer.step(&data.next_batch(16)).unwrap();
+        }
+        // Extract the model by rebuilding a fresh trainer path: easiest is
+        // save from the trainer's model reference via a fresh Dlrm clone
+        // through checkpoint itself; here we just snapshot fields.
+        let mut fresh = Dlrm::new(DlrmConfig::tiny(), 999).unwrap();
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, trainer.model()).unwrap();
+        load_checkpoint(&mut buf.as_slice(), &mut fresh).unwrap();
+        fresh
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &model).unwrap();
+        let mut restored = Dlrm::new(DlrmConfig::tiny(), 123).unwrap();
+        load_checkpoint(&mut buf.as_slice(), &mut restored).unwrap();
+
+        let cfg = DlrmConfig::tiny();
+        let batch =
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 5).next_batch(32);
+        let a = model.predict(&batch.dense, &batch.indices).unwrap();
+        let b = restored.predict(&batch.dense, &batch.indices).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &model).unwrap();
+        buf[0] = b'Z';
+        let mut m = Dlrm::new(DlrmConfig::tiny(), 1).unwrap();
+        assert!(matches!(
+            load_checkpoint(&mut buf.as_slice(), &mut m),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &model).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut m = Dlrm::new(DlrmConfig::tiny(), 1).unwrap();
+        assert!(matches!(
+            load_checkpoint(&mut buf.as_slice(), &mut m),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &model).unwrap();
+        // A model with different table sizes must refuse the checkpoint.
+        let mut other_cfg = DlrmConfig::tiny();
+        other_cfg.tables[0].rows += 1;
+        let mut m = Dlrm::new(other_cfg, 1).unwrap();
+        assert!(matches!(
+            load_checkpoint(&mut buf.as_slice(), &mut m),
+            Err(CheckpointError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CheckpointError::Shape("oops".into());
+        assert!(e.to_string().contains("oops"));
+    }
+}

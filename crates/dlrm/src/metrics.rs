@@ -1,0 +1,160 @@
+//! CTR evaluation metrics: accuracy, ROC-AUC and log-loss over model
+//! scores — the quality-side instrumentation that lets training runs
+//! confirm the paper's premise that Tensor Casting "does not change the
+//! algorithmic nature of SGD training" (identical metrics, not just
+//! identical losses).
+
+use tcast_tensor::Matrix;
+
+/// Binary-classification metrics over a scored batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrMetrics {
+    /// Fraction of correct 0.5-threshold predictions.
+    pub accuracy: f64,
+    /// Area under the ROC curve (0.5 = chance). `None` when the batch is
+    /// single-class.
+    pub auc: Option<f64>,
+    /// Mean binary cross-entropy over probabilities.
+    pub log_loss: f64,
+    /// Number of positive labels.
+    pub positives: usize,
+    /// Number of samples.
+    pub total: usize,
+}
+
+/// Computes metrics from logits and `{0,1}` labels (both `N x 1`).
+///
+/// # Panics
+///
+/// Panics if the shapes differ or are not single-column.
+pub fn evaluate_ctr(logits: &Matrix, labels: &Matrix) -> CtrMetrics {
+    assert_eq!(logits.shape(), labels.shape(), "shape mismatch");
+    assert_eq!(logits.cols(), 1, "expected a single score column");
+    let n = logits.rows();
+    let mut correct = 0usize;
+    let mut positives = 0usize;
+    let mut log_loss = 0.0f64;
+    let mut scored: Vec<(f32, bool)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let z = logits.row(i)[0];
+        let y = labels.row(i)[0] >= 0.5;
+        let p = 1.0 / (1.0 + (-f64::from(z)).exp());
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        log_loss -= if y { p.ln() } else { (1.0 - p).ln() };
+        if (p >= 0.5) == y {
+            correct += 1;
+        }
+        positives += y as usize;
+        scored.push((z, y));
+    }
+    CtrMetrics {
+        accuracy: correct as f64 / n.max(1) as f64,
+        auc: roc_auc(&mut scored),
+        log_loss: log_loss / n.max(1) as f64,
+        positives,
+        total: n,
+    }
+}
+
+/// Rank-based ROC-AUC (equivalent to the Mann-Whitney U statistic), with
+/// proper tie handling via midranks. `None` when only one class present.
+fn roc_auc(scored: &mut [(f32, bool)]) -> Option<f64> {
+    let pos = scored.iter().filter(|(_, y)| *y).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    // Midrank assignment over tied scores.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < scored.len() {
+        let mut j = i;
+        while j < scored.len() && scored[j].0 == scored[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; tied block [i, j) all get the midrank.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for item in scored.iter().take(j).skip(i) {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    Some(u / (pos as f64 * neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(vals: &[f32]) -> Matrix {
+        Matrix::from_vec(vals.len(), 1, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let logits = m(&[5.0, 4.0, -4.0, -5.0]);
+        let labels = m(&[1.0, 1.0, 0.0, 0.0]);
+        let metrics = evaluate_ctr(&logits, &labels);
+        assert_eq!(metrics.accuracy, 1.0);
+        assert_eq!(metrics.auc, Some(1.0));
+        assert!(metrics.log_loss < 0.05);
+        assert_eq!(metrics.positives, 2);
+        assert_eq!(metrics.total, 4);
+    }
+
+    #[test]
+    fn inverted_classifier_has_zero_auc() {
+        let logits = m(&[-5.0, 5.0]);
+        let labels = m(&[1.0, 0.0]);
+        let metrics = evaluate_ctr(&logits, &labels);
+        assert_eq!(metrics.auc, Some(0.0));
+        assert_eq!(metrics.accuracy, 0.0);
+    }
+
+    #[test]
+    fn constant_scores_give_half_auc() {
+        let logits = m(&[0.0, 0.0, 0.0, 0.0]);
+        let labels = m(&[1.0, 0.0, 1.0, 0.0]);
+        let metrics = evaluate_ctr(&logits, &labels);
+        assert_eq!(metrics.auc, Some(0.5));
+        // At p=0.5, BCE = ln 2.
+        assert!((metrics.log_loss - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_class_has_no_auc() {
+        let logits = m(&[1.0, 2.0]);
+        let labels = m(&[1.0, 1.0]);
+        assert_eq!(evaluate_ctr(&logits, &labels).auc, None);
+    }
+
+    #[test]
+    fn auc_with_ties_uses_midranks() {
+        // Scores: pos {2, 1}, neg {1, 0}. The tie at 1 contributes 0.5.
+        let logits = m(&[2.0, 1.0, 1.0, 0.0]);
+        let labels = m(&[1.0, 1.0, 0.0, 0.0]);
+        let metrics = evaluate_ctr(&logits, &labels);
+        // pairs: (2>1)=1, (2>0)=1, (1=1)=0.5, (1>0)=1 -> 3.5/4.
+        assert!((metrics.auc.unwrap() - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        evaluate_ctr(&m(&[1.0]), &m(&[1.0, 0.0]));
+    }
+
+    #[test]
+    fn auc_is_threshold_free() {
+        // Shifting all logits by a constant changes accuracy but not AUC.
+        let labels = m(&[1.0, 0.0, 1.0, 0.0]);
+        let a = evaluate_ctr(&m(&[3.0, -1.0, 2.0, -2.0]), &labels);
+        let b = evaluate_ctr(&m(&[13.0, 9.0, 12.0, 8.0]), &labels);
+        assert_eq!(a.auc, b.auc);
+        assert!(a.accuracy > b.accuracy);
+    }
+}

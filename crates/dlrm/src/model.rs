@@ -1,0 +1,263 @@
+//! The DLRM model: Fig. 1's topology over this repository's kernels.
+
+use crate::config::DlrmConfig;
+use tcast_embedding::{gather_reduce, EmbeddingError, EmbeddingTable, IndexArray};
+use tcast_tensor::{Activation, FeatureInteraction, Matrix, Mlp, ShapeError};
+
+/// A DLRM model instance: bottom MLP, embedding tables, feature
+/// interaction, top MLP.
+///
+/// `forward`/`backward` handle the dense parts and the embedding
+/// *forward*; the embedding *backward* (the subject of the paper) is
+/// orchestrated by the [`crate::Trainer`], which owns the choice between
+/// the baseline and casted paths.
+#[derive(Debug)]
+pub struct Dlrm {
+    config: DlrmConfig,
+    bottom: Mlp,
+    top: Mlp,
+    interaction: FeatureInteraction,
+    tables: Vec<EmbeddingTable>,
+}
+
+impl Dlrm {
+    /// Builds a model with seeded initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::InvalidIndex`] when the configuration is
+    /// inconsistent (see [`DlrmConfig::validate`]).
+    pub fn new(config: DlrmConfig, seed: u64) -> Result<Self, EmbeddingError> {
+        config.validate().map_err(EmbeddingError::InvalidIndex)?;
+        let bottom = Mlp::new(
+            config.dense_features,
+            &config.bottom_mlp,
+            Activation::Relu,
+            seed,
+        )
+        .map_err(EmbeddingError::from)?;
+        let m = config.tables.len() + 1;
+        let interaction_dim = match config.interaction {
+            tcast_tensor::InteractionKind::Dot => config.embedding_dim + m * (m - 1) / 2,
+            tcast_tensor::InteractionKind::Concat => config.embedding_dim * m,
+        };
+        let top = Mlp::new(interaction_dim, &config.top_mlp, Activation::Relu, seed ^ 0xA5A5)
+            .map_err(EmbeddingError::from)?;
+        let tables = config
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                EmbeddingTable::seeded(t.rows, config.embedding_dim, seed.wrapping_add(i as u64))
+            })
+            .collect();
+        Ok(Self {
+            interaction: FeatureInteraction::new(config.interaction),
+            config,
+            bottom,
+            top,
+            tables,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// Immutable access to an embedding table.
+    pub fn table(&self, i: usize) -> &EmbeddingTable {
+        &self.tables[i]
+    }
+
+    /// Mutable access to an embedding table (used by the trainer's
+    /// scatter phase).
+    pub fn table_mut(&mut self, i: usize) -> &mut EmbeddingTable {
+        &mut self.tables[i]
+    }
+
+    /// Number of embedding tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Immutable access to the bottom MLP.
+    pub fn bottom(&self) -> &Mlp {
+        &self.bottom
+    }
+
+    /// Mutable access to the bottom MLP (checkpoint restore).
+    pub fn bottom_mut(&mut self) -> &mut Mlp {
+        &mut self.bottom
+    }
+
+    /// Immutable access to the top MLP.
+    pub fn top(&self) -> &Mlp {
+        &self.top
+    }
+
+    /// Mutable access to the top MLP (checkpoint restore).
+    pub fn top_mut(&mut self) -> &mut Mlp {
+        &mut self.top
+    }
+
+    /// Total trainable parameters (MLPs + embeddings).
+    pub fn parameter_count(&self) -> usize {
+        self.bottom.parameter_count()
+            + self.top.parameter_count()
+            + self.config.embedding_parameters()
+    }
+
+    /// Embedding forward: per-table fused gather-reduce.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if index arrays are out of range or their count
+    /// differs from the table count.
+    pub fn embedding_forward(
+        &self,
+        indices: &[IndexArray],
+    ) -> Result<Vec<Matrix>, EmbeddingError> {
+        if indices.len() != self.tables.len() {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: self.tables.len(),
+                found: indices.len(),
+            });
+        }
+        self.tables
+            .iter()
+            .zip(indices.iter())
+            .map(|(t, idx)| gather_reduce(t, idx))
+            .collect()
+    }
+
+    /// Dense forward: bottom MLP, interaction, top MLP; returns logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on dimension mismatches.
+    pub fn dense_forward(
+        &mut self,
+        dense: &Matrix,
+        pooled: &[Matrix],
+    ) -> Result<Matrix, ShapeError> {
+        let bottom_out = self.bottom.forward(dense)?;
+        let z = self.interaction.forward(&bottom_out, pooled)?;
+        self.top.forward(&z)
+    }
+
+    /// Dense backward: from `d(logits)` to the gradient of each pooled
+    /// embedding (the tensors the embedding backward consumes), leaving
+    /// MLP gradients cached inside the layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no forward pass preceded this call.
+    pub fn dense_backward(&mut self, dlogits: &Matrix) -> Result<Vec<Matrix>, ShapeError> {
+        let dz = self.top.backward(dlogits)?;
+        let (ddense, dpooled) = self.interaction.backward(&dz)?;
+        self.bottom.backward(&ddense)?;
+        Ok(dpooled)
+    }
+
+    /// Applies cached MLP gradients with SGD.
+    pub fn apply_dense_update(&mut self, lr: f32) {
+        self.bottom.apply_update(lr);
+        self.top.apply_update(lr);
+    }
+
+    /// Inference: logits for a batch (no caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    pub fn predict(
+        &self,
+        dense: &Matrix,
+        indices: &[IndexArray],
+    ) -> Result<Matrix, EmbeddingError> {
+        let pooled = self.embedding_forward(indices)?;
+        let bottom_out = self.bottom.forward_inference(dense)?;
+        let mut interaction = FeatureInteraction::new(self.config.interaction);
+        let z = interaction.forward(&bottom_out, &pooled)?;
+        Ok(self.top.forward_inference(&z)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast_datasets::SyntheticCtr;
+
+    fn model() -> Dlrm {
+        Dlrm::new(DlrmConfig::tiny(), 7).unwrap()
+    }
+
+    fn batch(n: usize) -> tcast_datasets::CtrBatch {
+        let cfg = DlrmConfig::tiny();
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 3).next_batch(n)
+    }
+
+    #[test]
+    fn construction_validates_config() {
+        let mut bad = DlrmConfig::tiny();
+        bad.embedding_dim = 5;
+        assert!(Dlrm::new(bad, 0).is_err());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = model();
+        let b = batch(16);
+        let pooled = m.embedding_forward(&b.indices).unwrap();
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0].shape(), (16, 16));
+        let logits = m.dense_forward(&b.dense, &pooled).unwrap();
+        assert_eq!(logits.shape(), (16, 1));
+    }
+
+    #[test]
+    fn backward_produces_per_table_gradients() {
+        let mut m = model();
+        let b = batch(8);
+        let pooled = m.embedding_forward(&b.indices).unwrap();
+        let logits = m.dense_forward(&b.dense, &pooled).unwrap();
+        let dlogits = Matrix::filled(8, 1, 0.1);
+        let _ = logits;
+        let dpooled = m.dense_backward(&dlogits).unwrap();
+        assert_eq!(dpooled.len(), 2);
+        assert_eq!(dpooled[0].shape(), (8, 16));
+        // Gradients should not be all-zero.
+        assert!(dpooled[0].frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn wrong_index_count_rejected() {
+        let m = model();
+        let b = batch(4);
+        assert!(m.embedding_forward(&b.indices[..1]).is_err());
+    }
+
+    #[test]
+    fn predict_matches_training_forward() {
+        let mut m = model();
+        let b = batch(4);
+        let pooled = m.embedding_forward(&b.indices).unwrap();
+        let train_logits = m.dense_forward(&b.dense, &pooled).unwrap();
+        let infer_logits = m.predict(&b.dense, &b.indices).unwrap();
+        assert!(train_logits.max_abs_diff(&infer_logits).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn parameter_count_is_consistent() {
+        let m = model();
+        assert!(m.parameter_count() > m.config().embedding_parameters());
+    }
+
+    #[test]
+    fn seeded_models_are_identical() {
+        let a = Dlrm::new(DlrmConfig::tiny(), 9).unwrap();
+        let b = Dlrm::new(DlrmConfig::tiny(), 9).unwrap();
+        assert_eq!(a.table(0).max_abs_diff(b.table(0)).unwrap(), 0.0);
+    }
+}

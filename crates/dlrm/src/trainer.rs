@@ -1,0 +1,448 @@
+//! The instrumented training loop: baseline vs. Tensor-Casting backward,
+//! with per-phase wall-clock timings (the repository's Fig. 4/12
+//! real-system measurement harness).
+
+use std::time::{Duration, Instant};
+
+use crate::config::DlrmConfig;
+use crate::model::Dlrm;
+use crate::metrics::{evaluate_ctr, CtrMetrics};
+use tcast_core::{casted_gather_reduce, CastingPipeline};
+use tcast_datasets::CtrBatch;
+use tcast_embedding::{
+    gradient_coalesce, gradient_expand,
+    optim::{Adagrad, RmsProp, Sgd, SparseOptimizer},
+    scatter_apply, EmbeddingError,
+};
+use tcast_tensor::{bce_with_logits, bce_with_logits_backward};
+
+/// Which embedding-backward implementation the trainer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackwardMode {
+    /// Gradient expand → coalesce (Algorithm 1) → scatter.
+    Baseline,
+    /// Tensor Casting: pipeline-precomputed casted arrays + fused casted
+    /// gather-reduce (Algorithms 2-3) → scatter.
+    Casted,
+}
+
+/// Wall-clock time of each training phase, one mini-batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Embedding gather-reduce (forward).
+    pub fwd_gather: Duration,
+    /// Bottom MLP + interaction + top MLP (forward).
+    pub fwd_dnn: Duration,
+    /// Top/bottom MLP + interaction backward.
+    pub bwd_dnn: Duration,
+    /// Baseline: expand + coalesce. Casted: exposed wait for the casted
+    /// arrays + the fused casted gather-reduce.
+    pub bwd_embedding: Duration,
+    /// Scatter / optimizer update of the tables.
+    pub bwd_scatter: Duration,
+}
+
+impl PhaseTimings {
+    /// Total measured time.
+    pub fn total(&self) -> Duration {
+        self.fwd_gather + self.fwd_dnn + self.bwd_dnn + self.bwd_embedding + self.bwd_scatter
+    }
+
+    /// Fraction of time in embedding backpropagation (the paper's 62-92%
+    /// characterization).
+    pub fn embedding_backward_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.bwd_embedding + self.bwd_scatter).as_secs_f64() / total
+    }
+}
+
+/// Result of one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Mini-batch BCE loss.
+    pub loss: f32,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+/// Which optimizer updates the embedding tables.
+///
+/// Section II-B's point is that *all* of these need coalesced gradients;
+/// the trainer keeps one optimizer instance per table so stateful
+/// accumulators never alias across tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmbeddingOptimizer {
+    /// Plain SGD (the default).
+    Sgd,
+    /// Adagrad (the paper's Eq. 2).
+    Adagrad {
+        /// Stabilizer epsilon.
+        eps: f32,
+    },
+    /// RMSprop (the paper's Eq. 1).
+    RmsProp {
+        /// Accumulator decay.
+        gamma: f32,
+        /// Stabilizer epsilon.
+        eps: f32,
+    },
+}
+
+impl EmbeddingOptimizer {
+    fn build(&self, lr: f32) -> Box<dyn SparseOptimizer> {
+        match *self {
+            EmbeddingOptimizer::Sgd => Box::new(Sgd::new(lr)),
+            EmbeddingOptimizer::Adagrad { eps } => Box::new(Adagrad::new(lr, eps)),
+            EmbeddingOptimizer::RmsProp { gamma, eps } => Box::new(RmsProp::new(lr, gamma, eps)),
+        }
+    }
+}
+
+/// An instrumented DLRM trainer.
+pub struct Trainer {
+    model: Dlrm,
+    mode: BackwardMode,
+    lr: f32,
+    pipeline: Option<CastingPipeline>,
+    table_optimizers: Vec<Box<dyn SparseOptimizer>>,
+    steps: u64,
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("mode", &self.mode)
+            .field("lr", &self.lr)
+            .field("steps", &self.steps)
+            .field(
+                "optimizer",
+                &self.table_optimizers.first().map(|o| o.name()),
+            )
+            .finish()
+    }
+}
+
+impl Trainer {
+    /// Builds a trainer over a fresh model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: DlrmConfig, mode: BackwardMode, seed: u64) -> Result<Self, EmbeddingError> {
+        Self::with_optimizer(config, mode, EmbeddingOptimizer::Sgd, seed)
+    }
+
+    /// Builds a trainer with an explicit embedding optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn with_optimizer(
+        config: DlrmConfig,
+        mode: BackwardMode,
+        optimizer: EmbeddingOptimizer,
+        seed: u64,
+    ) -> Result<Self, EmbeddingError> {
+        let lr = 0.05;
+        let model = Dlrm::new(config, seed)?;
+        let pipeline = match mode {
+            BackwardMode::Casted => Some(CastingPipeline::new()),
+            BackwardMode::Baseline => None,
+        };
+        let table_optimizers = (0..model.num_tables())
+            .map(|_| optimizer.build(lr))
+            .collect();
+        Ok(Self {
+            model,
+            mode,
+            lr,
+            pipeline,
+            table_optimizers,
+            steps: 0,
+        })
+    }
+
+    /// Sets the (shared) learning rate. Defaults to 0.05.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after training started: stateful embedding
+    /// optimizers bake the rate into their per-row state.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert_eq!(self.steps, 0, "set the learning rate before training");
+        self.lr = lr;
+        // Rebuild stateless/per-rate optimizer instances. The concrete
+        // kind is recoverable from the first instance's name.
+        let kind = match self.table_optimizers.first().map(|o| o.name()) {
+            Some("adagrad") => EmbeddingOptimizer::Adagrad { eps: 1e-8 },
+            Some("rmsprop") => EmbeddingOptimizer::RmsProp { gamma: 0.9, eps: 1e-8 },
+            _ => EmbeddingOptimizer::Sgd,
+        };
+        self.table_optimizers = (0..self.model.num_tables())
+            .map(|_| kind.build(lr))
+            .collect();
+    }
+
+    /// The backward mode in use.
+    pub fn mode(&self) -> BackwardMode {
+        self.mode
+    }
+
+    /// Immutable model access.
+    pub fn model(&self) -> &Dlrm {
+        &self.model
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs one training step and reports loss + phase timings.
+    ///
+    /// In casted mode the index arrays are submitted to the casting
+    /// pipeline *before* forward propagation begins, exactly as the
+    /// Section IV-B runtime ships them to the GPU; the backward phase
+    /// then blocks only on whatever casting latency was not hidden.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies in the batch.
+    pub fn step(&mut self, batch: &CtrBatch) -> Result<StepReport, EmbeddingError> {
+        // Kick off casting first: its inputs exist before forward starts.
+        let ticket = self
+            .pipeline
+            .as_mut()
+            .map(|p| p.submit(batch.indices.clone()));
+
+        // FWD (Gather).
+        let t0 = Instant::now();
+        let pooled = self.model.embedding_forward(&batch.indices)?;
+        let fwd_gather = t0.elapsed();
+
+        // FWD (DNN) + loss.
+        let t0 = Instant::now();
+        let logits = self.model.dense_forward(&batch.dense, &pooled)?;
+        let loss = bce_with_logits(&logits, &batch.labels)?;
+        let dlogits = bce_with_logits_backward(&logits, &batch.labels)?;
+        let fwd_dnn = t0.elapsed();
+
+        // BWD (DNN).
+        let t0 = Instant::now();
+        let dpooled = self.model.dense_backward(&dlogits)?;
+        self.model.apply_dense_update(self.lr);
+        let bwd_dnn = t0.elapsed();
+
+        // BWD (embedding): baseline expand-coalesce or casted gather-reduce.
+        let t0 = Instant::now();
+        let coalesced: Vec<_> = match self.mode {
+            BackwardMode::Baseline => batch
+                .indices
+                .iter()
+                .zip(dpooled.iter())
+                .map(|(idx, grads)| {
+                    let expanded = gradient_expand(grads, idx)?;
+                    gradient_coalesce(&expanded, idx)
+                })
+                .collect::<Result<_, _>>()?,
+            BackwardMode::Casted => {
+                let casted = self
+                    .pipeline
+                    .as_mut()
+                    .expect("casted mode has a pipeline")
+                    .collect(ticket.expect("ticket issued"));
+                casted
+                    .iter()
+                    .zip(dpooled.iter())
+                    .map(|(c, grads)| casted_gather_reduce(grads, c))
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        let bwd_embedding = t0.elapsed();
+
+        // BWD (Scatter): sparse optimizer update per table.
+        let t0 = Instant::now();
+        for (i, c) in coalesced.iter().enumerate() {
+            scatter_apply(
+                self.model.table_mut(i),
+                c,
+                self.table_optimizers[i].as_mut(),
+            )?;
+        }
+        let bwd_scatter = t0.elapsed();
+
+        self.steps += 1;
+        Ok(StepReport {
+            loss,
+            timings: PhaseTimings {
+                fwd_gather,
+                fwd_dnn,
+                bwd_dnn,
+                bwd_embedding,
+                bwd_scatter,
+            },
+        })
+    }
+
+    /// Evaluates mean BCE loss on a batch without training.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies.
+    pub fn evaluate(&self, batch: &CtrBatch) -> Result<f32, EmbeddingError> {
+        let logits = self.model.predict(&batch.dense, &batch.indices)?;
+        Ok(bce_with_logits(&logits, &batch.labels)?)
+    }
+
+    /// Evaluates CTR quality metrics (accuracy/AUC/log-loss) on a batch
+    /// without training.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies.
+    pub fn evaluate_metrics(&self, batch: &CtrBatch) -> Result<CtrMetrics, EmbeddingError> {
+        let logits = self.model.predict(&batch.dense, &batch.indices)?;
+        Ok(evaluate_ctr(&logits, &batch.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast_datasets::SyntheticCtr;
+
+    fn data(seed: u64) -> SyntheticCtr {
+        let cfg = DlrmConfig::tiny();
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, seed)
+    }
+
+    #[test]
+    fn one_step_produces_finite_loss_and_timings() {
+        let mut t = Trainer::new(DlrmConfig::tiny(), BackwardMode::Baseline, 1).unwrap();
+        let r = t.step(&data(2).next_batch(32)).unwrap();
+        assert!(r.loss.is_finite() && r.loss > 0.0);
+        assert!(r.timings.total() > Duration::ZERO);
+        assert_eq!(t.steps(), 1);
+    }
+
+    #[test]
+    fn both_modes_produce_identical_trajectories() {
+        // THE paper validation: Tensor Casting "does not change the
+        // algorithmic nature of SGD training".
+        let mut baseline = Trainer::new(DlrmConfig::tiny(), BackwardMode::Baseline, 5).unwrap();
+        let mut casted = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 5).unwrap();
+        let mut stream_a = data(9);
+        let mut stream_b = data(9);
+        for step in 0..5 {
+            let ra = baseline.step(&stream_a.next_batch(24)).unwrap();
+            let rb = casted.step(&stream_b.next_batch(24)).unwrap();
+            assert_eq!(ra.loss, rb.loss, "loss diverged at step {step}");
+        }
+        for i in 0..baseline.model().num_tables() {
+            let diff = baseline
+                .model()
+                .table(i)
+                .max_abs_diff(casted.model().table(i))
+                .unwrap();
+            assert_eq!(diff, 0.0, "table {i} diverged");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_planted_data() {
+        let mut t = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 11).unwrap();
+        t.set_learning_rate(0.1);
+        // Held-out batch from the SAME planted model as the training
+        // stream (a different seed would be a different ground truth).
+        let mut stream = data(13);
+        let eval_batch = stream.next_batch(512);
+        let before = t.evaluate(&eval_batch).unwrap();
+        for _ in 0..60 {
+            t.step(&stream.next_batch(64)).unwrap();
+        }
+        let after = t.evaluate(&eval_batch).unwrap();
+        assert!(
+            after < before - 0.02,
+            "loss must improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn phase_timings_accessors() {
+        let timings = PhaseTimings {
+            fwd_gather: Duration::from_millis(10),
+            fwd_dnn: Duration::from_millis(5),
+            bwd_dnn: Duration::from_millis(5),
+            bwd_embedding: Duration::from_millis(50),
+            bwd_scatter: Duration::from_millis(30),
+        };
+        assert_eq!(timings.total(), Duration::from_millis(100));
+        assert!((timings.embedding_backward_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adagrad_trajectories_also_match_across_modes() {
+        // Stateful optimizers are WHY coalescing matters (Section II-B);
+        // the casted path must preserve their trajectories too.
+        let mk = |mode| {
+            Trainer::with_optimizer(
+                DlrmConfig::tiny(),
+                mode,
+                EmbeddingOptimizer::Adagrad { eps: 1e-8 },
+                21,
+            )
+            .unwrap()
+        };
+        let mut base = mk(BackwardMode::Baseline);
+        let mut cast = mk(BackwardMode::Casted);
+        let mut sa = data(33);
+        let mut sb = data(33);
+        for _ in 0..4 {
+            let ra = base.step(&sa.next_batch(16)).unwrap();
+            let rb = cast.step(&sb.next_batch(16)).unwrap();
+            assert_eq!(ra.loss, rb.loss);
+        }
+        for i in 0..base.model().num_tables() {
+            assert_eq!(
+                base.model().table(i).max_abs_diff(cast.model().table(i)).unwrap(),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_improve_with_training() {
+        let mut t = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 2).unwrap();
+        t.set_learning_rate(0.1);
+        let mut stream = data(44);
+        let eval = stream.next_batch(512);
+        let before = t.evaluate_metrics(&eval).unwrap();
+        for _ in 0..60 {
+            t.step(&stream.next_batch(64)).unwrap();
+        }
+        let after = t.evaluate_metrics(&eval).unwrap();
+        assert!(after.log_loss < before.log_loss);
+        assert!(after.auc.unwrap() > before.auc.unwrap());
+        assert!(after.auc.unwrap() > 0.55, "AUC {:?}", after.auc);
+    }
+
+    #[test]
+    #[should_panic(expected = "before training")]
+    fn learning_rate_locked_after_first_step() {
+        let mut t = Trainer::new(DlrmConfig::tiny(), BackwardMode::Baseline, 1).unwrap();
+        t.step(&data(2).next_batch(8)).unwrap();
+        t.set_learning_rate(0.2);
+    }
+
+    #[test]
+    fn evaluate_does_not_train() {
+        let t = Trainer::new(DlrmConfig::tiny(), BackwardMode::Baseline, 3).unwrap();
+        let batch = data(4).next_batch(16);
+        let a = t.evaluate(&batch).unwrap();
+        let b = t.evaluate(&batch).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-bank and per-rank timing state machines.
+
+use std::collections::VecDeque;
+
+/// One DRAM bank: its open row and the earliest cycle each command class
+/// may next be issued to it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bank {
+    /// The row currently latched in the row buffer, if any.
+    pub open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue (tRC from the last ACT, tRP from
+    /// the last PRE, refresh blackout).
+    pub next_act: u64,
+    /// Earliest cycle a PRE may issue (tRAS from ACT, tRTP from READ,
+    /// write recovery from WRITE).
+    pub next_pre: u64,
+    /// Earliest cycle a column command may issue (tRCD from ACT).
+    pub next_col: u64,
+}
+
+/// Rank-scope timing state: activation throttles (tRRD/tFAW), column
+/// cadences (tCCD) and bus-turnaround constraints, plus refresh.
+#[derive(Debug, Clone)]
+pub(crate) struct RankState {
+    pub banks: Vec<Bank>,
+    /// Earliest ACT to *any* bank (tRRD_S).
+    pub next_act_any: u64,
+    /// Earliest ACT per bank group (tRRD_L).
+    pub next_act_group: Vec<u64>,
+    /// Issue cycles of up to the last 4 ACTs (tFAW window).
+    pub act_window: VecDeque<u64>,
+    /// Earliest READ to any bank (tCCD_S, write-to-read turnaround).
+    pub next_rd_any: u64,
+    /// Earliest READ per bank group (tCCD_L, tWTR_L).
+    pub next_rd_group: Vec<u64>,
+    /// Earliest WRITE to any bank (tCCD_S, read-to-write turnaround).
+    pub next_wr_any: u64,
+    /// Earliest WRITE per bank group (tCCD_L).
+    pub next_wr_group: Vec<u64>,
+    /// Next scheduled refresh.
+    pub next_refresh: u64,
+}
+
+impl RankState {
+    pub fn new(bankgroups: usize, banks_per_group: usize, trefi: u64) -> Self {
+        Self {
+            banks: vec![Bank::default(); bankgroups * banks_per_group],
+            next_act_any: 0,
+            next_act_group: vec![0; bankgroups],
+            act_window: VecDeque::with_capacity(4),
+            next_rd_any: 0,
+            next_rd_group: vec![0; bankgroups],
+            next_wr_any: 0,
+            next_wr_group: vec![0; bankgroups],
+            next_refresh: trefi,
+        }
+    }
+
+    /// Earliest cycle tFAW admits another ACT.
+    pub fn faw_ready_at(&self, tfaw: u64) -> u64 {
+        if self.act_window.len() < 4 {
+            0
+        } else {
+            self.act_window.front().copied().unwrap_or(0) + tfaw
+        }
+    }
+
+    /// Records an ACT at `cycle` in the tFAW window.
+    pub fn record_act(&mut self, cycle: u64) {
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_closed_and_ready() {
+        let b = Bank::default();
+        assert!(b.open_row.is_none());
+        assert_eq!(b.next_act, 0);
+    }
+
+    #[test]
+    fn faw_window_tracks_last_four_acts() {
+        let mut r = RankState::new(4, 4, 1000);
+        assert_eq!(r.faw_ready_at(34), 0);
+        for c in [10, 20, 30, 40] {
+            r.record_act(c);
+        }
+        // Window full: next ACT must wait for oldest + tFAW.
+        assert_eq!(r.faw_ready_at(34), 10 + 34);
+        r.record_act(50);
+        // Oldest (10) evicted; now keyed to 20.
+        assert_eq!(r.faw_ready_at(34), 20 + 34);
+        assert_eq!(r.act_window.len(), 4);
+    }
+
+    #[test]
+    fn rank_state_geometry() {
+        let r = RankState::new(4, 4, 1000);
+        assert_eq!(r.banks.len(), 16);
+        assert_eq!(r.next_act_group.len(), 4);
+        assert_eq!(r.next_refresh, 1000);
+    }
+}

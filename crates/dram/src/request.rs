@@ -1,0 +1,54 @@
+//! Memory requests: 64 B block reads and writes.
+
+/// Whether a request loads or stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// 64 B load.
+    Read,
+    /// 64 B store.
+    Write,
+}
+
+/// One 64 B memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// 64 B block id (byte address >> 6).
+    pub block: u64,
+    /// Load or store.
+    pub access: AccessType,
+}
+
+impl Request {
+    /// A read of block `block`.
+    pub fn read(block: u64) -> Self {
+        Self {
+            block,
+            access: AccessType::Read,
+        }
+    }
+
+    /// A write of block `block`.
+    pub fn write(block: u64) -> Self {
+        Self {
+            block,
+            access: AccessType::Write,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        self.access == AccessType::Read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(Request::read(5).is_read());
+        assert!(!Request::write(5).is_read());
+        assert_eq!(Request::read(5).block, 5);
+    }
+}

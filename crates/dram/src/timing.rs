@@ -1,0 +1,148 @@
+//! DDR4 timing parameter sets.
+//!
+//! All values are in memory-clock cycles (one cycle = two data beats on
+//! the DDR bus). Presets follow JEDEC DDR4 speed-bin tables; minor
+//! vendor-to-vendor variation does not affect any qualitative result.
+
+/// DDR4 timing parameters, in memory-clock cycles unless noted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingParams {
+    /// Clock period in picoseconds (e.g. 625 ps for DDR4-3200).
+    pub tck_ps: u64,
+    /// CAS (read) latency.
+    pub cl: u64,
+    /// CAS write latency.
+    pub cwl: u64,
+    /// ACT to internal read/write delay.
+    pub trcd: u64,
+    /// Precharge period.
+    pub trp: u64,
+    /// ACT to PRE minimum.
+    pub tras: u64,
+    /// ACT to ACT, same bank.
+    pub trc: u64,
+    /// CAS to CAS, different bank group.
+    pub tccd_s: u64,
+    /// CAS to CAS, same bank group.
+    pub tccd_l: u64,
+    /// ACT to ACT, different bank group (same rank).
+    pub trrd_s: u64,
+    /// ACT to ACT, same bank group (same rank).
+    pub trrd_l: u64,
+    /// Four-activate window.
+    pub tfaw: u64,
+    /// Write recovery time (end of write burst to PRE).
+    pub twr: u64,
+    /// Write-to-read turnaround, different bank group.
+    pub twtr_s: u64,
+    /// Write-to-read turnaround, same bank group.
+    pub twtr_l: u64,
+    /// Read to PRE.
+    pub trtp: u64,
+    /// Average refresh interval.
+    pub trefi: u64,
+    /// Refresh cycle time (8 Gb device).
+    pub trfc: u64,
+    /// Burst length in beats (8 for DDR4).
+    pub burst_length: u64,
+}
+
+impl TimingParams {
+    /// DDR4-3200AA (22-22-22): 25.6 GB/s per 64-bit channel — the paper's
+    /// per-rank bandwidth in Table I.
+    pub fn ddr4_3200() -> Self {
+        Self {
+            tck_ps: 625,
+            cl: 22,
+            cwl: 16,
+            trcd: 22,
+            trp: 22,
+            tras: 52,
+            trc: 74,
+            tccd_s: 4,
+            tccd_l: 8,
+            trrd_s: 4,
+            trrd_l: 8,
+            tfaw: 34,
+            twr: 24,
+            twtr_s: 4,
+            twtr_l: 12,
+            trtp: 12,
+            trefi: 12_480,
+            trfc: 560,
+            burst_length: 8,
+        }
+    }
+
+    /// DDR4-2400R (16-16-16): 19.2 GB/s per channel — a capacity-optimized
+    /// LRDIMM operating point.
+    pub fn ddr4_2400() -> Self {
+        Self {
+            tck_ps: 833,
+            cl: 16,
+            cwl: 12,
+            trcd: 16,
+            trp: 16,
+            tras: 39,
+            trc: 55,
+            tccd_s: 4,
+            tccd_l: 6,
+            trrd_s: 4,
+            trrd_l: 6,
+            tfaw: 26,
+            twr: 18,
+            twtr_s: 3,
+            twtr_l: 9,
+            trtp: 9,
+            trefi: 9_360,
+            trfc: 420,
+            burst_length: 8,
+        }
+    }
+
+    /// Data-bus cycles occupied by one burst (`burst_length / 2`, DDR).
+    pub fn burst_cycles(&self) -> u64 {
+        self.burst_length / 2
+    }
+
+    /// Peak bytes per memory cycle for a 64-bit channel (2 beats x 8 B).
+    pub fn peak_bytes_per_cycle(&self) -> u64 {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_3200_sanity() {
+        let t = TimingParams::ddr4_3200();
+        // JEDEC identities: tRC = tRAS + tRP (approximately, by spec).
+        assert_eq!(t.trc, t.tras + t.trp);
+        assert!(t.tccd_l > t.tccd_s);
+        assert!(t.trrd_l >= t.trrd_s);
+        assert!(t.tfaw >= 4 * t.trrd_s);
+        assert_eq!(t.burst_cycles(), 4);
+    }
+
+    #[test]
+    fn ddr4_2400_sanity() {
+        let t = TimingParams::ddr4_2400();
+        assert_eq!(t.trc, t.tras + t.trp);
+        assert!(t.cl >= t.cwl);
+    }
+
+    #[test]
+    fn faster_bin_has_shorter_clock() {
+        assert!(TimingParams::ddr4_3200().tck_ps < TimingParams::ddr4_2400().tck_ps);
+    }
+
+    #[test]
+    fn refresh_overhead_is_single_digit_percent() {
+        for t in [TimingParams::ddr4_3200(), TimingParams::ddr4_2400()] {
+            let overhead = t.trfc as f64 / t.trefi as f64;
+            assert!(overhead > 0.02 && overhead < 0.08, "overhead {overhead}");
+        }
+    }
+}

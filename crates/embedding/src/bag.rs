@@ -1,0 +1,271 @@
+//! A collection of embedding tables managed as one unit — the
+//! `EmbeddingBagCollection`-style API recommendation frameworks expose,
+//! and what a DLRM model's sparse half actually is (Table II:
+//! 10-40 tables trained together).
+
+use crate::coalesce::{gradient_expand_coalesce, CoalescedGradients};
+use crate::error::EmbeddingError;
+use crate::gather::gather_reduce;
+use crate::index::IndexArray;
+use crate::optim::SparseOptimizer;
+use crate::scatter::scatter_apply;
+use crate::table::EmbeddingTable;
+use tcast_tensor::Matrix;
+
+/// A set of embedding tables with a shared dimension, batched forward /
+/// backward, and per-table optimizer state.
+///
+/// ```
+/// use tcast_embedding::{EmbeddingBagCollection, IndexArray, optim::Sgd};
+/// use tcast_tensor::Matrix;
+///
+/// # fn main() -> Result<(), tcast_embedding::EmbeddingError> {
+/// let mut bags = EmbeddingBagCollection::seeded(&[100, 50], 8, 42)?;
+/// let indices = vec![
+///     IndexArray::from_samples(&[vec![3, 7], vec![1]])?,
+///     IndexArray::from_samples(&[vec![0], vec![49]])?,
+/// ];
+/// let pooled = bags.forward(&indices)?;          // one matrix per table
+/// assert_eq!(pooled.len(), 2);
+/// let grads = vec![Matrix::filled(2, 8, 0.1), Matrix::filled(2, 8, 0.2)];
+/// bags.backward_apply(&indices, &grads, &mut Sgd::new(0.01))?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingBagCollection {
+    tables: Vec<EmbeddingTable>,
+    dim: usize,
+}
+
+impl EmbeddingBagCollection {
+    /// Creates a collection with seeded tables of the given row counts,
+    /// all `dim` wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::InvalidIndex`] when `rows` is empty.
+    pub fn seeded(rows: &[usize], dim: usize, seed: u64) -> Result<Self, EmbeddingError> {
+        if rows.is_empty() {
+            return Err(EmbeddingError::InvalidIndex(
+                "a collection needs at least one table".to_string(),
+            ));
+        }
+        let tables = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| EmbeddingTable::seeded(r, dim, seed.wrapping_add(i as u64 * 31)))
+            .collect();
+        Ok(Self { tables, dim })
+    }
+
+    /// Builds a collection from existing tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::DimMismatch`] unless every table shares
+    /// one dimension, or [`EmbeddingError::InvalidIndex`] when empty.
+    pub fn from_tables(tables: Vec<EmbeddingTable>) -> Result<Self, EmbeddingError> {
+        let Some(first) = tables.first() else {
+            return Err(EmbeddingError::InvalidIndex(
+                "a collection needs at least one table".to_string(),
+            ));
+        };
+        let dim = first.dim();
+        if let Some(bad) = tables.iter().find(|t| t.dim() != dim) {
+            return Err(EmbeddingError::DimMismatch {
+                expected: dim,
+                found: bad.dim(),
+            });
+        }
+        Ok(Self { tables, dim })
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the collection is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Shared embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable access to table `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn table(&self, i: usize) -> &EmbeddingTable {
+        &self.tables[i]
+    }
+
+    /// Mutable access to table `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn table_mut(&mut self, i: usize) -> &mut EmbeddingTable {
+        &mut self.tables[i]
+    }
+
+    /// Iterator over the tables.
+    pub fn iter(&self) -> impl Iterator<Item = &EmbeddingTable> {
+        self.tables.iter()
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tables.iter().map(EmbeddingTable::size_bytes).sum()
+    }
+
+    /// Batched forward: fused gather-reduce on every table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::LengthMismatch`] when the index count
+    /// differs from the table count, and propagates per-table errors.
+    pub fn forward(&self, indices: &[IndexArray]) -> Result<Vec<Matrix>, EmbeddingError> {
+        self.check_indices(indices)?;
+        self.tables
+            .iter()
+            .zip(indices)
+            .map(|(t, idx)| gather_reduce(t, idx))
+            .collect()
+    }
+
+    /// Batched baseline backward: expand-coalesce each table's gradients
+    /// (Algorithm 1), returning the coalesced sets without applying them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::LengthMismatch`] on count mismatches and
+    /// propagates per-table errors.
+    pub fn backward(
+        &self,
+        indices: &[IndexArray],
+        grads: &[Matrix],
+    ) -> Result<Vec<CoalescedGradients>, EmbeddingError> {
+        self.check_indices(indices)?;
+        if grads.len() != self.tables.len() {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: self.tables.len(),
+                found: grads.len(),
+            });
+        }
+        indices
+            .iter()
+            .zip(grads)
+            .map(|(idx, g)| gradient_expand_coalesce(g, idx))
+            .collect()
+    }
+
+    /// Batched backward + scatter: coalesces and immediately applies
+    /// every table's update through the shared optimizer.
+    ///
+    /// # Errors
+    ///
+    /// As [`EmbeddingBagCollection::backward`], plus scatter errors.
+    pub fn backward_apply(
+        &mut self,
+        indices: &[IndexArray],
+        grads: &[Matrix],
+        optimizer: &mut dyn SparseOptimizer,
+    ) -> Result<(), EmbeddingError> {
+        let coalesced = self.backward(indices, grads)?;
+        for (table, c) in self.tables.iter_mut().zip(coalesced.iter()) {
+            scatter_apply(table, c, optimizer)?;
+        }
+        Ok(())
+    }
+
+    fn check_indices(&self, indices: &[IndexArray]) -> Result<(), EmbeddingError> {
+        if indices.len() != self.tables.len() {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: self.tables.len(),
+                found: indices.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    fn indices() -> Vec<IndexArray> {
+        vec![
+            IndexArray::from_samples(&[vec![1, 2], vec![0]]).unwrap(),
+            IndexArray::from_samples(&[vec![3], vec![3, 4]]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn seeded_construction() {
+        let bags = EmbeddingBagCollection::seeded(&[10, 20, 30], 4, 1).unwrap();
+        assert_eq!(bags.len(), 3);
+        assert_eq!(bags.dim(), 4);
+        assert_eq!(bags.table(2).rows(), 30);
+        assert_eq!(bags.size_bytes(), (10 + 20 + 30) * 4 * 4);
+        assert!(!bags.is_empty());
+    }
+
+    #[test]
+    fn empty_collections_rejected() {
+        assert!(EmbeddingBagCollection::seeded(&[], 4, 1).is_err());
+        assert!(EmbeddingBagCollection::from_tables(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_tables_requires_shared_dim() {
+        let t1 = EmbeddingTable::zeros(4, 8);
+        let t2 = EmbeddingTable::zeros(4, 16);
+        assert!(EmbeddingBagCollection::from_tables(vec![t1, t2]).is_err());
+    }
+
+    #[test]
+    fn forward_matches_per_table_kernels() {
+        let bags = EmbeddingBagCollection::seeded(&[10, 10], 4, 3).unwrap();
+        let idx = indices();
+        let pooled = bags.forward(&idx).unwrap();
+        for (i, p) in pooled.iter().enumerate() {
+            let reference = gather_reduce(bags.table(i), &idx[i]).unwrap();
+            assert_eq!(p.max_abs_diff(&reference).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn forward_validates_index_count() {
+        let bags = EmbeddingBagCollection::seeded(&[10, 10], 4, 3).unwrap();
+        assert!(bags.forward(&indices()[..1]).is_err());
+    }
+
+    #[test]
+    fn backward_apply_updates_every_table() {
+        let mut bags = EmbeddingBagCollection::seeded(&[10, 10], 4, 5).unwrap();
+        let before: Vec<EmbeddingTable> = bags.iter().cloned().collect();
+        let idx = indices();
+        let grads = vec![Matrix::filled(2, 4, 1.0), Matrix::filled(2, 4, 1.0)];
+        bags.backward_apply(&idx, &grads, &mut Sgd::new(0.5)).unwrap();
+        for (i, b) in before.iter().enumerate() {
+            assert!(
+                bags.table(i).max_abs_diff(b).unwrap() > 0.0,
+                "table {i} unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_validates_gradient_count() {
+        let bags = EmbeddingBagCollection::seeded(&[10, 10], 4, 5).unwrap();
+        let grads = vec![Matrix::zeros(2, 4)];
+        assert!(bags.backward(&indices(), &grads).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Gradient coalescing (Fig. 2b step 2): the paper's Algorithm 1,
+//! faithfully implemented as the two-step argsort + accumulate procedure
+//! used by today's ML frameworks.
+//!
+//! Gradients whose lookups shared a `src` row must be *accumulated into a
+//! single value* before the optimizer update (Section II-B explains why:
+//! RMSprop/Adagrad-style optimizers consume one accumulated gradient `G_i`
+//! per parameter per iteration).
+
+use crate::error::EmbeddingError;
+use crate::expand::gradient_expand;
+use crate::index::IndexArray;
+use tcast_tensor::Matrix;
+
+/// The output of gradient coalescing: one gradient row per *unique* `src`
+/// id, paired with that id, sorted by id ascending.
+///
+/// This is the sparse `(indices, values)` gradient PyTorch/TensorFlow
+/// produce for `EmbeddingBag`-style layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoalescedGradients {
+    rows: Vec<u32>,
+    grads: Matrix,
+}
+
+impl CoalescedGradients {
+    /// Creates coalesced gradients from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::LengthMismatch`] if `rows.len()` differs
+    /// from `grads.rows()`, or [`EmbeddingError::InvalidIndex`] if `rows`
+    /// is not strictly increasing (which would mean it was not coalesced).
+    pub fn new(rows: Vec<u32>, grads: Matrix) -> Result<Self, EmbeddingError> {
+        if rows.len() != grads.rows() {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: rows.len(),
+                found: grads.rows(),
+            });
+        }
+        if rows.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(EmbeddingError::InvalidIndex(
+                "coalesced rows must be strictly increasing".to_string(),
+            ));
+        }
+        Ok(Self { rows, grads })
+    }
+
+    /// The unique table-row ids, ascending.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The accumulated gradient matrix (`rows.len() x dim`).
+    pub fn grads(&self) -> &Matrix {
+        &self.grads
+    }
+
+    /// Number of unique rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no gradients are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Maximum absolute difference against another coalesced set; errors if
+    /// the row sets differ. Used by the equivalence tests between this
+    /// baseline path and the casted path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::InvalidIndex`] if the row-id sets differ.
+    pub fn max_abs_diff(&self, other: &CoalescedGradients) -> Result<f32, EmbeddingError> {
+        if self.rows != other.rows {
+            return Err(EmbeddingError::InvalidIndex(
+                "coalesced row sets differ".to_string(),
+            ));
+        }
+        Ok(self.grads.max_abs_diff(&other.grads)?)
+    }
+}
+
+/// Algorithm 1 (gradient coalescing): given the *expanded* gradients (one
+/// row per lookup, in pair order) and the index array, sort the lookups by
+/// `src` and accumulate rows sharing a `src`.
+///
+/// Step A is the `ArgSort(src)` of the paper (implemented as a stable
+/// sort-by-key returning the permutation); Step B is the sequential
+/// accumulation over the sorted order.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `expanded.rows()` differs
+/// from `index.len()`.
+pub fn gradient_coalesce(
+    expanded: &Matrix,
+    index: &IndexArray,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    if expanded.rows() != index.len() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: index.len(),
+            found: expanded.rows(),
+        });
+    }
+    let dim = expanded.cols();
+
+    // Step A: argsort the src array (stable).
+    let src = index.src();
+    let n = src.len();
+    let mut sorted_pos: Vec<u32> = (0..n as u32).collect();
+    sorted_pos.sort_by_key(|&p| src[p as usize]);
+
+    // Step B: accumulate coalescable gradients.
+    let unique = index.unique_src_count();
+    let mut rows = Vec::with_capacity(unique);
+    let mut grads = Matrix::zeros(unique, dim);
+    let mut out_i = usize::MAX; // "i <- -1" in the paper's pseudocode
+    let mut prev: Option<u32> = None;
+    for &pos in &sorted_pos {
+        let curr = src[pos as usize];
+        if prev != Some(curr) {
+            out_i = out_i.wrapping_add(1);
+            rows.push(curr);
+            grads
+                .row_mut(out_i)
+                .copy_from_slice(expanded.row(pos as usize));
+        } else {
+            let acc = grads.row_mut(out_i);
+            for (a, &v) in acc.iter_mut().zip(expanded.row(pos as usize).iter()) {
+                *a += v;
+            }
+        }
+        prev = Some(curr);
+    }
+    CoalescedGradients::new(rows, grads)
+}
+
+/// Baseline two-step backward path: expand then coalesce, returning the
+/// coalesced gradients (what Fig. 2b computes before the scatter).
+///
+/// # Errors
+///
+/// Propagates errors from [`gradient_expand`] and [`gradient_coalesce`].
+pub fn gradient_expand_coalesce(
+    grads: &Matrix,
+    index: &IndexArray,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    let expanded = gradient_expand(grads, index)?;
+    gradient_coalesce(&expanded, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_index() -> IndexArray {
+        IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap()
+    }
+
+    #[test]
+    fn coalesce_matches_fig2b() {
+        // G[0] = [1], G[1] = [2]. Coalesced:
+        //   row 0 <- G[1], row 1 <- G[0], row 2 <- G[0]+G[1], row 4 <- G[0].
+        let index = fig2_index();
+        let grads = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let c = gradient_expand_coalesce(&grads, &index).unwrap();
+        assert_eq!(c.rows(), &[0, 1, 2, 4]);
+        assert_eq!(c.grads().row(0), &[2.0]);
+        assert_eq!(c.grads().row(1), &[1.0]);
+        assert_eq!(c.grads().row(2), &[3.0]);
+        assert_eq!(c.grads().row(3), &[1.0]);
+    }
+
+    #[test]
+    fn coalesce_validates_row_count() {
+        let index = fig2_index();
+        let wrong = Matrix::zeros(4, 1);
+        assert!(gradient_coalesce(&wrong, &index).is_err());
+    }
+
+    #[test]
+    fn all_duplicate_srcs_collapse_to_one_row() {
+        let index = IndexArray::from_pairs(vec![3; 6], (0..6).collect(), 6).unwrap();
+        let grads = Matrix::from_vec(6, 1, vec![1.0; 6]).unwrap();
+        let c = gradient_expand_coalesce(&grads, &index).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.rows(), &[3]);
+        assert_eq!(c.grads().row(0), &[6.0]);
+    }
+
+    #[test]
+    fn all_unique_srcs_pass_through() {
+        let index = IndexArray::from_pairs(vec![5, 1, 9], vec![0, 1, 2], 3).unwrap();
+        let grads = Matrix::from_rows(&[&[0.1], &[0.2], &[0.3]]).unwrap();
+        let c = gradient_expand_coalesce(&grads, &index).unwrap();
+        assert_eq!(c.rows(), &[1, 5, 9]);
+        // Sorted by row id, carrying the right gradient.
+        assert_eq!(c.grads().row(0), &[0.2]);
+        assert_eq!(c.grads().row(1), &[0.1]);
+        assert_eq!(c.grads().row(2), &[0.3]);
+    }
+
+    #[test]
+    fn coalesced_gradients_constructor_validates() {
+        assert!(CoalescedGradients::new(vec![0, 1], Matrix::zeros(3, 1)).is_err());
+        assert!(CoalescedGradients::new(vec![1, 0], Matrix::zeros(2, 1)).is_err());
+        assert!(CoalescedGradients::new(vec![0, 0], Matrix::zeros(2, 1)).is_err());
+        assert!(CoalescedGradients::new(vec![0, 1], Matrix::zeros(2, 1)).is_ok());
+    }
+
+    #[test]
+    fn coalesce_sum_preserves_total_gradient_mass() {
+        // Coalescing only regroups rows: the column sums are invariant.
+        let index = fig2_index();
+        let grads = Matrix::from_rows(&[&[1.5, -0.5], &[2.5, 0.25]]).unwrap();
+        let expanded = gradient_expand(&grads, &index).unwrap();
+        let c = gradient_coalesce(&expanded, &index).unwrap();
+        let before = expanded.sum_rows();
+        let after = c.grads().sum_rows();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b - a).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_requires_same_rows() {
+        let a = CoalescedGradients::new(vec![0, 2], Matrix::zeros(2, 1)).unwrap();
+        let b = CoalescedGradients::new(vec![0, 3], Matrix::zeros(2, 1)).unwrap();
+        assert!(a.max_abs_diff(&b).is_err());
+        assert_eq!(a.max_abs_diff(&a).unwrap(), 0.0);
+    }
+}

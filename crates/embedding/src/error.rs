@@ -1,0 +1,107 @@
+//! Error type for embedding-layer operations.
+
+use std::error::Error;
+use std::fmt;
+use tcast_tensor::ShapeError;
+
+/// Error returned by embedding-table primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddingError {
+    /// A `src` index referenced a row outside the table.
+    SrcOutOfBounds {
+        /// The offending row id.
+        src: u32,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// A `dst` slot referenced an output row outside the batch.
+    DstOutOfBounds {
+        /// The offending output slot.
+        dst: u32,
+        /// Number of output slots.
+        outputs: usize,
+    },
+    /// The embedding dimension of two operands disagreed.
+    DimMismatch {
+        /// Expected embedding dimension.
+        expected: usize,
+        /// Dimension actually found.
+        found: usize,
+    },
+    /// The number of gradient rows did not match the index array.
+    LengthMismatch {
+        /// Expected row count.
+        expected: usize,
+        /// Row count actually found.
+        found: usize,
+    },
+    /// An index array was built from inconsistent inputs.
+    InvalidIndex(String),
+    /// A dense tensor operation failed.
+    Shape(ShapeError),
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SrcOutOfBounds { src, rows } => {
+                write!(f, "src index {src} out of bounds for table with {rows} rows")
+            }
+            Self::DstOutOfBounds { dst, outputs } => {
+                write!(f, "dst slot {dst} out of bounds for {outputs} outputs")
+            }
+            Self::DimMismatch { expected, found } => {
+                write!(f, "embedding dimension mismatch: expected {expected}, found {found}")
+            }
+            Self::LengthMismatch { expected, found } => {
+                write!(f, "row count mismatch: expected {expected}, found {found}")
+            }
+            Self::InvalidIndex(msg) => write!(f, "invalid index array: {msg}"),
+            Self::Shape(e) => write!(f, "tensor shape error: {e}"),
+        }
+    }
+}
+
+impl Error for EmbeddingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for EmbeddingError {
+    fn from(e: ShapeError) -> Self {
+        Self::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EmbeddingError::SrcOutOfBounds { src: 9, rows: 4 };
+        assert!(e.to_string().contains("src index 9"));
+        let e = EmbeddingError::DstOutOfBounds { dst: 3, outputs: 2 };
+        assert!(e.to_string().contains("dst slot 3"));
+        let e = EmbeddingError::DimMismatch { expected: 8, found: 4 };
+        assert!(e.to_string().contains("expected 8"));
+    }
+
+    #[test]
+    fn shape_error_converts_and_sources() {
+        let inner = ShapeError::new("matmul", (1, 2), (3, 4));
+        let e: EmbeddingError = inner.clone().into();
+        assert_eq!(e, EmbeddingError::Shape(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmbeddingError>();
+    }
+}

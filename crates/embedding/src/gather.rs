@@ -1,0 +1,175 @@
+//! Forward-propagation primitives: tensor gather and the fused tensor
+//! gather-reduce (Fig. 2a of the paper).
+
+use crate::error::EmbeddingError;
+use crate::index::IndexArray;
+use crate::table::EmbeddingTable;
+use tcast_tensor::Matrix;
+
+/// Fused tensor gather-reduce: for every `(src, dst)` pair, accumulate
+/// table row `src` into output row `dst`.
+///
+/// This is the paper's key forward primitive. As the Fig. 2 caption notes,
+/// gather and reduce are implemented "as a fused kernel to save memory
+/// bandwidth": each embedding row is read once and reduced in place into
+/// the output, with no `n x dim` intermediate.
+///
+/// Returns a `num_outputs x dim` matrix of pooled embeddings.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::SrcOutOfBounds`] if any `src` exceeds the
+/// table.
+///
+/// ```
+/// use tcast_embedding::{EmbeddingTable, IndexArray, gather_reduce};
+///
+/// # fn main() -> Result<(), tcast_embedding::EmbeddingError> {
+/// let table = EmbeddingTable::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 4.0, 4.0])?;
+/// let index = IndexArray::from_samples(&[vec![0, 2], vec![1]])?;
+/// let pooled = gather_reduce(&table, &index)?;
+/// assert_eq!(pooled.row(0), &[5.0, 5.0]); // rows 0 + 2
+/// assert_eq!(pooled.row(1), &[2.0, 2.0]); // row 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn gather_reduce(
+    table: &EmbeddingTable,
+    index: &IndexArray,
+) -> Result<Matrix, EmbeddingError> {
+    index.validate_against_rows(table.rows())?;
+    let dim = table.dim();
+    let mut out = Matrix::zeros(index.num_outputs(), dim);
+    for (src, dst) in index.iter() {
+        let row = table.row(src as usize);
+        let acc = out.row_mut(dst as usize);
+        for (a, &v) in acc.iter_mut().zip(row.iter()) {
+            *a += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Unfused gather: materializes every looked-up row as an `n x dim`
+/// matrix (one row per `(src, dst)` pair, in pair order).
+///
+/// Kept for the fusion ablation: `reduce_by_dst(gather(...))` computes the
+/// same result as [`gather_reduce`] while moving ~2x the data, which is
+/// exactly why the paper fuses them.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::SrcOutOfBounds`] if any `src` exceeds the
+/// table.
+pub fn gather(table: &EmbeddingTable, index: &IndexArray) -> Result<Matrix, EmbeddingError> {
+    index.validate_against_rows(table.rows())?;
+    let dim = table.dim();
+    let mut out = Matrix::zeros(index.len(), dim);
+    for (i, (src, _)) in index.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(table.row(src as usize));
+    }
+    Ok(out)
+}
+
+/// Reduces an `n x dim` gathered matrix into `num_outputs x dim` according
+/// to the index's `dst` slots. Second half of the unfused path.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `gathered.rows()` does not
+/// equal `index.len()`.
+pub fn reduce_by_dst(gathered: &Matrix, index: &IndexArray) -> Result<Matrix, EmbeddingError> {
+    if gathered.rows() != index.len() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: index.len(),
+            found: gathered.rows(),
+        });
+    }
+    let dim = gathered.cols();
+    let mut out = Matrix::zeros(index.num_outputs(), dim);
+    for (i, (_, dst)) in index.iter().enumerate() {
+        let acc = out.row_mut(dst as usize);
+        for (a, &v) in acc.iter_mut().zip(gathered.row(i).iter()) {
+            *a += v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_table() -> EmbeddingTable {
+        // 6 rows, dim 2; row i = [i, 10i].
+        let mut data = Vec::new();
+        for i in 0..6 {
+            data.push(i as f32);
+            data.push(10.0 * i as f32);
+        }
+        EmbeddingTable::from_vec(6, 2, data).unwrap()
+    }
+
+    fn fig2_index() -> IndexArray {
+        IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap()
+    }
+
+    #[test]
+    fn gather_reduce_matches_fig2a() {
+        // Output 0 = E[1]+E[2]+E[4]; output 1 = E[0]+E[2].
+        let pooled = gather_reduce(&fig2_table(), &fig2_index()).unwrap();
+        assert_eq!(pooled.row(0), &[7.0, 70.0]);
+        assert_eq!(pooled.row(1), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn gather_reduce_rejects_out_of_bounds() {
+        let idx = IndexArray::from_samples(&[vec![6]]).unwrap();
+        assert!(matches!(
+            gather_reduce(&fig2_table(), &idx),
+            Err(EmbeddingError::SrcOutOfBounds { src: 6, rows: 6 })
+        ));
+    }
+
+    #[test]
+    fn unfused_path_equals_fused() {
+        let table = fig2_table();
+        let idx = fig2_index();
+        let fused = gather_reduce(&table, &idx).unwrap();
+        let unfused = reduce_by_dst(&gather(&table, &idx).unwrap(), &idx).unwrap();
+        assert!(fused.max_abs_diff(&unfused).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn gather_preserves_pair_order() {
+        let g = gather(&fig2_table(), &fig2_index()).unwrap();
+        assert_eq!(g.rows(), 5);
+        assert_eq!(g.row(0), &[1.0, 10.0]); // src 1
+        assert_eq!(g.row(2), &[4.0, 40.0]); // src 4
+        assert_eq!(g.row(3), &[0.0, 0.0]); // src 0
+    }
+
+    #[test]
+    fn reduce_by_dst_validates_length() {
+        let idx = fig2_index();
+        let wrong = Matrix::zeros(3, 2);
+        assert!(reduce_by_dst(&wrong, &idx).is_err());
+    }
+
+    #[test]
+    fn duplicate_src_within_one_sample_counts_twice() {
+        let table = fig2_table();
+        let idx = IndexArray::from_samples(&[vec![3, 3]]).unwrap();
+        let pooled = gather_reduce(&table, &idx).unwrap();
+        assert_eq!(pooled.row(0), &[6.0, 60.0]);
+    }
+
+    #[test]
+    fn empty_output_slot_reduces_to_zero() {
+        let table = fig2_table();
+        // Built via from_pairs to allow a slot with no lookups.
+        let idx = IndexArray::from_pairs(vec![1], vec![0], 2).unwrap();
+        let pooled = gather_reduce(&table, &idx).unwrap();
+        assert_eq!(pooled.row(1), &[0.0, 0.0]);
+    }
+}

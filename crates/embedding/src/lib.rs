@@ -1,0 +1,70 @@
+//! Embedding tables and the *baseline* training primitives of
+//! recommendation models, exactly as characterized in Section II-B / III of
+//! the Tensor Casting paper:
+//!
+//! * **tensor gather-reduce** (forward propagation, Fig. 2a) — fused lookup
+//!   and reduction of embedding rows, driven by a `(src, dst)`
+//!   [`IndexArray`];
+//! * **gradient expand** (backward, Fig. 2b step 1) — the dual of reduce;
+//! * **gradient coalesce** (backward, Fig. 2b step 2, Algorithm 1) —
+//!   argsort the `src` indices, then accumulate gradients that share a
+//!   `src`;
+//! * **gradient scatter** (backward, Fig. 2b step 3) — apply the coalesced
+//!   gradients to the table through a sparse [`optim::SparseOptimizer`]
+//!   (SGD / momentum / Adagrad Eq. 2 / RMSprop Eq. 1).
+//!
+//! The *casted* backward path (Algorithms 2-3) lives in the `tcast-core`
+//! crate; this crate deliberately contains only what existing ML frameworks
+//! (PyTorch / TensorFlow) do today, so the two can be benchmarked against
+//! each other.
+//!
+//! [`traffic`] implements the paper's analytic memory-traffic model
+//! (Section III-C, Fig. 6): every primitive's read/write byte counts as a
+//! function of batch size, pooling factor, embedding dimension and the
+//! number of unique indices.
+//!
+//! # Example: one forward/backward step over a single table
+//!
+//! ```
+//! use tcast_embedding::{EmbeddingTable, IndexArray, gather_reduce,
+//!                       gradient_expand, gradient_coalesce, scatter_apply,
+//!                       optim::Sgd};
+//! use tcast_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), tcast_embedding::EmbeddingError> {
+//! let mut table = EmbeddingTable::seeded(100, 8, 42);
+//! // Two samples: sample 0 gathers rows {1,2,4}, sample 1 gathers {0,2}.
+//! let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]])?;
+//! let pooled = gather_reduce(&table, &index)?;      // 2 x 8
+//!
+//! let upstream = Matrix::filled(2, 8, 0.1);          // dL/d(pooled)
+//! let expanded = gradient_expand(&upstream, &index)?; // 5 x 8
+//! let coalesced = gradient_coalesce(&expanded, &index)?; // 4 unique rows
+//! scatter_apply(&mut table, &coalesced, &mut Sgd::new(0.01))?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod bag;
+mod coalesce;
+mod error;
+mod expand;
+mod gather;
+mod index;
+pub mod optim;
+mod parallel;
+mod scatter;
+mod sharding;
+mod table;
+pub mod traffic;
+
+pub use bag::EmbeddingBagCollection;
+pub use coalesce::{gradient_coalesce, gradient_expand_coalesce, CoalescedGradients};
+pub use error::EmbeddingError;
+pub use expand::gradient_expand;
+pub use gather::{gather, gather_reduce, reduce_by_dst};
+pub use index::IndexArray;
+pub use parallel::{gather_reduce_parallel, gradient_coalesce_parallel};
+pub use scatter::{scatter_apply, scatter_apply_dense};
+pub use sharding::ShardedTable;
+pub use table::EmbeddingTable;

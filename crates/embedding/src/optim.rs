@@ -1,0 +1,401 @@
+//! Sparse optimizers for embedding rows.
+//!
+//! Section II-B of the paper explains *why* gradient coalescing exists at
+//! all: optimizers like RMSprop (Eq. 1) and Adagrad (Eq. 2) need the
+//! (potentially multiple) gradients of a parameter accumulated into a
+//! single value `G_i` before the update, because their state update is a
+//! nonlinear function of `G_i`. These implementations keep per-row state
+//! lazily, touching only rows that actually receive gradients — the sparse
+//! update pattern of embedding training.
+
+use std::collections::HashMap;
+
+/// A sparse, row-granular optimizer.
+///
+/// `update_row` applies one training-step update for a single embedding
+/// row given its *coalesced* gradient. Implementations may keep per-row
+/// state (momentum/second-moment accumulators) keyed by row id.
+pub trait SparseOptimizer {
+    /// Applies the update `param <- f(param, grad)` for table row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `param.len() != grad.len()`.
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]);
+
+    /// Human-readable optimizer name (for logs and experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Bytes of optimizer state read+written per updated element, used by
+    /// the analytic traffic model (0 for plain SGD, 8 for one f32
+    /// accumulator read+write, ...).
+    fn state_bytes_per_element(&self) -> usize {
+        0
+    }
+}
+
+/// Plain stochastic gradient descent: `W <- W - lr * G`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+impl SparseOptimizer for Sgd {
+    fn update_row(&mut self, _row: u32, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+        for (p, &g) in param.iter_mut().zip(grad.iter()) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// SGD with (heavy-ball) momentum: `V <- mu*V + G; W <- W - lr*V`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    mu: f32,
+    velocity: HashMap<u32, Vec<f32>>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD with learning rate `lr` and momentum `mu`.
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Self {
+            lr,
+            mu,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with live momentum state.
+    pub fn tracked_rows(&self) -> usize {
+        self.velocity.len()
+    }
+}
+
+impl SparseOptimizer for Momentum {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+        let v = self
+            .velocity
+            .entry(row)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        for ((p, &g), vi) in param.iter_mut().zip(grad.iter()).zip(v.iter_mut()) {
+            *vi = self.mu * *vi + g;
+            *p -= self.lr * *vi;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+
+    fn state_bytes_per_element(&self) -> usize {
+        8 // one f32 velocity read + write
+    }
+}
+
+/// Adagrad (the paper's Eq. 2): `A <- A + G^2; W <- W - lr * G / sqrt(eps + A)`.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: HashMap<u32, Vec<f32>>,
+}
+
+impl Adagrad {
+    /// Creates Adagrad with learning rate `lr` and stabilizer `eps`.
+    pub fn new(lr: f32, eps: f32) -> Self {
+        Self {
+            lr,
+            eps,
+            accum: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with live accumulator state.
+    pub fn tracked_rows(&self) -> usize {
+        self.accum.len()
+    }
+}
+
+impl SparseOptimizer for Adagrad {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+        let a = self
+            .accum
+            .entry(row)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
+            *ai += g * g;
+            *p -= self.lr * g / (self.eps + *ai).sqrt();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adagrad"
+    }
+
+    fn state_bytes_per_element(&self) -> usize {
+        8
+    }
+}
+
+/// RMSprop (the paper's Eq. 1):
+/// `A <- gamma*A + (1-gamma)*G^2; W <- W - lr * G / sqrt(eps + A)`.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    gamma: f32,
+    eps: f32,
+    accum: HashMap<u32, Vec<f32>>,
+}
+
+impl RmsProp {
+    /// Creates RMSprop with learning rate `lr`, decay `gamma` and
+    /// stabilizer `eps`.
+    pub fn new(lr: f32, gamma: f32, eps: f32) -> Self {
+        Self {
+            lr,
+            gamma,
+            eps,
+            accum: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with live accumulator state.
+    pub fn tracked_rows(&self) -> usize {
+        self.accum.len()
+    }
+}
+
+impl SparseOptimizer for RmsProp {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+        let a = self
+            .accum
+            .entry(row)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
+            *ai = self.gamma * *ai + (1.0 - self.gamma) * g * g;
+            *p -= self.lr * g / (self.eps + *ai).sqrt();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rmsprop"
+    }
+
+    fn state_bytes_per_element(&self) -> usize {
+        8
+    }
+}
+
+/// Adam with sparse (lazy) per-row moments: `M <- b1*M + (1-b1)*G;
+/// V <- b2*V + (1-b2)*G^2; W <- W - lr * Mhat / (sqrt(Vhat) + eps)` with
+/// per-row bias-correction step counts (rows update at different rates
+/// in sparse training, so a global step count would over-correct cold
+/// rows).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    state: HashMap<u32, (Vec<f32>, Vec<f32>, u32)>,
+}
+
+impl Adam {
+    /// Creates Adam with the given hyperparameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with live moment state.
+    pub fn tracked_rows(&self) -> usize {
+        self.state.len()
+    }
+}
+
+impl SparseOptimizer for Adam {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+        let (m, v, t) = self.state.entry(row).or_insert_with(|| {
+            (vec![0.0; param.len()], vec![0.0; param.len()], 0)
+        });
+        *t += 1;
+        let bc1 = 1.0 - self.beta1.powi(*t as i32);
+        let bc2 = 1.0 - self.beta2.powi(*t as i32);
+        for (((p, &g), mi), vi) in param
+            .iter_mut()
+            .zip(grad.iter())
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
+    fn state_bytes_per_element(&self) -> usize {
+        16 // two f32 moments, read + write each
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0, -1.0];
+        opt.update_row(0, &mut p, &[1.0, -1.0]);
+        assert_eq!(p, vec![0.9, -0.9]);
+        assert_eq!(opt.name(), "sgd");
+        assert_eq!(opt.state_bytes_per_element(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn sgd_rejects_width_mismatch() {
+        Sgd::new(0.1).update_row(0, &mut [0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(1.0, 0.5);
+        let mut p = vec![0.0];
+        opt.update_row(0, &mut p, &[1.0]); // v=1, p=-1
+        opt.update_row(0, &mut p, &[1.0]); // v=1.5, p=-2.5
+        assert!((p[0] + 2.5).abs() < 1e-6);
+        assert_eq!(opt.tracked_rows(), 1);
+    }
+
+    #[test]
+    fn momentum_state_is_per_row() {
+        let mut opt = Momentum::new(1.0, 0.9);
+        let mut p0 = vec![0.0];
+        let mut p1 = vec![0.0];
+        opt.update_row(0, &mut p0, &[1.0]);
+        opt.update_row(1, &mut p1, &[1.0]);
+        assert_eq!(opt.tracked_rows(), 2);
+        assert_eq!(p0, p1); // fresh state each: same result
+    }
+
+    #[test]
+    fn adagrad_matches_eq2_by_hand() {
+        // A1 = 0 + G^2 = 4; W1 = 1 - lr*G/sqrt(eps+A1) = 1 - 0.1*2/2.
+        let mut opt = Adagrad::new(0.1, 0.0);
+        let mut p = vec![1.0];
+        opt.update_row(3, &mut p, &[2.0]);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+        // Second step: A2 = 4 + 1 = 5; W2 = 0.9 - 0.1*1/sqrt(5).
+        opt.update_row(3, &mut p, &[1.0]);
+        assert!((p[0] - (0.9 - 0.1 / 5.0f32.sqrt())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_lr_over_time() {
+        let mut opt = Adagrad::new(0.1, 1e-8);
+        let mut p = vec![0.0];
+        let mut deltas = Vec::new();
+        for _ in 0..5 {
+            let before = p[0];
+            opt.update_row(0, &mut p, &[1.0]);
+            deltas.push((before - p[0]).abs());
+        }
+        for w in deltas.windows(2) {
+            assert!(w[1] < w[0], "step sizes must be decreasing: {deltas:?}");
+        }
+    }
+
+    #[test]
+    fn rmsprop_matches_eq1_by_hand() {
+        // gamma=0.5: A1 = 0.5*0 + 0.5*G^2 = 2; W1 = -lr*G/sqrt(A1).
+        let mut opt = RmsProp::new(0.1, 0.5, 0.0);
+        let mut p = vec![0.0];
+        opt.update_row(0, &mut p, &[2.0]);
+        assert!((p[0] + 0.1 * 2.0 / 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stateful_optimizers_report_state_traffic() {
+        assert_eq!(Momentum::new(0.1, 0.9).state_bytes_per_element(), 8);
+        assert_eq!(Adagrad::new(0.1, 1e-8).state_bytes_per_element(), 8);
+        assert_eq!(RmsProp::new(0.1, 0.9, 1e-8).state_bytes_per_element(), 8);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first step is ~lr regardless of the
+        // gradient magnitude (for eps -> 0).
+        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-12);
+        for g in [0.1f32, 10.0] {
+            let mut p = vec![0.0];
+            opt.state.clear();
+            opt.update_row(0, &mut p, &[g]);
+            assert!((p[0] + 0.01).abs() < 1e-4, "g={g}: step {}", p[0]);
+        }
+    }
+
+    #[test]
+    fn adam_bias_correction_is_per_row() {
+        // A cold row's first update must not be shrunk by other rows'
+        // step counts.
+        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-12);
+        let mut hot = vec![0.0];
+        for _ in 0..10 {
+            opt.update_row(0, &mut hot, &[1.0]);
+        }
+        let mut cold = vec![0.0];
+        opt.update_row(1, &mut cold, &[1.0]);
+        assert!((cold[0] + 0.01).abs() < 1e-4, "cold first step {}", cold[0]);
+        assert_eq!(opt.tracked_rows(), 2);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut opts: Vec<Box<dyn SparseOptimizer>> = vec![
+            Box::new(Sgd::new(0.1)),
+            Box::new(Momentum::new(0.1, 0.9)),
+            Box::new(Adagrad::new(0.1, 1e-8)),
+            Box::new(RmsProp::new(0.1, 0.9, 1e-8)),
+            Box::new(Adam::new(0.1, 0.9, 0.999, 1e-8)),
+        ];
+        let mut p = vec![1.0, 1.0];
+        for opt in opts.iter_mut() {
+            opt.update_row(0, &mut p, &[0.5, 0.5]);
+        }
+        assert!(p[0] < 1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Gradient scatter (Fig. 2b step 3): writing the coalesced gradients back
+//! into the embedding table through an optimizer.
+//!
+//! Scatter is the dual of gather — the paper stresses (Section IV-C) that
+//! both run over "the same datapath, just in the opposite directions",
+//! which is what lets one NMP core design serve the whole training loop.
+
+use crate::coalesce::CoalescedGradients;
+use crate::error::EmbeddingError;
+use crate::optim::SparseOptimizer;
+use crate::table::EmbeddingTable;
+use tcast_tensor::Matrix;
+
+/// Applies coalesced gradients to the table: for every `(row, grad)` pair,
+/// `table[row] <- optimizer(table[row], grad)`.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::SrcOutOfBounds`] if a row id exceeds the
+/// table, or [`EmbeddingError::DimMismatch`] if gradient width differs
+/// from the table dimension.
+pub fn scatter_apply(
+    table: &mut EmbeddingTable,
+    coalesced: &CoalescedGradients,
+    optimizer: &mut dyn SparseOptimizer,
+) -> Result<(), EmbeddingError> {
+    if coalesced.grads().cols() != table.dim() {
+        return Err(EmbeddingError::DimMismatch {
+            expected: table.dim(),
+            found: coalesced.grads().cols(),
+        });
+    }
+    if let Some(&bad) = coalesced.rows().iter().find(|&&r| r as usize >= table.rows()) {
+        return Err(EmbeddingError::SrcOutOfBounds {
+            src: bad,
+            rows: table.rows(),
+        });
+    }
+    for (i, &row) in coalesced.rows().iter().enumerate() {
+        optimizer.update_row(row, table.row_mut(row as usize), coalesced.grads().row(i));
+    }
+    Ok(())
+}
+
+/// Scatter for an arbitrary (row-id, gradient-matrix) pairing that need
+/// *not* be coalesced or sorted — used to demonstrate, in tests, why
+/// uncoalesced scatters break stateful optimizers (the paper's Section
+/// II-B argument).
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `rows.len()` differs from
+/// `grads.rows()`, [`EmbeddingError::DimMismatch`] on width mismatch, or
+/// [`EmbeddingError::SrcOutOfBounds`] if a row id exceeds the table.
+pub fn scatter_apply_dense(
+    table: &mut EmbeddingTable,
+    rows: &[u32],
+    grads: &Matrix,
+    optimizer: &mut dyn SparseOptimizer,
+) -> Result<(), EmbeddingError> {
+    if rows.len() != grads.rows() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: rows.len(),
+            found: grads.rows(),
+        });
+    }
+    if grads.cols() != table.dim() {
+        return Err(EmbeddingError::DimMismatch {
+            expected: table.dim(),
+            found: grads.cols(),
+        });
+    }
+    if let Some(&bad) = rows.iter().find(|&&r| r as usize >= table.rows()) {
+        return Err(EmbeddingError::SrcOutOfBounds {
+            src: bad,
+            rows: table.rows(),
+        });
+    }
+    for (i, &row) in rows.iter().enumerate() {
+        optimizer.update_row(row, table.row_mut(row as usize), grads.row(i));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::gradient_expand_coalesce;
+    use crate::index::IndexArray;
+    use crate::optim::{Adagrad, Sgd};
+
+    #[test]
+    fn scatter_updates_only_touched_rows() {
+        let mut table = EmbeddingTable::zeros(6, 2);
+        let c = CoalescedGradients::new(
+            vec![1, 4],
+            Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]).unwrap(),
+        )
+        .unwrap();
+        scatter_apply(&mut table, &c, &mut Sgd::new(1.0)).unwrap();
+        assert_eq!(table.row(1), &[-1.0, -1.0]);
+        assert_eq!(table.row(4), &[-2.0, -2.0]);
+        for r in [0usize, 2, 3, 5] {
+            assert_eq!(table.row(r), &[0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_validates_bounds_and_dims() {
+        let mut table = EmbeddingTable::zeros(3, 2);
+        let too_wide =
+            CoalescedGradients::new(vec![0], Matrix::zeros(1, 3)).unwrap();
+        assert!(scatter_apply(&mut table, &too_wide, &mut Sgd::new(1.0)).is_err());
+        let oob = CoalescedGradients::new(vec![3], Matrix::zeros(1, 2)).unwrap();
+        assert!(scatter_apply(&mut table, &oob, &mut Sgd::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn full_backward_matches_manual_sgd() {
+        // End-to-end Fig. 2b: expand + coalesce + scatter with SGD equals
+        // subtracting lr * (sum of upstream grads whose lookups hit the row).
+        let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+        let upstream = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let mut table = EmbeddingTable::zeros(6, 1);
+        let c = gradient_expand_coalesce(&upstream, &index).unwrap();
+        scatter_apply(&mut table, &c, &mut Sgd::new(0.5)).unwrap();
+        assert_eq!(table.row(0), &[-1.0]); // G[1]*0.5
+        assert_eq!(table.row(1), &[-0.5]); // G[0]*0.5
+        assert_eq!(table.row(2), &[-1.5]); // (G[0]+G[1])*0.5
+        assert_eq!(table.row(3), &[0.0]);
+        assert_eq!(table.row(4), &[-0.5]);
+    }
+
+    #[test]
+    fn uncoalesced_scatter_diverges_for_stateful_optimizers() {
+        // The Section II-B argument: applying duplicate gradients
+        // sequentially through Adagrad is NOT the same as coalescing first,
+        // because the accumulator update is nonlinear in G.
+        let rows_dup = vec![2u32, 2u32];
+        let grads_dup = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+
+        let mut table_seq = EmbeddingTable::zeros(3, 1);
+        scatter_apply_dense(
+            &mut table_seq,
+            &rows_dup,
+            &grads_dup,
+            &mut Adagrad::new(0.1, 0.0),
+        )
+        .unwrap();
+
+        let mut table_coal = EmbeddingTable::zeros(3, 1);
+        let c = CoalescedGradients::new(vec![2], Matrix::from_rows(&[&[2.0]]).unwrap()).unwrap();
+        scatter_apply(&mut table_coal, &c, &mut Adagrad::new(0.1, 0.0)).unwrap();
+
+        let diff = table_seq.max_abs_diff(&table_coal).unwrap();
+        assert!(
+            diff > 1e-3,
+            "sequential duplicate updates should differ from coalesced (diff={diff})"
+        );
+    }
+
+    #[test]
+    fn uncoalesced_scatter_is_fine_for_plain_sgd() {
+        // For linear SGD the two are identical — which is why the paper
+        // notes frameworks coalesce anyway, to support *all* optimizers.
+        let rows_dup = vec![2u32, 2u32];
+        let grads_dup = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let mut a = EmbeddingTable::zeros(3, 1);
+        scatter_apply_dense(&mut a, &rows_dup, &grads_dup, &mut Sgd::new(0.1)).unwrap();
+        let mut b = EmbeddingTable::zeros(3, 1);
+        let c = CoalescedGradients::new(vec![2], Matrix::from_rows(&[&[2.0]]).unwrap()).unwrap();
+        scatter_apply(&mut b, &c, &mut Sgd::new(0.1)).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn scatter_dense_validates_lengths() {
+        let mut table = EmbeddingTable::zeros(3, 1);
+        let grads = Matrix::zeros(2, 1);
+        assert!(
+            scatter_apply_dense(&mut table, &[0], &grads, &mut Sgd::new(0.1)).is_err()
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Row-range sharding of embedding tables across memory nodes.
+//!
+//! The paper's motivation (Sections I-II) is that embedding tables reach
+//! tens of GB to TBs, forcing them off-accelerator into pooled/host
+//! memory — Facebook's Zion and Baidu's AIBox shard them across a memory
+//! pool. [`ShardedTable`] models that placement: contiguous row ranges
+//! live on different shards, lookups are routed by row id, and the
+//! results merge back into one pooled output. All training primitives
+//! remain exact (asserted against the single-table kernels).
+
+use crate::coalesce::CoalescedGradients;
+use crate::error::EmbeddingError;
+use crate::index::IndexArray;
+use crate::optim::SparseOptimizer;
+use crate::scatter::scatter_apply;
+use crate::table::EmbeddingTable;
+use tcast_tensor::Matrix;
+
+/// An embedding table split into contiguous row-range shards.
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    shards: Vec<EmbeddingTable>,
+    /// Exclusive upper row bound of each shard (ascending).
+    bounds: Vec<usize>,
+    dim: usize,
+}
+
+impl ShardedTable {
+    /// Splits `table` into `num_shards` near-equal contiguous row ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn from_table(table: &EmbeddingTable, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let rows = table.rows();
+        let per = rows.div_ceil(num_shards).max(1);
+        let mut shards = Vec::new();
+        let mut bounds = Vec::new();
+        let mut lo = 0usize;
+        while lo < rows {
+            let hi = (lo + per).min(rows);
+            let mut data = Vec::with_capacity((hi - lo) * table.dim());
+            for r in lo..hi {
+                data.extend_from_slice(table.row(r));
+            }
+            shards.push(
+                EmbeddingTable::from_vec(hi - lo, table.dim(), data)
+                    .expect("shard data sized by construction"),
+            );
+            bounds.push(hi);
+            lo = hi;
+        }
+        Self {
+            shards,
+            bounds,
+            dim: table.dim(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total rows across shards.
+    pub fn rows(&self) -> usize {
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable access to one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn shard(&self, i: usize) -> &EmbeddingTable {
+        &self.shards[i]
+    }
+
+    /// Which shard holds global row `row`, plus the local row id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] for rows past the end.
+    pub fn locate(&self, row: u32) -> Result<(usize, u32), EmbeddingError> {
+        let r = row as usize;
+        if r >= self.rows() {
+            return Err(EmbeddingError::SrcOutOfBounds {
+                src: row,
+                rows: self.rows(),
+            });
+        }
+        let shard = self.bounds.partition_point(|&b| b <= r);
+        let base = if shard == 0 { 0 } else { self.bounds[shard - 1] };
+        Ok((shard, (r - base) as u32))
+    }
+
+    /// Splits a global index array into per-shard local index arrays
+    /// (each keeping the full `num_outputs` so partial outputs align).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows.
+    pub fn route(&self, index: &IndexArray) -> Result<Vec<IndexArray>, EmbeddingError> {
+        let mut per_shard: Vec<(Vec<u32>, Vec<u32>)> =
+            vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (src, dst) in index.iter() {
+            let (shard, local) = self.locate(src)?;
+            per_shard[shard].0.push(local);
+            per_shard[shard].1.push(dst);
+        }
+        per_shard
+            .into_iter()
+            .map(|(src, dst)| IndexArray::from_pairs(src, dst, index.num_outputs()))
+            .collect()
+    }
+
+    /// Fused gather-reduce across all shards: each shard reduces the
+    /// lookups it owns; partial outputs sum into the final pooled matrix
+    /// (the cross-node combine a sharded deployment performs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows.
+    pub fn gather_reduce(&self, index: &IndexArray) -> Result<Matrix, EmbeddingError> {
+        let routed = self.route(index)?;
+        let mut out = Matrix::zeros(index.num_outputs(), self.dim);
+        for (shard, local_index) in self.shards.iter().zip(routed.iter()) {
+            if local_index.is_empty() {
+                continue;
+            }
+            let partial = crate::gather::gather_reduce(shard, local_index)?;
+            out = out.add(&partial)?;
+        }
+        Ok(out)
+    }
+
+    /// Scatters coalesced gradients: each update routes to the owning
+    /// shard and applies through the shared optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError`] on out-of-range rows or dimension
+    /// mismatches.
+    pub fn scatter_apply(
+        &mut self,
+        coalesced: &CoalescedGradients,
+        optimizer: &mut dyn SparseOptimizer,
+    ) -> Result<(), EmbeddingError> {
+        // Group updates per shard, preserving coalesced (ascending-row)
+        // order so the per-shard rows stay strictly increasing.
+        let mut per_shard: Vec<(Vec<u32>, Vec<f32>)> =
+            vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (i, &row) in coalesced.rows().iter().enumerate() {
+            let (shard, local) = self.locate(row)?;
+            per_shard[shard].0.push(local);
+            per_shard[shard].1.extend_from_slice(coalesced.grads().row(i));
+        }
+        for (shard, (rows, grads)) in self.shards.iter_mut().zip(per_shard) {
+            if rows.is_empty() {
+                continue;
+            }
+            let n = rows.len();
+            let grads = Matrix::from_vec(n, self.dim, grads)?;
+            let c = CoalescedGradients::new(rows, grads)?;
+            scatter_apply(shard, &c, optimizer)?;
+        }
+        Ok(())
+    }
+
+    /// Reassembles the full table (verification helper).
+    pub fn to_table(&self) -> EmbeddingTable {
+        let mut data = Vec::with_capacity(self.rows() * self.dim);
+        for shard in &self.shards {
+            data.extend_from_slice(shard.as_slice());
+        }
+        EmbeddingTable::from_vec(self.rows(), self.dim, data)
+            .expect("shards concatenate to the original shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::gradient_expand_coalesce;
+    use crate::gather::gather_reduce;
+    use crate::optim::Sgd;
+    use tcast_tensor::SplitMix64;
+
+    fn table() -> EmbeddingTable {
+        EmbeddingTable::seeded(100, 8, 7)
+    }
+
+    fn index() -> IndexArray {
+        let mut rng = SplitMix64::new(5);
+        let samples: Vec<Vec<u32>> = (0..16)
+            .map(|_| (0..4).map(|_| rng.next_below(100) as u32).collect())
+            .collect();
+        IndexArray::from_samples(&samples).unwrap()
+    }
+
+    #[test]
+    fn sharding_roundtrips() {
+        let t = table();
+        for shards in [1, 2, 3, 7] {
+            let sharded = ShardedTable::from_table(&t, shards);
+            assert_eq!(sharded.rows(), 100);
+            assert_eq!(sharded.to_table().max_abs_diff(&t).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn locate_routes_rows_correctly() {
+        let sharded = ShardedTable::from_table(&table(), 3);
+        // 100 rows over 3 shards: 34/34/32.
+        assert_eq!(sharded.locate(0).unwrap(), (0, 0));
+        assert_eq!(sharded.locate(33).unwrap(), (0, 33));
+        assert_eq!(sharded.locate(34).unwrap(), (1, 0));
+        assert_eq!(sharded.locate(99).unwrap(), (2, 31));
+        assert!(sharded.locate(100).is_err());
+    }
+
+    #[test]
+    fn sharded_gather_matches_single_table() {
+        let t = table();
+        let idx = index();
+        let reference = gather_reduce(&t, &idx).unwrap();
+        for shards in [1, 2, 5] {
+            let sharded = ShardedTable::from_table(&t, shards);
+            let pooled = sharded.gather_reduce(&idx).unwrap();
+            assert!(
+                pooled.max_abs_diff(&reference).unwrap() < 1e-5,
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_scatter_matches_single_table() {
+        let t = table();
+        let idx = index();
+        let grads = Matrix::filled(16, 8, 0.25);
+        let coalesced = gradient_expand_coalesce(&grads, &idx).unwrap();
+
+        let mut reference = t.clone();
+        scatter_apply(&mut reference, &coalesced, &mut Sgd::new(0.1)).unwrap();
+
+        let mut sharded = ShardedTable::from_table(&t, 4);
+        sharded
+            .scatter_apply(&coalesced, &mut Sgd::new(0.1))
+            .unwrap();
+        assert!(sharded.to_table().max_abs_diff(&reference).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn more_shards_than_rows() {
+        let t = EmbeddingTable::seeded(3, 4, 1);
+        let sharded = ShardedTable::from_table(&t, 10);
+        assert_eq!(sharded.num_shards(), 3); // one row each
+        assert_eq!(sharded.to_table().max_abs_diff(&t).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardedTable::from_table(&table(), 0);
+    }
+
+    #[test]
+    fn route_preserves_lookup_counts() {
+        let sharded = ShardedTable::from_table(&table(), 3);
+        let idx = index();
+        let routed = sharded.route(&idx).unwrap();
+        let total: usize = routed.iter().map(IndexArray::len).sum();
+        assert_eq!(total, idx.len());
+        for r in &routed {
+            assert_eq!(r.num_outputs(), idx.num_outputs());
+        }
+    }
+}

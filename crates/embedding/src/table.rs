@@ -1,0 +1,190 @@
+//! The embedding table: a dense `rows x dim` array of trainable vectors,
+//! stored contiguously exactly as described in Section II-A of the paper
+//! ("stored contiguously within the memory address space as a single
+//! dimensional array").
+
+use crate::error::EmbeddingError;
+use tcast_tensor::SplitMix64;
+
+/// A trainable embedding table.
+///
+/// Rows are the embedding vectors of each categorical value; the whole
+/// table is one contiguous `Vec<f32>` so gathers exhibit the same
+/// sparse-row access pattern the paper analyzes.
+///
+/// ```
+/// use tcast_embedding::EmbeddingTable;
+///
+/// let table = EmbeddingTable::seeded(1000, 64, 1);
+/// assert_eq!(table.rows(), 1000);
+/// assert_eq!(table.dim(), 64);
+/// assert_eq!(table.row(5).len(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    rows: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Creates a zero-initialized table.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        Self {
+            rows,
+            dim,
+            data: vec![0.0; rows * dim],
+        }
+    }
+
+    /// Creates a table with small uniform random entries in
+    /// `[-1/sqrt(dim), 1/sqrt(dim)]` (DLRM's embedding init), seeded for
+    /// reproducibility.
+    pub fn seeded(rows: usize, dim: usize, seed: u64) -> Self {
+        let bound = 1.0 / (dim.max(1) as f32).sqrt();
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * dim)
+            .map(|_| rng.next_range(-bound, bound))
+            .collect();
+        Self { rows, dim, data }
+    }
+
+    /// Builds a table from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::LengthMismatch`] if
+    /// `data.len() != rows * dim`.
+    pub fn from_vec(rows: usize, dim: usize, data: Vec<f32>) -> Result<Self, EmbeddingError> {
+        if data.len() != rows * dim {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: rows * dim,
+                found: data.len(),
+            });
+        }
+        Ok(Self { rows, dim, data })
+    }
+
+    /// Number of embedding vectors (categorical cardinality).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding vector width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Table footprint in bytes (`rows * dim * 4`).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Immutable view of the whole backing storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the whole backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Maximum absolute elementwise difference against another table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::DimMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &EmbeddingTable) -> Result<f32, EmbeddingError> {
+        if self.rows != other.rows || self.dim != other.dim {
+            return Err(EmbeddingError::DimMismatch {
+                expected: self.dim,
+                found: other.dim,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_layout() {
+        let t = EmbeddingTable::zeros(4, 3);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.size_bytes(), 48);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_bounded() {
+        let a = EmbeddingTable::seeded(10, 16, 9);
+        let b = EmbeddingTable::seeded(10, 16, 9);
+        assert_eq!(a, b);
+        let bound = 1.0 / 4.0;
+        assert!(a.as_slice().iter().all(|v| v.abs() <= bound));
+        let c = EmbeddingTable::seeded(10, 16, 10);
+        assert!(a.max_abs_diff(&c).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(EmbeddingTable::from_vec(2, 2, vec![0.0; 4]).is_ok());
+        assert!(EmbeddingTable::from_vec(2, 2, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn row_views_are_contiguous() {
+        let t = EmbeddingTable::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut t = EmbeddingTable::zeros(2, 2);
+        t.row_mut(1)[0] = 9.0;
+        assert_eq!(t.as_slice()[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        EmbeddingTable::zeros(1, 1).row(1);
+    }
+
+    #[test]
+    fn max_abs_diff_shape_check() {
+        let a = EmbeddingTable::zeros(2, 2);
+        let b = EmbeddingTable::zeros(2, 3);
+        assert!(a.max_abs_diff(&b).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! The CISC-style NMP instruction set.
+//!
+//! "We assume that the GPU sends a CISC instruction encapsulating the
+//! necessary information required to conduct tensor gather-reduce (and
+//! similarly scatter), which the NMP core receives to conduct the
+//! necessary transactions locally within the DIMM." (Section IV-C.)
+//!
+//! The baseline TensorDIMM ISA has only `GatherReduce`; the paper's
+//! stated hardware delta is "the inclusion of the tensor scatter
+//! instruction as part of the ISA", plus — because Tensor Casting reuses
+//! gather-reduce for backward — a variant that sources the *gradient
+//! table* instead of an embedding table.
+
+/// One host-to-NMP command. Index payloads are *local* ids, already
+/// translated by the pool's table layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NmpInstruction {
+    /// Stage rows into a local table (initial load, or the broadcast of
+    /// the backpropagated gradient table before a casted backward pass).
+    WriteRows {
+        /// Local table id on the core.
+        table: usize,
+        /// `(local_row, values)` pairs; `values.len()` = the core's slice
+        /// width.
+        rows: Vec<(u32, Vec<f32>)>,
+    },
+    /// Fused tensor gather-reduce over a local table: for each pair,
+    /// accumulate local row `src` into output slot `dst`; outputs are
+    /// drained to local memory (and from there to the host link).
+    GatherReduce {
+        /// Local table id.
+        table: usize,
+        /// `(local_src_row, dst_slot)` pairs.
+        pairs: Vec<(u32, u32)>,
+        /// Number of output slots.
+        num_outputs: usize,
+    },
+    /// Tensor scatter with an SGD update: `row <- row - lr * grad` for
+    /// each `(local_row, grad)` pair. Gradients arrive through the input
+    /// queue (`grads_in_dram = false`) or from a local staging region
+    /// written by a preceding casted gather-reduce (`true`).
+    ScatterSgd {
+        /// Local table id.
+        table: usize,
+        /// `(local_row, gradient slice)` pairs.
+        updates: Vec<(u32, Vec<f32>)>,
+        /// Learning rate.
+        lr: f32,
+        /// Whether gradient rows are read from local DRAM (adds read
+        /// traffic) or streamed in through the input queue.
+        grads_in_dram: bool,
+    },
+}
+
+impl NmpInstruction {
+    /// Short mnemonic for logs.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            NmpInstruction::WriteRows { .. } => "NMP.WR",
+            NmpInstruction::GatherReduce { .. } => "NMP.GRD",
+            NmpInstruction::ScatterSgd { .. } => "NMP.SCT",
+        }
+    }
+
+    /// Number of row-granular memory operations the instruction implies
+    /// (used for quick cost sanity checks; exact timing comes from the
+    /// DRAM simulator).
+    pub fn row_ops(&self) -> usize {
+        match self {
+            NmpInstruction::WriteRows { rows, .. } => rows.len(),
+            NmpInstruction::GatherReduce { pairs, num_outputs, .. } => pairs.len() + num_outputs,
+            NmpInstruction::ScatterSgd { updates, grads_in_dram, .. } => {
+                updates.len() * if *grads_in_dram { 3 } else { 2 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let a = NmpInstruction::WriteRows { table: 0, rows: vec![] };
+        let b = NmpInstruction::GatherReduce { table: 0, pairs: vec![], num_outputs: 0 };
+        let c = NmpInstruction::ScatterSgd { table: 0, updates: vec![], lr: 0.1, grads_in_dram: false };
+        let names = [a.mnemonic(), b.mnemonic(), c.mnemonic()];
+        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn row_ops_accounting() {
+        let g = NmpInstruction::GatherReduce {
+            table: 0,
+            pairs: vec![(0, 0), (1, 0), (2, 1)],
+            num_outputs: 2,
+        };
+        assert_eq!(g.row_ops(), 5);
+        let s_queue = NmpInstruction::ScatterSgd {
+            table: 0,
+            updates: vec![(0, vec![0.0]); 4],
+            lr: 0.1,
+            grads_in_dram: false,
+        };
+        assert_eq!(s_queue.row_ops(), 8); // RMW per row
+        let s_dram = NmpInstruction::ScatterSgd {
+            table: 0,
+            updates: vec![(0, vec![0.0]); 4],
+            lr: 0.1,
+            grads_in_dram: true,
+        };
+        assert_eq!(s_dram.row_ops(), 12); // + gradient read per row
+    }
+}

@@ -1,0 +1,131 @@
+//! Phase and device vocabulary shared by the design-point models.
+
+/// Which engine executes a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// Host CPU (and its DDR4 memory).
+    Cpu,
+    /// GPU (and its HBM).
+    Gpu,
+    /// The NMP pool.
+    Nmp,
+    /// An interconnect transfer (PCIe or the pool link). Carries no
+    /// compute power in the energy model.
+    Link,
+}
+
+impl Device {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Device::Cpu => "CPU",
+            Device::Gpu => "GPU",
+            Device::Nmp => "NMP",
+            Device::Link => "LINK",
+        }
+    }
+}
+
+/// The phases of one training iteration, matching the legend of the
+/// paper's Figs. 4 and 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Forward embedding gather-reduce.
+    FwdGather,
+    /// Forward DNN (bottom MLP + interaction + top MLP), including input
+    /// transfers.
+    FwdDnn,
+    /// Backward DNN, including the gradient transfer back toward the
+    /// embedding engine.
+    BwdDnn,
+    /// Baseline gradient expansion.
+    BwdExpand,
+    /// Baseline coalesce, sorting step (Algorithm 1 Step A).
+    BwdCoalesceSort,
+    /// Baseline coalesce, accumulation step (Algorithm 1 Step B).
+    BwdCoalesceAccu,
+    /// Gradient scatter / model update.
+    BwdScatter,
+    /// The Tensor-Casting index transformation (Algorithm 2) — runs
+    /// overlapped with forward propagation; only its *exposed* portion
+    /// contributes to the iteration's critical path.
+    Casting,
+    /// The T.Casted gradient gather-reduce (Algorithm 3).
+    BwdCastedGather,
+}
+
+impl PhaseKind {
+    /// Display label matching the paper's figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseKind::FwdGather => "FWD (Gather)",
+            PhaseKind::FwdDnn => "FWD (DNN)",
+            PhaseKind::BwdDnn => "BWD (DNN)",
+            PhaseKind::BwdExpand => "BWD (Expand)",
+            PhaseKind::BwdCoalesceSort => "BWD (Coalesce:sort)",
+            PhaseKind::BwdCoalesceAccu => "BWD (Coalesce:accu)",
+            PhaseKind::BwdScatter => "BWD (Scatter)",
+            PhaseKind::Casting => "FWD (Casting)",
+            PhaseKind::BwdCastedGather => "BWD (T.Casted Gather)",
+        }
+    }
+
+    /// Whether this phase belongs to embedding-layer backpropagation
+    /// (used by the "62-92% of training time" characterization).
+    pub fn is_embedding_backward(&self) -> bool {
+        matches!(
+            self,
+            PhaseKind::BwdExpand
+                | PhaseKind::BwdCoalesceSort
+                | PhaseKind::BwdCoalesceAccu
+                | PhaseKind::BwdScatter
+                | PhaseKind::BwdCastedGather
+        )
+    }
+}
+
+/// One costed phase of an iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCost {
+    /// What work this is.
+    pub kind: PhaseKind,
+    /// Which engine runs it.
+    pub device: Device,
+    /// Duration in nanoseconds.
+    pub ns: f64,
+}
+
+impl PhaseCost {
+    /// Creates a phase cost.
+    pub fn new(kind: PhaseKind, device: Device, ns: f64) -> Self {
+        Self { kind, device, ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(PhaseKind::FwdGather.label(), "FWD (Gather)");
+        assert_eq!(PhaseKind::BwdCoalesceSort.label(), "BWD (Coalesce:sort)");
+        assert_eq!(PhaseKind::BwdCastedGather.label(), "BWD (T.Casted Gather)");
+    }
+
+    #[test]
+    fn embedding_backward_classification() {
+        assert!(PhaseKind::BwdExpand.is_embedding_backward());
+        assert!(PhaseKind::BwdScatter.is_embedding_backward());
+        assert!(PhaseKind::BwdCastedGather.is_embedding_backward());
+        assert!(!PhaseKind::FwdGather.is_embedding_backward());
+        assert!(!PhaseKind::BwdDnn.is_embedding_backward());
+        assert!(!PhaseKind::Casting.is_embedding_backward());
+    }
+
+    #[test]
+    fn device_names() {
+        assert_eq!(Device::Cpu.name(), "CPU");
+        assert_eq!(Device::Nmp.name(), "NMP");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for dense tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the shapes of two operands are incompatible.
+///
+/// Carries the operation name and both shapes so that failures deep inside a
+/// model (e.g. a mis-configured MLP layer) are diagnosable from the message
+/// alone.
+///
+/// ```
+/// use tcast_tensor::{Matrix, ShapeError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(2, 3); // 3x? required for matmul
+/// let err: ShapeError = a.matmul(&b).unwrap_err();
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with the two offending
+    /// shapes.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that failed (e.g. `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left-hand operand as `(rows, cols)`.
+    pub fn lhs(&self) -> (usize, usize) {
+        self.lhs
+    }
+
+    /// Shape of the right-hand operand as `(rows, cols)`.
+    pub fn rhs(&self) -> (usize, usize) {
+        self.rhs
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op_and_shapes() {
+        let err = ShapeError::new("matmul", (2, 3), (4, 5));
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let err = ShapeError::new("add", (1, 2), (3, 4));
+        assert_eq!(err.op(), "add");
+        assert_eq!(err.lhs(), (1, 2));
+        assert_eq!(err.rhs(), (3, 4));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

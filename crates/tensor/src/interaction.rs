@@ -1,0 +1,301 @@
+//! DLRM feature interaction: combines the bottom-MLP output with the pooled
+//! embedding vectors before the top MLP (Fig. 1 of the paper).
+//!
+//! Two interaction operators are provided, matching the open-source DLRM:
+//!
+//! * [`InteractionKind::Concat`] — plain horizontal concatenation.
+//! * [`InteractionKind::Dot`] — pairwise dot products between all feature
+//!   vectors, concatenated after the dense feature vector (DLRM's default
+//!   `--arch-interaction-op=dot`).
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+
+/// Which interaction operator to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InteractionKind {
+    /// Concatenate `[dense, emb_0, ..., emb_{T-1}]`.
+    Concat,
+    /// `[dense, dot(v_i, v_j) for i < j]` over all feature vectors
+    /// (dense output + each pooled embedding), DLRM's default.
+    #[default]
+    Dot,
+}
+
+/// Output width of the interaction for `num_tables` embedding tables whose
+/// pooled vectors (and the dense vector) all have width `dim`.
+///
+/// ```
+/// use tcast_tensor::{interaction_output_dim, InteractionKind};
+///
+/// // 10 tables + 1 dense vector = 11 vectors; C(11,2) = 55 pairs.
+/// assert_eq!(interaction_output_dim(InteractionKind::Dot, 10, 64), 64 + 55);
+/// assert_eq!(interaction_output_dim(InteractionKind::Concat, 10, 64), 64 * 11);
+/// ```
+pub fn interaction_output_dim(kind: InteractionKind, num_tables: usize, dim: usize) -> usize {
+    match kind {
+        InteractionKind::Concat => dim * (num_tables + 1),
+        InteractionKind::Dot => {
+            let m = num_tables + 1;
+            dim + m * (m - 1) / 2
+        }
+    }
+}
+
+/// Differentiable feature-interaction operator.
+///
+/// Caches its inputs during [`FeatureInteraction::forward`] so that
+/// [`FeatureInteraction::backward`] can route gradients back to the dense
+/// vector and to each pooled embedding (which is where the embedding-layer
+/// backpropagation — the subject of the paper — begins).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureInteraction {
+    kind: InteractionKind,
+    cached: Option<Vec<Matrix>>,
+}
+
+impl FeatureInteraction {
+    /// Creates the operator.
+    pub fn new(kind: InteractionKind) -> Self {
+        Self { kind, cached: None }
+    }
+
+    /// The configured interaction kind.
+    pub fn kind(&self) -> InteractionKind {
+        self.kind
+    }
+
+    /// Forward pass. `dense` is the bottom-MLP output (`batch x dim`);
+    /// `embeddings` are the pooled per-table outputs (each `batch x dim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if any operand disagrees on `batch`/`dim`
+    /// (for [`InteractionKind::Dot`], all vectors must share `dim`).
+    pub fn forward(&mut self, dense: &Matrix, embeddings: &[Matrix]) -> Result<Matrix, ShapeError> {
+        for e in embeddings {
+            if e.rows() != dense.rows() {
+                return Err(ShapeError::new("interaction_batch", dense.shape(), e.shape()));
+            }
+            if self.kind == InteractionKind::Dot && e.cols() != dense.cols() {
+                return Err(ShapeError::new("interaction_dim", dense.shape(), e.shape()));
+            }
+        }
+        let mut inputs = Vec::with_capacity(embeddings.len() + 1);
+        inputs.push(dense.clone());
+        inputs.extend(embeddings.iter().cloned());
+
+        let out = match self.kind {
+            InteractionKind::Concat => {
+                let refs: Vec<&Matrix> = inputs.iter().collect();
+                Matrix::hconcat(&refs)?
+            }
+            InteractionKind::Dot => {
+                let batch = dense.rows();
+                let dim = dense.cols();
+                let m = inputs.len();
+                let pairs = m * (m - 1) / 2;
+                let mut out = Matrix::zeros(batch, dim + pairs);
+                for b in 0..batch {
+                    let row = out.row_mut(b);
+                    row[..dim].copy_from_slice(dense.row(b));
+                    let mut p = dim;
+                    for i in 0..m {
+                        for j in (i + 1)..m {
+                            let vi = inputs[i].row(b);
+                            let vj = inputs[j].row(b);
+                            row[p] = vi.iter().zip(vj.iter()).map(|(a, c)| a * c).sum();
+                            p += 1;
+                        }
+                    }
+                }
+                out
+            }
+        };
+        self.cached = Some(inputs);
+        Ok(out)
+    }
+
+    /// Backward pass: splits `dout` into the gradient w.r.t. the dense
+    /// vector (first element of the returned pair) and the gradients
+    /// w.r.t. each pooled embedding (second element, one per table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no forward pass preceded this call or the
+    /// gradient width is inconsistent.
+    pub fn backward(&mut self, dout: &Matrix) -> Result<(Matrix, Vec<Matrix>), ShapeError> {
+        let inputs = self
+            .cached
+            .take()
+            .ok_or_else(|| ShapeError::new("interaction_backward_without_forward", (0, 0), dout.shape()))?;
+        let m = inputs.len();
+        let batch = inputs[0].rows();
+        let dim = inputs[0].cols();
+
+        match self.kind {
+            InteractionKind::Concat => {
+                let widths: Vec<usize> = inputs.iter().map(Matrix::cols).collect();
+                let mut parts = dout.hsplit(&widths)?;
+                let dense_grad = parts.remove(0);
+                Ok((dense_grad, parts))
+            }
+            InteractionKind::Dot => {
+                let pairs = m * (m - 1) / 2;
+                if dout.cols() != dim + pairs || dout.rows() != batch {
+                    return Err(ShapeError::new(
+                        "interaction_backward",
+                        (batch, dim + pairs),
+                        dout.shape(),
+                    ));
+                }
+                let mut grads: Vec<Matrix> = (0..m).map(|_| Matrix::zeros(batch, dim)).collect();
+                for b in 0..batch {
+                    let drow = dout.row(b);
+                    // Dense passthrough part.
+                    grads[0].row_mut(b).copy_from_slice(&drow[..dim]);
+                    // Pair part: dz_ij flows to both v_i and v_j.
+                    let mut p = dim;
+                    for i in 0..m {
+                        for j in (i + 1)..m {
+                            let g = drow[p];
+                            p += 1;
+                            if g == 0.0 {
+                                continue;
+                            }
+                            // Copy rows out to appease the borrow checker;
+                            // dim is small (<= a few hundred floats).
+                            let vi: Vec<f32> = inputs[i].row(b).to_vec();
+                            let vj: Vec<f32> = inputs[j].row(b).to_vec();
+                            for (gi, &vjv) in grads[i].row_mut(b).iter_mut().zip(vj.iter()) {
+                                *gi += g * vjv;
+                            }
+                            for (gj, &viv) in grads[j].row_mut(b).iter_mut().zip(vi.iter()) {
+                                *gj += g * viv;
+                            }
+                        }
+                    }
+                }
+                let dense_grad = grads.remove(0);
+                Ok((dense_grad, grads))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(rows: usize, cols: usize, seed: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32 + seed) * 0.37).sin();
+        }
+        m
+    }
+
+    #[test]
+    fn output_dims() {
+        assert_eq!(interaction_output_dim(InteractionKind::Concat, 3, 8), 32);
+        assert_eq!(interaction_output_dim(InteractionKind::Dot, 3, 8), 8 + 6);
+    }
+
+    #[test]
+    fn concat_forward_layout() {
+        let dense = mk(2, 3, 0.0);
+        let e = mk(2, 3, 5.0);
+        let mut op = FeatureInteraction::new(InteractionKind::Concat);
+        let out = op.forward(&dense, std::slice::from_ref(&e)).unwrap();
+        assert_eq!(out.shape(), (2, 6));
+        assert_eq!(&out.row(0)[..3], dense.row(0));
+        assert_eq!(&out.row(0)[3..], e.row(0));
+    }
+
+    #[test]
+    fn dot_forward_values() {
+        let dense = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let e = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let mut op = FeatureInteraction::new(InteractionKind::Dot);
+        let out = op.forward(&dense, &[e]).unwrap();
+        // [dense..., dot(dense, e)] = [1, 2, 11]
+        assert_eq!(out.row(0), &[1.0, 2.0, 11.0]);
+    }
+
+    #[test]
+    fn batch_mismatch_rejected() {
+        let dense = Matrix::zeros(2, 4);
+        let e = Matrix::zeros(3, 4);
+        let mut op = FeatureInteraction::new(InteractionKind::Dot);
+        assert!(op.forward(&dense, &[e]).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_rejected_for_dot_only() {
+        let dense = Matrix::zeros(2, 4);
+        let e = Matrix::zeros(2, 3);
+        let mut dot = FeatureInteraction::new(InteractionKind::Dot);
+        assert!(dot.forward(&dense, std::slice::from_ref(&e)).is_err());
+        let mut cat = FeatureInteraction::new(InteractionKind::Concat);
+        assert!(cat.forward(&dense, &[e]).is_ok());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut op = FeatureInteraction::new(InteractionKind::Dot);
+        assert!(op.backward(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn concat_backward_splits_gradient() {
+        let dense = mk(2, 3, 0.0);
+        let e0 = mk(2, 2, 1.0);
+        let e1 = mk(2, 4, 2.0);
+        let mut op = FeatureInteraction::new(InteractionKind::Concat);
+        let out = op.forward(&dense, &[e0, e1]).unwrap();
+        let dout = mk(2, out.cols(), 9.0);
+        let (dd, de) = op.backward(&dout).unwrap();
+        assert_eq!(dd.shape(), (2, 3));
+        assert_eq!(de.len(), 2);
+        assert_eq!(de[0].shape(), (2, 2));
+        assert_eq!(de[1].shape(), (2, 4));
+        // Gradient is a pure split of dout.
+        assert_eq!(&dout.row(0)[..3], dd.row(0));
+        assert_eq!(&dout.row(0)[3..5], de[0].row(0));
+    }
+
+    #[test]
+    fn dot_backward_matches_finite_difference() {
+        let dense = mk(2, 4, 0.3);
+        let e0 = mk(2, 4, 1.7);
+        let e1 = mk(2, 4, 2.9);
+        let mut op = FeatureInteraction::new(InteractionKind::Dot);
+        let out = op.forward(&dense, &[e0.clone(), e1.clone()]).unwrap();
+        let dout = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let (dd, de) = op.backward(&dout).unwrap();
+
+        let loss = |dense: &Matrix, e0: &Matrix, e1: &Matrix| -> f32 {
+            let mut op = FeatureInteraction::new(InteractionKind::Dot);
+            op.forward(dense, &[e0.clone(), e1.clone()]).unwrap().sum()
+        };
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..4 {
+                // dense grad
+                let mut p = dense.clone();
+                p[(r, c)] += eps;
+                let mut mo = dense.clone();
+                mo[(r, c)] -= eps;
+                let num = (loss(&p, &e0, &e1) - loss(&mo, &e0, &e1)) / (2.0 * eps);
+                assert!((dd[(r, c)] - num).abs() < 1e-2, "dense[{r}][{c}]");
+                // e0 grad
+                let mut p = e0.clone();
+                p[(r, c)] += eps;
+                let mut mo = e0.clone();
+                mo[(r, c)] -= eps;
+                let num = (loss(&dense, &p, &e1) - loss(&dense, &mo, &e1)) / (2.0 * eps);
+                assert!((de[0][(r, c)] - num).abs() < 1e-2, "e0[{r}][{c}]");
+            }
+        }
+    }
+}

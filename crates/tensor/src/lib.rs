@@ -1,0 +1,47 @@
+//! Dense tensor and MLP training substrate for the Tensor Casting
+//! reproduction.
+//!
+//! DLRM-style recommendation models combine *sparse* embedding layers with
+//! *dense* multi-layer perceptrons (bottom MLP over continuous features, top
+//! MLP over the feature-interaction output; see Fig. 1 of the paper). The
+//! paper runs the dense side on a GPU through cuDNN/cuBLAS; this crate is the
+//! from-scratch Rust substitute: a row-major [`Matrix`] with a blocked GEMM,
+//! differentiable [`Linear`]/[`Mlp`] layers, binary-cross-entropy loss and
+//! the DLRM feature-interaction operator.
+//!
+//! Everything is `f32`, matching the paper's training precision.
+//!
+//! # Example
+//!
+//! ```
+//! use tcast_tensor::{Matrix, Mlp, Activation};
+//!
+//! # fn main() -> Result<(), tcast_tensor::ShapeError> {
+//! // A 2-layer MLP: 8 -> 16 -> 1, ReLU hidden, linear output.
+//! let mut mlp = Mlp::new(8, &[16, 1], Activation::Relu, 42)?;
+//! let x = Matrix::zeros(4, 8); // batch of 4
+//! let y = mlp.forward(&x)?;
+//! assert_eq!((y.rows(), y.cols()), (4, 1));
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod init;
+mod interaction;
+mod linear;
+mod loss;
+mod matrix;
+mod mlp;
+mod ops;
+mod parallel;
+
+pub use error::ShapeError;
+pub use init::{he_normal, xavier_uniform, SplitMix64};
+pub use interaction::{interaction_output_dim, FeatureInteraction, InteractionKind};
+pub use linear::Linear;
+pub use loss::{bce_with_logits, bce_with_logits_backward, mse, mse_backward, mse_with_grad};
+pub use matrix::Matrix;
+pub use mlp::{Activation, Mlp};
+pub use ops::{relu, relu_backward, sigmoid, sigmoid_backward};
+pub use parallel::matmul_parallel;

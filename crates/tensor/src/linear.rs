@@ -1,0 +1,296 @@
+//! A fully-connected layer with cached activations and gradients.
+
+use crate::error::ShapeError;
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+
+/// A fully-connected (dense) layer `y = x W + b`.
+///
+/// `W` is `in_dim x out_dim`; inputs are batched row-wise (`batch x in_dim`).
+/// The layer caches its input during [`Linear::forward`] so that
+/// [`Linear::backward`] can produce weight/bias gradients, and stores those
+/// gradients until [`Linear::apply_update`] folds them into the parameters.
+///
+/// This mirrors how the paper's GPU-side "DNN fwd/bwd" phases are structured:
+/// forward produces activations, backward produces `dW` (GEMM of transposed
+/// activations) and `dX` (GEMM against transposed weights).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+    cached_input: Option<Matrix>,
+    grad_weight: Option<Matrix>,
+    grad_bias: Option<Vec<f32>>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            weight: xavier_uniform(in_dim, out_dim, seed),
+            bias: vec![0.0; out_dim],
+            cached_input: None,
+            grad_weight: None,
+            grad_bias: None,
+        }
+    }
+
+    /// Creates a layer from explicit parameters (for tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `bias.len() != weight.cols()`.
+    pub fn from_parameters(weight: Matrix, bias: Vec<f32>) -> Result<Self, ShapeError> {
+        if bias.len() != weight.cols() {
+            return Err(ShapeError::new(
+                "from_parameters",
+                weight.shape(),
+                (1, bias.len()),
+            ));
+        }
+        Ok(Self {
+            weight,
+            bias,
+            cached_input: None,
+            grad_weight: None,
+            grad_bias: None,
+        })
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Immutable access to the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Immutable access to the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass: `y = x W + b`. Caches `x` for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `x.cols() != in_dim`.
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut y = x.matmul(&self.weight)?;
+        y.add_row_vector(&self.bias)?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Stateless forward pass (no caching); used for inference/evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `x.cols() != in_dim`.
+    pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut y = x.matmul(&self.weight)?;
+        y.add_row_vector(&self.bias)?;
+        Ok(y)
+    }
+
+    /// Backward pass. Given `dy = dL/dy`, computes and caches
+    /// `dW = x^T dy`, `db = sum_rows(dy)`, and returns `dx = dy W^T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no forward pass preceded this call or the
+    /// gradient shape is inconsistent with the cached input.
+    pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix, ShapeError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("backward_without_forward", (0, 0), dy.shape()))?;
+        let grad_w = x.matmul_at(dy)?;
+        let grad_b = dy.sum_rows();
+        let dx = dy.matmul_bt(&self.weight)?;
+        self.grad_weight = Some(grad_w);
+        self.grad_bias = Some(grad_b);
+        Ok(dx)
+    }
+
+    /// Applies the cached gradients with plain SGD:
+    /// `W -= lr * dW`, `b -= lr * db`, then clears them.
+    ///
+    /// Calling this without cached gradients is a no-op, so optimizer steps
+    /// may be issued uniformly across layers.
+    pub fn apply_update(&mut self, lr: f32) {
+        if let Some(gw) = self.grad_weight.take() {
+            // Infallible: gw has the same shape as weight by construction.
+            self.weight
+                .add_scaled(&gw, -lr)
+                .expect("weight gradient shape matches weight");
+        }
+        if let Some(gb) = self.grad_bias.take() {
+            for (b, g) in self.bias.iter_mut().zip(gb.iter()) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Replaces the layer parameters (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the shapes differ from the current
+    /// parameters.
+    pub fn set_parameters(&mut self, weight: Matrix, bias: Vec<f32>) -> Result<(), ShapeError> {
+        if weight.shape() != self.weight.shape() {
+            return Err(ShapeError::new(
+                "set_parameters",
+                self.weight.shape(),
+                weight.shape(),
+            ));
+        }
+        if bias.len() != self.bias.len() {
+            return Err(ShapeError::new(
+                "set_parameters",
+                (1, self.bias.len()),
+                (1, bias.len()),
+            ));
+        }
+        self.weight = weight;
+        self.bias = bias;
+        Ok(())
+    }
+
+    /// The cached weight gradient from the last backward pass, if any.
+    pub fn grad_weight(&self) -> Option<&Matrix> {
+        self.grad_weight.as_ref()
+    }
+
+    /// The cached bias gradient from the last backward pass, if any.
+    pub fn grad_bias(&self) -> Option<&[f32]> {
+        self.grad_bias.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_weight_and_bias() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let mut layer = Linear::from_parameters(w, vec![10.0, 20.0]).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.row(0), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn from_parameters_validates_bias() {
+        let w = Matrix::zeros(2, 3);
+        assert!(Linear::from_parameters(w, vec![0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut layer = Linear::new(2, 2, 1);
+        assert!(layer.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Linear::new(3, 2, 42);
+        let x = Matrix::from_rows(&[&[0.5, -0.25, 1.0], &[-1.0, 0.75, 0.1]]).unwrap();
+
+        // Scalar loss L = sum(y); dL/dy = ones.
+        let y = layer.forward(&x).unwrap();
+        let dy = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let dx = layer.backward(&dy).unwrap();
+        let gw = layer.grad_weight().unwrap().clone();
+        let gb = layer.grad_bias().unwrap().to_vec();
+
+        let eps = 1e-2f32;
+        let loss =
+            |l: &Linear, x: &Matrix| -> f32 { l.forward_inference(x).unwrap().sum() };
+
+        // Weight gradient check.
+        for r in 0..3 {
+            for c in 0..2 {
+                let mut lp = layer.clone();
+                let mut wp = lp.weight().clone();
+                wp[(r, c)] += eps;
+                lp = Linear::from_parameters(wp, lp.bias().to_vec()).unwrap();
+                let mut lm = layer.clone();
+                let mut wm = lm.weight().clone();
+                wm[(r, c)] -= eps;
+                lm = Linear::from_parameters(wm, lm.bias().to_vec()).unwrap();
+                let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+                assert!(
+                    (gw[(r, c)] - num).abs() < 1e-2,
+                    "dW[{r}][{c}] analytic {} vs numeric {num}",
+                    gw[(r, c)]
+                );
+            }
+        }
+        // Bias gradient = batch size for sum loss.
+        assert!(gb.iter().all(|&g| (g - 2.0).abs() < 1e-5));
+
+        // Input gradient check.
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!(
+                    (dx[(r, c)] - num).abs() < 1e-2,
+                    "dX[{r}][{c}] analytic {} vs numeric {num}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_update_moves_against_gradient() {
+        let mut layer = Linear::new(2, 1, 3);
+        let before = layer.weight().clone();
+        let x = Matrix::filled(4, 2, 1.0);
+        let y = layer.forward(&x).unwrap();
+        let dy = Matrix::filled(y.rows(), y.cols(), 1.0);
+        layer.backward(&dy).unwrap();
+        layer.apply_update(0.1);
+        let after = layer.weight();
+        // dW = x^T dy = 4.0 for each entry; W should decrease by 0.4.
+        for r in 0..2 {
+            assert!((before[(r, 0)] - after[(r, 0)] - 0.4).abs() < 1e-5);
+        }
+        // Gradients consumed.
+        assert!(layer.grad_weight().is_none());
+        assert!(layer.grad_bias().is_none());
+    }
+
+    #[test]
+    fn apply_update_without_gradients_is_noop() {
+        let mut layer = Linear::new(2, 2, 5);
+        let before = layer.weight().clone();
+        layer.apply_update(1.0);
+        assert_eq!(layer.weight(), &before);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let layer = Linear::new(3, 4, 0);
+        assert_eq!(layer.parameter_count(), 3 * 4 + 4);
+    }
+}

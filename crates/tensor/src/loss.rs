@@ -1,0 +1,199 @@
+//! Training losses: binary cross-entropy over logits (the CTR objective of
+//! DLRM) and mean squared error (used in substrate tests).
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+use crate::ops::sigmoid_scalar;
+
+/// Mean binary-cross-entropy between logits and `{0,1}` targets, computed
+/// in the numerically-stable fused form
+/// `max(z,0) - z*t + ln(1 + e^{-|z|})`.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the shapes differ.
+///
+/// ```
+/// use tcast_tensor::{Matrix, bce_with_logits};
+///
+/// let logits = Matrix::from_rows(&[&[10.0], &[-10.0]]).unwrap();
+/// let targets = Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap();
+/// // Confident and correct: loss near zero.
+/// assert!(bce_with_logits(&logits, &targets).unwrap() < 1e-3);
+/// ```
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> Result<f32, ShapeError> {
+    if logits.shape() != targets.shape() {
+        return Err(ShapeError::new(
+            "bce_with_logits",
+            logits.shape(),
+            targets.shape(),
+        ));
+    }
+    let n = logits.len() as f32;
+    let mut total = 0.0f32;
+    for (&z, &t) in logits.as_slice().iter().zip(targets.as_slice().iter()) {
+        total += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+    }
+    Ok(total / n)
+}
+
+/// Gradient of [`bce_with_logits`] w.r.t. the logits:
+/// `(sigmoid(z) - t) / N`.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the shapes differ.
+pub fn bce_with_logits_backward(logits: &Matrix, targets: &Matrix) -> Result<Matrix, ShapeError> {
+    if logits.shape() != targets.shape() {
+        return Err(ShapeError::new(
+            "bce_with_logits_backward",
+            logits.shape(),
+            targets.shape(),
+        ));
+    }
+    let n = logits.len() as f32;
+    let data: Vec<f32> = logits
+        .as_slice()
+        .iter()
+        .zip(targets.as_slice().iter())
+        .map(|(&z, &t)| (sigmoid_scalar(z) - t) / n)
+        .collect();
+    Matrix::from_vec(logits.rows(), logits.cols(), data)
+}
+
+/// Mean squared error `mean((y - t)^2)`.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the shapes differ.
+pub fn mse(pred: &Matrix, target: &Matrix) -> Result<f32, ShapeError> {
+    if pred.shape() != target.shape() {
+        return Err(ShapeError::new("mse", pred.shape(), target.shape()));
+    }
+    let n = pred.len() as f32;
+    Ok(pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .map(|(&y, &t)| (y - t) * (y - t))
+        .sum::<f32>()
+        / n)
+}
+
+/// Gradient of [`mse`] w.r.t. predictions: `2 (y - t) / N`.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the shapes differ.
+pub fn mse_backward(pred: &Matrix, target: &Matrix) -> Result<Matrix, ShapeError> {
+    if pred.shape() != target.shape() {
+        return Err(ShapeError::new("mse_backward", pred.shape(), target.shape()));
+    }
+    let n = pred.len() as f32;
+    let data: Vec<f32> = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .map(|(&y, &t)| 2.0 * (y - t) / n)
+        .collect();
+    Matrix::from_vec(pred.rows(), pred.cols(), data)
+}
+
+/// Convenience: MSE loss and its gradient in one call.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the shapes differ.
+pub fn mse_with_grad(pred: &Matrix, target: &Matrix) -> Result<(f32, Matrix), ShapeError> {
+    Ok((mse(pred, target)?, mse_backward(pred, target)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_is_ln2_at_zero_logit() {
+        let z = Matrix::zeros(4, 1);
+        let t = Matrix::from_vec(4, 1, vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let loss = bce_with_logits(&z, &t).unwrap();
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_penalizes_confident_wrong() {
+        let right = Matrix::from_rows(&[&[5.0]]).unwrap();
+        let wrong = Matrix::from_rows(&[&[-5.0]]).unwrap();
+        let t = Matrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(
+            bce_with_logits(&wrong, &t).unwrap() > bce_with_logits(&right, &t).unwrap() + 4.0
+        );
+    }
+
+    #[test]
+    fn bce_is_stable_at_extreme_logits() {
+        let z = Matrix::from_rows(&[&[1000.0, -1000.0]]).unwrap();
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+        let loss = bce_with_logits(&z, &t).unwrap();
+        assert!(loss.is_finite());
+        assert!(loss < 1e-3);
+        let grad = bce_with_logits_backward(&z, &t).unwrap();
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let z = Matrix::from_rows(&[&[0.3, -1.2], &[2.0, 0.0]]).unwrap();
+        let t = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let g = bce_with_logits_backward(&z, &t).unwrap();
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut zp = z.clone();
+                zp[(r, c)] += eps;
+                let mut zm = z.clone();
+                zm[(r, c)] -= eps;
+                let num = (bce_with_logits(&zp, &t).unwrap()
+                    - bce_with_logits(&zm, &t).unwrap())
+                    / (2.0 * eps);
+                assert!(
+                    (g[(r, c)] - num).abs() < 1e-3,
+                    "grad[{r}][{c}] {} vs {num}",
+                    g[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Matrix::filled(2, 2, 3.0);
+        assert_eq!(mse(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let y = Matrix::from_rows(&[&[0.5, -1.0]]).unwrap();
+        let t = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let g = mse_backward(&y, &t).unwrap();
+        let eps = 1e-3f32;
+        for c in 0..2 {
+            let mut yp = y.clone();
+            yp[(0, c)] += eps;
+            let mut ym = y.clone();
+            ym[(0, c)] -= eps;
+            let num = (mse(&yp, &t).unwrap() - mse(&ym, &t).unwrap()) / (2.0 * eps);
+            assert!((g[(0, c)] - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_everywhere() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(2, 1);
+        assert!(bce_with_logits(&a, &b).is_err());
+        assert!(bce_with_logits_backward(&a, &b).is_err());
+        assert!(mse(&a, &b).is_err());
+        assert!(mse_backward(&a, &b).is_err());
+    }
+}

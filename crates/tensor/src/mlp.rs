@@ -1,0 +1,289 @@
+//! Multi-layer perceptron: the "bottom" and "top" DNN of a DLRM model.
+
+use crate::error::ShapeError;
+use crate::linear::Linear;
+use crate::matrix::Matrix;
+use crate::ops::{relu, relu_backward};
+
+/// Hidden-layer activation for [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit (DLRM's default).
+    #[default]
+    Relu,
+    /// No activation (purely linear stack).
+    Identity,
+}
+
+/// A stack of [`Linear`] layers with a shared hidden activation.
+///
+/// The final layer is always linear (no activation): DLRM applies the
+/// sigmoid inside the loss ([`crate::bce_with_logits`]) for numerical
+/// stability, matching standard practice.
+///
+/// Layer sizes follow the paper's notation: the Table II entry
+/// "256-128-64" for a bottom MLP is expressed as
+/// `Mlp::new(input_dim, &[256, 128, 64], ...)`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    // Pre-activation outputs of each hidden layer, saved for backprop.
+    cached_pre_activations: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Creates an MLP mapping `input_dim` to `widths.last()` through the
+    /// given hidden widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `widths` is empty.
+    pub fn new(
+        input_dim: usize,
+        widths: &[usize],
+        activation: Activation,
+        seed: u64,
+    ) -> Result<Self, ShapeError> {
+        if widths.is_empty() {
+            return Err(ShapeError::new("mlp_new", (input_dim, 0), (0, 0)));
+        }
+        let mut layers = Vec::with_capacity(widths.len());
+        let mut in_dim = input_dim;
+        for (i, &w) in widths.iter().enumerate() {
+            layers.push(Linear::new(in_dim, w, seed.wrapping_add(i as u64 * 7919)));
+            in_dim = w;
+        }
+        Ok(Self {
+            layers,
+            activation,
+            cached_pre_activations: Vec::new(),
+        })
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("mlp has >= 1 layer").out_dim()
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters across all layers.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Linear::parameter_count).sum()
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (checkpoint restore).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Forward pass over a `batch x input_dim` matrix, caching
+    /// pre-activations for [`Mlp::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on input-dimension mismatch.
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix, ShapeError> {
+        self.cached_pre_activations.clear();
+        let mut h = x.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let z = layer.forward(&h)?;
+            if i + 1 < n {
+                h = match self.activation {
+                    Activation::Relu => relu(&z),
+                    Activation::Identity => z.clone(),
+                };
+                self.cached_pre_activations.push(z);
+            } else {
+                h = z;
+            }
+        }
+        Ok(h)
+    }
+
+    /// Inference-only forward pass (no caching, `&self`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on input-dimension mismatch.
+    pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut h = x.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward_inference(&h)?;
+            h = if i + 1 < n {
+                match self.activation {
+                    Activation::Relu => relu(&z),
+                    Activation::Identity => z,
+                }
+            } else {
+                z
+            };
+        }
+        Ok(h)
+    }
+
+    /// Backward pass. Takes `dL/d(output)` and returns `dL/d(input)`,
+    /// leaving per-layer gradients cached inside each [`Linear`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no forward pass preceded this call.
+    pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix, ShapeError> {
+        let n = self.layers.len();
+        let mut grad = dy.clone();
+        for i in (0..n).rev() {
+            grad = self.layers[i].backward(&grad)?;
+            if i > 0 {
+                let z = &self.cached_pre_activations[i - 1];
+                grad = match self.activation {
+                    Activation::Relu => relu_backward(&grad, z)?,
+                    Activation::Identity => grad,
+                };
+            }
+        }
+        Ok(grad)
+    }
+
+    /// Applies cached gradients on every layer with SGD at rate `lr`.
+    pub fn apply_update(&mut self, lr: f32) {
+        for layer in &mut self.layers {
+            layer.apply_update(lr);
+        }
+    }
+
+    /// Approximate FLOP count for one forward pass at the given batch size
+    /// (2 FLOPs per MAC). Used by the system-level cost model.
+    pub fn forward_flops(&self, batch: usize) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| 2 * batch as u64 * l.in_dim() as u64 * l.out_dim() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_widths() {
+        assert!(Mlp::new(4, &[], Activation::Relu, 0).is_err());
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut mlp = Mlp::new(8, &[16, 4, 2], Activation::Relu, 1).unwrap();
+        assert_eq!(mlp.depth(), 3);
+        assert_eq!(mlp.input_dim(), 8);
+        assert_eq!(mlp.output_dim(), 2);
+        let y = mlp.forward(&Matrix::zeros(5, 8)).unwrap();
+        assert_eq!(y.shape(), (5, 2));
+    }
+
+    #[test]
+    fn forward_and_inference_agree() {
+        let mut mlp = Mlp::new(6, &[12, 3], Activation::Relu, 9).unwrap();
+        let mut x = Matrix::zeros(4, 6);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 * 0.13).sin();
+        }
+        let y1 = mlp.forward(&x).unwrap();
+        let y2 = mlp.forward_inference(&x).unwrap();
+        assert!(y1.max_abs_diff(&y2).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut mlp = Mlp::new(3, &[5, 1], Activation::Relu, 12).unwrap();
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-0.5, 0.3, 0.1]]).unwrap();
+        let y = mlp.forward(&x).unwrap();
+        let dy = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let dx = mlp.backward(&dy).unwrap();
+
+        let eps = 1e-2f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let num = (mlp.forward_inference(&xp).unwrap().sum()
+                    - mlp.forward_inference(&xm).unwrap().sum())
+                    / (2.0 * eps);
+                assert!(
+                    (dx[(r, c)] - num).abs() < 2e-2,
+                    "dX[{r}][{c}] analytic {} vs numeric {num}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression_task() {
+        // Fit y = sum(x) with a small MLP; MSE should drop sharply.
+        let mut mlp = Mlp::new(4, &[16, 1], Activation::Relu, 77).unwrap();
+        let mut rng = crate::init::SplitMix64::new(5);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..300 {
+            let mut x = Matrix::zeros(16, 4);
+            for v in x.as_mut_slice() {
+                *v = rng.next_range(-1.0, 1.0);
+            }
+            let target: Vec<f32> = x.rows_iter().map(|r| r.iter().sum()).collect();
+            let t = Matrix::from_vec(16, 1, target).unwrap();
+            let y = mlp.forward(&x).unwrap();
+            let (loss, dy) = crate::loss::mse_with_grad(&y, &t).unwrap();
+            mlp.backward(&dy).unwrap();
+            mlp.apply_update(0.05);
+            if first_loss.is_none() {
+                first_loss = Some(loss);
+            }
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.2,
+            "loss did not drop: {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn identity_activation_is_linear() {
+        let mlp = Mlp::new(2, &[2, 2], Activation::Identity, 4).unwrap();
+        let x1 = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+        let x2 = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let sum = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let y1 = mlp.forward_inference(&x1).unwrap();
+        let y2 = mlp.forward_inference(&x2).unwrap();
+        let ysum = mlp.forward_inference(&sum).unwrap();
+        // Linearity up to the (shared) bias: f(a+b) = f(a) + f(b) - f(0).
+        let y0 = mlp.forward_inference(&Matrix::zeros(1, 2)).unwrap();
+        let expect = y1.add(&y2).unwrap().sub(&y0).unwrap();
+        assert!(ysum.max_abs_diff(&expect).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let mlp = Mlp::new(10, &[20, 5], Activation::Relu, 0).unwrap();
+        // 2*(10*20 + 20*5) per sample.
+        assert_eq!(mlp.forward_flops(1), 2 * (200 + 100));
+        assert_eq!(mlp.forward_flops(8), 8 * 2 * 300);
+    }
+}

@@ -1,0 +1,129 @@
+//! Elementwise activations and their backward passes.
+
+use crate::matrix::Matrix;
+use crate::error::ShapeError;
+
+/// ReLU: `max(0, x)` elementwise.
+///
+/// ```
+/// use tcast_tensor::{Matrix, relu};
+///
+/// let x = Matrix::from_rows(&[&[-1.0, 2.0]]).unwrap();
+/// assert_eq!(relu(&x).row(0), &[0.0, 2.0]);
+/// ```
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// Backward pass of ReLU: `dx = dy ⊙ 1[x > 0]`, where `x` is the
+/// *pre-activation* input saved during the forward pass.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `dy` and `x` have different shapes.
+pub fn relu_backward(dy: &Matrix, x: &Matrix) -> Result<Matrix, ShapeError> {
+    if dy.shape() != x.shape() {
+        return Err(ShapeError::new("relu_backward", dy.shape(), x.shape()));
+    }
+    let data: Vec<f32> = dy
+        .as_slice()
+        .iter()
+        .zip(x.as_slice().iter())
+        .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+        .collect();
+    Matrix::from_vec(dy.rows(), dy.cols(), data)
+}
+
+/// Numerically-stable logistic sigmoid, elementwise.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(sigmoid_scalar)
+}
+
+/// Backward pass of sigmoid: `dx = dy ⊙ s(x)(1 - s(x))` where `s` is the
+/// *forward output* (not the pre-activation).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `dy` and `s` have different shapes.
+pub fn sigmoid_backward(dy: &Matrix, s: &Matrix) -> Result<Matrix, ShapeError> {
+    if dy.shape() != s.shape() {
+        return Err(ShapeError::new("sigmoid_backward", dy.shape(), s.shape()));
+    }
+    let data: Vec<f32> = dy
+        .as_slice()
+        .iter()
+        .zip(s.as_slice().iter())
+        .map(|(&g, &v)| g * v * (1.0 - v))
+        .collect();
+    Matrix::from_vec(dy.rows(), dy.cols(), data)
+}
+
+#[inline]
+pub(crate) fn sigmoid_scalar(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-3.0, 0.0, 5.0]]).unwrap();
+        assert_eq!(relu(&x).row(0), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0]]).unwrap();
+        let dy = Matrix::from_rows(&[&[10.0, 10.0]]).unwrap();
+        let dx = relu_backward(&dy, &x).unwrap();
+        assert_eq!(dx.row(0), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn relu_backward_shape_check() {
+        let x = Matrix::zeros(1, 2);
+        let dy = Matrix::zeros(2, 1);
+        assert!(relu_backward(&dy, &x).is_err());
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        let x = Matrix::from_rows(&[&[-100.0, -1.0, 0.0, 1.0, 100.0]]).unwrap();
+        let s = sigmoid(&x);
+        for &v in s.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v.is_finite());
+        }
+        assert!((s[(0, 2)] - 0.5).abs() < 1e-6);
+        // s(-x) = 1 - s(x)
+        assert!((s[(0, 1)] + s[(0, 3)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_backward_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]).unwrap();
+        let s = sigmoid(&x);
+        let dy = Matrix::filled(1, 3, 1.0);
+        let dx = sigmoid_backward(&dy, &s).unwrap();
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut xp = x.clone();
+            xp[(0, c)] += eps;
+            let mut xm = x.clone();
+            xm[(0, c)] -= eps;
+            let num = (sigmoid(&xp)[(0, c)] - sigmoid(&xm)[(0, c)]) / (2.0 * eps);
+            assert!(
+                (dx[(0, c)] - num).abs() < 1e-3,
+                "col {c}: analytic {} vs numeric {num}",
+                dx[(0, c)]
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Multi-threaded GEMM: row-partitioned matrix multiply over scoped OS
+//! threads. The DLRM trainer's MLP phases use this to keep the dense
+//! side from distorting the embedding-phase measurements on multi-core
+//! hosts (the paper's CPU baseline is similarly multi-threaded MKL).
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+
+/// `self * rhs` with the output rows partitioned across `threads` OS
+/// threads. Exact same result as [`Matrix::matmul`] (identical inner
+/// kernel, disjoint output bands).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] unless `lhs.cols() == rhs.rows()`.
+pub fn matmul_parallel(lhs: &Matrix, rhs: &Matrix, threads: usize) -> Result<Matrix, ShapeError> {
+    if lhs.cols() != rhs.rows() {
+        return Err(ShapeError::new("matmul_parallel", lhs.shape(), rhs.shape()));
+    }
+    let (m, k, n) = (lhs.rows(), lhs.cols(), rhs.cols());
+    let threads = threads.max(1).min(m.max(1));
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(out);
+    }
+    let rows_per = m.div_ceil(threads);
+    let lhs_data = lhs.as_slice();
+    let rhs_data = rhs.as_slice();
+    let buf = out.as_mut_slice();
+    std::thread::scope(|scope| {
+        let mut rest = buf;
+        for t in 0..threads {
+            let lo = t * rows_per;
+            let hi = ((t + 1) * rows_per).min(m);
+            if lo >= hi {
+                break;
+            }
+            let (band, tail) = rest.split_at_mut((hi - lo) * n);
+            rest = tail;
+            let lhs_band = &lhs_data[lo * k..hi * k];
+            scope.spawn(move || {
+                // Same blocked kernel shape as the serial matmul: stream
+                // rhs rows, accumulate into the band.
+                for i in 0..(hi - lo) {
+                    let a_row = &lhs_band[i * k..(i + 1) * k];
+                    let c_row = &mut band[i * n..(i + 1) * n];
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &rhs_data[kk * n..(kk + 1) * n];
+                        for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
+                            *c += a * b;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::SplitMix64;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = rng.next_range(-1.0, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn matches_serial_matmul() {
+        let a = random_matrix(37, 23, 1);
+        let b = random_matrix(23, 41, 2);
+        let serial = a.matmul(&b).unwrap();
+        for threads in [1, 2, 4, 9] {
+            let par = matmul_parallel(&a, &b, threads).unwrap();
+            assert!(
+                serial.max_abs_diff(&par).unwrap() < 1e-5,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let a = random_matrix(3, 8, 3);
+        let b = random_matrix(8, 5, 4);
+        let par = matmul_parallel(&a, &b, 64).unwrap();
+        assert!(a.matmul(&b).unwrap().max_abs_diff(&par).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matmul_parallel(&a, &b, 2).is_err());
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 4);
+        let out = matmul_parallel(&a, &b, 4).unwrap();
+        assert_eq!(out.shape(), (0, 4));
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let a = random_matrix(16, 16, 7);
+        let id = Matrix::identity(16);
+        let par = matmul_parallel(&a, &id, 3).unwrap();
+        assert!(a.max_abs_diff(&par).unwrap() < 1e-6);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tensor-casting
+//!
+//! A from-scratch Rust reproduction of **"Tensor Casting: Co-Designing
+//! Algorithm-Architecture for Personalized Recommendation Training"**
+//! (Kwon, Lee, Rhu — HPCA 2021, arXiv:2010.13100).
+//!
+//! This facade crate re-exports the whole workspace. The subsystems:
+//!
+//! * [`core`] (`tcast-core`) — the paper's contribution: the Tensor
+//!   Casting index transformation (Algorithm 2), the fused casted
+//!   gradient gather-reduce (Algorithm 3), and the forward-overlap
+//!   casting pipeline (Section IV-B).
+//! * [`embedding`] (`tcast-embedding`) — embedding tables and the
+//!   baseline primitives: fused gather-reduce, gradient expand, gradient
+//!   coalesce (Algorithm 1), gradient scatter, sparse optimizers, and the
+//!   analytic memory-traffic model of Fig. 6.
+//! * [`tensor`] (`tcast-tensor`) — the dense MLP substrate (matrices,
+//!   GEMM, losses, DLRM feature interaction).
+//! * [`datasets`] (`tcast-datasets`) — popularity models of the paper's
+//!   four datasets, coalescing statistics (Fig. 5), synthetic CTR data.
+//! * [`dram`] (`tcast-dram`) — a cycle-level DDR4 simulator (the
+//!   Ramulator substitute) measuring effective bandwidth per access
+//!   pattern.
+//! * [`nmp`] (`tcast-nmp`) — the rank-level NMP cores (Fig. 11) and the
+//!   disaggregated pool (Fig. 10 / Table I), functionally and temporally
+//!   modelled.
+//! * [`system`] (`tcast-system`) — the system-level performance/energy
+//!   model behind Figs. 4, 9 and 12-17: design points, timelines,
+//!   speedups, utilization, energy.
+//! * [`dlrm`] (`tcast-dlrm`) — end-to-end DLRM training on the real
+//!   kernels with switchable baseline/casted backward.
+//!
+//! See `examples/` for runnable entry points and `crates/bench/src/bin/`
+//! for the per-figure reproduction harness.
+//!
+//! ```
+//! use tensor_casting::core::{tensor_casting, casted_gather_reduce};
+//! use tensor_casting::embedding::{IndexArray, gradient_expand_coalesce};
+//! use tensor_casting::tensor::Matrix;
+//!
+//! // The paper's running example (Figs. 2, 7, 8).
+//! let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+//! let grads = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+//! let baseline = gradient_expand_coalesce(&grads, &index).unwrap();
+//! let casted = casted_gather_reduce(&grads, &tensor_casting(&index)).unwrap();
+//! assert_eq!(baseline.grads().as_slice(), casted.grads().as_slice());
+//! ```
+
+pub use tcast_core as core;
+pub use tcast_datasets as datasets;
+pub use tcast_dlrm as dlrm;
+pub use tcast_dram as dram;
+pub use tcast_embedding as embedding;
+pub use tcast_nmp as nmp;
+pub use tcast_system as system;
+pub use tcast_tensor as tensor;

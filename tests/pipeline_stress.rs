@@ -1,0 +1,134 @@
+//! Stress tests for the casting pipeline and the parallel kernels under
+//! sustained, randomized multi-iteration load — failure-injection style
+//! coverage for the concurrency machinery.
+
+use tensor_casting::core::{
+    casted_gather_reduce, casted_gather_reduce_parallel, fused_casted_backward, tensor_casting,
+    tensor_casting_parallel, CastingPipeline,
+};
+use tensor_casting::embedding::{
+    gather_reduce, gather_reduce_parallel, gradient_coalesce_parallel, gradient_expand,
+    gradient_expand_coalesce, optim::Sgd, scatter_apply, EmbeddingTable, IndexArray,
+    ShardedTable,
+};
+use tensor_casting::tensor::{matmul_parallel, Matrix, SplitMix64};
+
+fn random_index(rng: &mut SplitMix64, batch: usize, pooling_max: usize, rows: u64) -> IndexArray {
+    let samples: Vec<Vec<u32>> = (0..batch)
+        .map(|_| {
+            let pooling = 1 + rng.next_below(pooling_max as u64) as usize;
+            (0..pooling).map(|_| rng.next_below(rows) as u32).collect()
+        })
+        .collect();
+    IndexArray::from_samples(&samples).unwrap()
+}
+
+#[test]
+fn pipeline_sustains_many_out_of_order_iterations() {
+    let mut rng = SplitMix64::new(1);
+    let mut pipeline = CastingPipeline::new();
+    // Submit 20 jobs up front, collect in a scrambled order.
+    let jobs: Vec<(IndexArray, _)> = (0..20)
+        .map(|_| {
+            let idx = random_index(&mut rng, 32, 6, 500);
+            let ticket = pipeline.submit(vec![idx.clone()]);
+            (idx, ticket)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    // Deterministic scramble.
+    for i in 0..order.len() {
+        let j = rng.next_below(order.len() as u64) as usize;
+        order.swap(i, j);
+    }
+    for &i in &order {
+        let casted = pipeline.collect(jobs[i].1);
+        assert_eq!(casted[0], tensor_casting(&jobs[i].0), "job {i}");
+    }
+    assert_eq!(pipeline.stats().jobs_completed, 20);
+}
+
+#[test]
+fn all_kernel_variants_agree_under_randomized_load() {
+    let mut rng = SplitMix64::new(2);
+    for trial in 0..10 {
+        let rows = 100 + rng.next_below(2000);
+        let batch = 8 + rng.next_below(120) as usize;
+        let dim = 1 + rng.next_below(48) as usize;
+        let index = random_index(&mut rng, batch, 7, rows);
+        let table = EmbeddingTable::seeded(rows as usize, dim, trial);
+        let mut grads = Matrix::zeros(batch, dim);
+        for v in grads.as_mut_slice() {
+            *v = rng.next_range(-1.0, 1.0);
+        }
+
+        // Forward variants.
+        let fwd = gather_reduce(&table, &index).unwrap();
+        let fwd_par = gather_reduce_parallel(&table, &index, 4).unwrap();
+        assert!(fwd.max_abs_diff(&fwd_par).unwrap() < 1e-5, "trial {trial}");
+
+        // Backward variants: serial, parallel coalesce, casted (serial,
+        // parallel kernel, parallel casting), sharded scatter, fused.
+        let baseline = gradient_expand_coalesce(&grads, &index).unwrap();
+        let expanded = gradient_expand(&grads, &index).unwrap();
+        let par_coalesce = gradient_coalesce_parallel(&expanded, &index, 3).unwrap();
+        assert_eq!(baseline.rows(), par_coalesce.rows());
+        assert!(baseline.max_abs_diff(&par_coalesce).unwrap() < 1e-5);
+
+        let casted = tensor_casting(&index);
+        let casted_par = tensor_casting_parallel(&index, 4);
+        assert_eq!(casted, casted_par, "trial {trial}");
+        let c1 = casted_gather_reduce(&grads, &casted).unwrap();
+        let c2 = casted_gather_reduce_parallel(&grads, &casted, 5).unwrap();
+        assert_eq!(baseline.grads().as_slice(), c1.grads().as_slice());
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-5);
+
+        // Full update: plain scatter vs sharded scatter vs fused backward.
+        let mut t_plain = table.clone();
+        scatter_apply(&mut t_plain, &baseline, &mut Sgd::new(0.1)).unwrap();
+
+        let mut t_sharded = ShardedTable::from_table(&table, 3);
+        t_sharded.scatter_apply(&baseline, &mut Sgd::new(0.1)).unwrap();
+        assert!(t_sharded.to_table().max_abs_diff(&t_plain).unwrap() < 1e-6);
+
+        let mut t_fused = table.clone();
+        fused_casted_backward(&mut t_fused, &grads, &casted, &mut Sgd::new(0.1)).unwrap();
+        assert_eq!(t_fused.max_abs_diff(&t_plain).unwrap(), 0.0);
+    }
+}
+
+#[test]
+fn parallel_matmul_stress() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..6 {
+        let m = 1 + rng.next_below(60) as usize;
+        let k = 1 + rng.next_below(60) as usize;
+        let n = 1 + rng.next_below(60) as usize;
+        let mut a = Matrix::zeros(m, k);
+        let mut b = Matrix::zeros(k, n);
+        for v in a.as_mut_slice() {
+            *v = rng.next_range(-1.0, 1.0);
+        }
+        for v in b.as_mut_slice() {
+            *v = rng.next_range(-1.0, 1.0);
+        }
+        let serial = a.matmul(&b).unwrap();
+        let par = matmul_parallel(&a, &b, 1 + rng.next_below(8) as usize).unwrap();
+        assert!(serial.max_abs_diff(&par).unwrap() < 1e-4);
+    }
+}
+
+#[test]
+fn interleaved_pipelines_do_not_cross_talk() {
+    // Two independent pipelines with interleaved submissions: results
+    // must come from the right pipeline's jobs.
+    let mut rng = SplitMix64::new(4);
+    let mut p1 = CastingPipeline::new();
+    let mut p2 = CastingPipeline::new();
+    let idx1 = random_index(&mut rng, 16, 4, 100);
+    let idx2 = random_index(&mut rng, 16, 4, 100);
+    let t1 = p1.submit(vec![idx1.clone()]);
+    let t2 = p2.submit(vec![idx2.clone()]);
+    assert_eq!(p2.collect(t2)[0], tensor_casting(&idx2));
+    assert_eq!(p1.collect(t1)[0], tensor_casting(&idx1));
+}
