@@ -1,14 +1,14 @@
-//! Criterion bench: the casting stage itself (Algorithm 2), comparison
-//! sort vs counting sort (the DESIGN.md sort ablation), against the
-//! baseline's in-path coalesce sort.
+//! Bench: the casting stage itself (Algorithm 2) — comparison sort vs
+//! counting sort (the DESIGN.md sort ablation) vs the pool-parallel
+//! MSB-partitioned sort, against the baseline's in-path coalesce sort.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tcast_core::{tensor_casting, tensor_casting_counting};
+use tcast_bench::harness::BenchGroup;
+use tcast_core::{tensor_casting, tensor_casting_counting, tensor_casting_parallel};
 use tcast_datasets::{Popularity, TableWorkload};
 
-fn bench_casting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("casting");
+fn main() {
+    let mut group = BenchGroup::new("casting");
     for (name, rows) in [("dense_ids", 20_000u32), ("sparse_ids", 5_000_000u32)] {
         let workload = TableWorkload::new(
             Popularity::Zipf {
@@ -18,36 +18,20 @@ fn bench_casting(c: &mut Criterion) {
             10,
         );
         let index = workload.generator(5).next_batch(2048);
-        group.throughput(Throughput::Elements(index.len() as u64));
+        group.throughput_elements(index.len() as u64);
 
-        group.bench_with_input(
-            BenchmarkId::new("comparison_sort", name),
-            &index,
-            |b, idx| {
-                b.iter(|| tensor_casting(black_box(idx)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("counting_sort", name),
-            &index,
-            |b, idx| {
-                b.iter(|| tensor_casting_counting(black_box(idx)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sorted_by_src_only", name),
-            &index,
-            |b, idx| {
-                b.iter(|| black_box(idx).sorted_by_src());
-            },
-        );
+        group.bench(&format!("comparison_sort/{name}"), || {
+            tensor_casting(black_box(&index))
+        });
+        group.bench(&format!("counting_sort/{name}"), || {
+            tensor_casting_counting(black_box(&index))
+        });
+        group.bench(&format!("parallel4/{name}"), || {
+            tensor_casting_parallel(black_box(&index), 4)
+        });
+        group.bench(&format!("sorted_by_src_only/{name}"), || {
+            black_box(&index).sorted_by_src()
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_casting
-}
-criterion_main!(benches);

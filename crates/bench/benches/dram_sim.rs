@@ -1,20 +1,28 @@
-//! Criterion bench: DRAM-simulator throughput across address mappings and
-//! row policies (the DESIGN.md mapping/policy ablation). Reported
-//! criterion throughput here is simulator speed; the *simulated*
-//! effective bandwidths are printed by `table1_memory`.
+//! Bench: DRAM-simulator throughput across address mappings and row
+//! policies (the DESIGN.md mapping/policy ablation). Reported throughput
+//! here is simulator speed; the *simulated* effective bandwidths are
+//! printed by `table1_memory`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tcast_bench::harness::BenchGroup;
 use tcast_dram::{streams, AddressMapping, DramConfig, MemorySystem, RowPolicy};
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram_sim");
+fn main() {
+    let mut group = BenchGroup::new("dram_sim");
     let rows: Vec<u32> = (0..2_000u32)
         .map(|i| i.wrapping_mul(2_654_435_761) % 100_000)
         .collect();
     let configs = [
-        ("open_rowbank", AddressMapping::RowBankColumn, RowPolicy::Open),
-        ("open_colfirst", AddressMapping::ColumnFirst, RowPolicy::Open),
+        (
+            "open_rowbank",
+            AddressMapping::RowBankColumn,
+            RowPolicy::Open,
+        ),
+        (
+            "open_colfirst",
+            AddressMapping::ColumnFirst,
+            RowPolicy::Open,
+        ),
         (
             "closed_bankint",
             AddressMapping::BankInterleaved,
@@ -25,29 +33,14 @@ fn bench_dram(c: &mut Criterion) {
         let cfg = DramConfig::ddr4_3200()
             .with_mapping(mapping)
             .with_row_policy(policy);
-        group.bench_with_input(
-            BenchmarkId::new("gather256B", name),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    let mut mem = MemorySystem::new(cfg.clone());
-                    mem.run_trace(streams::gather_reads(black_box(&rows), 256, 0))
-                });
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("sequential", name), &cfg, |b, cfg| {
-            b.iter(|| {
-                let mut mem = MemorySystem::new(cfg.clone());
-                mem.run_trace(streams::sequential_reads(8_000))
-            });
+        group.bench(&format!("gather256B/{name}"), || {
+            let mut mem = MemorySystem::new(cfg.clone());
+            mem.run_trace(streams::gather_reads(black_box(&rows), 256, 0))
+        });
+        group.bench(&format!("sequential/{name}"), || {
+            let mut mem = MemorySystem::new(cfg.clone());
+            mem.run_trace(streams::sequential_reads(8_000))
         });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_dram
-}
-criterion_main!(benches);

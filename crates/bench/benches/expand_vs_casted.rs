@@ -1,17 +1,17 @@
-//! Criterion bench — THE paper comparison on real hardware: baseline
-//! gradient expand-coalesce (Algorithm 1) vs the T.Casted gradient
-//! gather-reduce (Algorithms 2+3), measured both with casting on the
-//! critical path and with casted arrays precomputed (the runtime-hidden
-//! case that the backward pass actually observes).
+//! Bench — THE paper comparison on real hardware: baseline gradient
+//! expand-coalesce (Algorithm 1) vs the T.Casted gradient gather-reduce
+//! (Algorithms 2+3), measured both with casting on the critical path and
+//! with casted arrays precomputed (the runtime-hidden case that the
+//! backward pass actually observes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use tcast_bench::harness::BenchGroup;
 use tcast_core::{casted_gather_reduce, tensor_casting};
 use tcast_datasets::{Popularity, TableWorkload};
 use tcast_embedding::{gradient_coalesce, gradient_expand, gradient_expand_coalesce};
 use tcast_tensor::Matrix;
 
-fn bench_backward_paths(c: &mut Criterion) {
+fn main() {
     let dim = 64;
     let workload = TableWorkload::new(
         Popularity::Zipf {
@@ -20,7 +20,7 @@ fn bench_backward_paths(c: &mut Criterion) {
         },
         10,
     );
-    let mut group = c.benchmark_group("embedding_backward");
+    let mut group = BenchGroup::new("embedding_backward");
     for batch in [512usize, 2048] {
         let index = workload.generator(3).next_batch(batch);
         let mut grads = Matrix::zeros(batch, dim);
@@ -28,50 +28,23 @@ fn bench_backward_paths(c: &mut Criterion) {
             *v = (i as f32 * 0.7).sin();
         }
         let bytes = (index.len() * dim * 4) as u64;
-        group.throughput(Throughput::Bytes(bytes));
+        group.throughput_bytes(bytes);
 
-        group.bench_with_input(
-            BenchmarkId::new("baseline_expand_coalesce", batch),
-            &index,
-            |b, idx| {
-                b.iter(|| gradient_expand_coalesce(black_box(&grads), black_box(idx)).unwrap());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("baseline_two_kernels", batch),
-            &index,
-            |b, idx| {
-                b.iter(|| {
-                    let e = gradient_expand(black_box(&grads), idx).unwrap();
-                    gradient_coalesce(&e, idx).unwrap()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("casted_including_casting", batch),
-            &index,
-            |b, idx| {
-                b.iter(|| {
-                    let casted = tensor_casting(black_box(idx));
-                    casted_gather_reduce(black_box(&grads), &casted).unwrap()
-                });
-            },
-        );
+        group.bench(&format!("baseline_expand_coalesce/{batch}"), || {
+            gradient_expand_coalesce(black_box(&grads), black_box(&index)).unwrap()
+        });
+        group.bench(&format!("baseline_two_kernels/{batch}"), || {
+            let e = gradient_expand(black_box(&grads), &index).unwrap();
+            gradient_coalesce(&e, &index).unwrap()
+        });
+        group.bench(&format!("casted_including_casting/{batch}"), || {
+            let casted = tensor_casting(black_box(&index));
+            casted_gather_reduce(black_box(&grads), &casted).unwrap()
+        });
         let precomputed = tensor_casting(&index);
-        group.bench_with_input(
-            BenchmarkId::new("casted_precomputed", batch),
-            &precomputed,
-            |b, casted| {
-                b.iter(|| casted_gather_reduce(black_box(&grads), black_box(casted)).unwrap());
-            },
-        );
+        group.bench(&format!("casted_precomputed/{batch}"), || {
+            casted_gather_reduce(black_box(&grads), black_box(&precomputed)).unwrap()
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_backward_paths
-}
-criterion_main!(benches);

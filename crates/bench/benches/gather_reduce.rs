@@ -1,17 +1,17 @@
-//! Criterion bench: the forward gather-reduce primitive.
+//! Bench: the forward gather-reduce primitive.
 //!
 //! Ablations: fused vs unfused (the Fig. 2a footnote — fusion saves the
-//! `n x D` intermediate) and serial vs parallel (the paper's tuned
+//! `n x D` intermediate) and serial vs pool-parallel (the paper's tuned
 //! multi-threaded baseline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use tcast_bench::harness::BenchGroup;
 use tcast_datasets::{Popularity, TableWorkload};
 use tcast_embedding::{
     gather, gather_reduce, gather_reduce_parallel, reduce_by_dst, EmbeddingTable,
 };
 
-fn bench_gather_reduce(c: &mut Criterion) {
+fn main() {
     let dim = 64;
     let table = EmbeddingTable::seeded(100_000, dim, 1);
     let workload = TableWorkload::new(
@@ -21,31 +21,22 @@ fn bench_gather_reduce(c: &mut Criterion) {
         },
         10,
     );
-    let mut group = c.benchmark_group("gather_reduce");
+    let mut group = BenchGroup::new("gather_reduce");
     for batch in [512usize, 2048] {
         let index = workload.generator(7).next_batch(batch);
         let bytes = (index.len() * dim * 4) as u64;
-        group.throughput(Throughput::Bytes(bytes));
+        group.throughput_bytes(bytes);
 
-        group.bench_with_input(BenchmarkId::new("fused", batch), &index, |b, idx| {
-            b.iter(|| gather_reduce(black_box(&table), black_box(idx)).unwrap());
+        group.bench(&format!("fused/{batch}"), || {
+            gather_reduce(black_box(&table), black_box(&index)).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("unfused", batch), &index, |b, idx| {
-            b.iter(|| {
-                let g = gather(black_box(&table), black_box(idx)).unwrap();
-                reduce_by_dst(&g, idx).unwrap()
-            });
+        group.bench(&format!("unfused/{batch}"), || {
+            let g = gather(black_box(&table), black_box(&index)).unwrap();
+            reduce_by_dst(&g, &index).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("parallel4", batch), &index, |b, idx| {
-            b.iter(|| gather_reduce_parallel(black_box(&table), black_box(idx), 4).unwrap());
+        group.bench(&format!("parallel4/{batch}"), || {
+            gather_reduce_parallel(black_box(&table), black_box(&index), 4).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_gather_reduce
-}
-criterion_main!(benches);

@@ -1,12 +1,13 @@
-//! Criterion bench: the dense MLP substrate (forward and backward) at
-//! DLRM-relevant layer shapes.
+//! Bench: the dense MLP substrate (forward and backward) at
+//! DLRM-relevant layer shapes, on both the allocating and the
+//! zero-allocation step paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tcast_tensor::{Activation, Matrix, Mlp};
+use tcast_bench::harness::BenchGroup;
+use tcast_tensor::{Activation, Exec, Matrix, Mlp};
 
-fn bench_mlp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mlp");
+fn main() {
+    let mut group = BenchGroup::new("mlp");
     // (name, input dim, widths) — RM1's bottom and top stacks.
     let shapes: [(&str, usize, &[usize]); 2] = [
         ("bottom_256_128_64", 13, &[256, 128, 64]),
@@ -20,34 +21,26 @@ fn bench_mlp(c: &mut Criterion) {
             for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
                 *v = (i as f32 * 0.1).sin();
             }
-            group.throughput(Throughput::Elements(flops));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{name}/forward"), batch),
-                &x,
-                |b, x| {
-                    b.iter(|| mlp.forward(black_box(x)).unwrap());
-                },
-            );
+            group.throughput_elements(flops);
+            group.bench(&format!("{name}/forward/{batch}"), || {
+                mlp.forward(black_box(&x)).unwrap()
+            });
             let y = mlp.forward(&x).unwrap();
             let dy = Matrix::filled(y.rows(), y.cols(), 1.0);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{name}/fwd_bwd"), batch),
-                &x,
-                |b, x| {
-                    b.iter(|| {
-                        mlp.forward(black_box(x)).unwrap();
-                        mlp.backward(black_box(&dy)).unwrap()
-                    });
-                },
-            );
+            group.bench(&format!("{name}/fwd_bwd/{batch}"), || {
+                mlp.forward(black_box(&x)).unwrap();
+                mlp.backward(black_box(&dy)).unwrap()
+            });
+            // Zero-allocation step path (the trainer's hot path).
+            let mut out = Matrix::default();
+            let mut dx = Matrix::default();
+            group.bench(&format!("{name}/fwd_bwd_into/{batch}"), || {
+                mlp.forward_into(black_box(&x), &mut out, Exec::Serial)
+                    .unwrap();
+                mlp.backward_into(black_box(&dy), &mut dx, Exec::Serial)
+                    .unwrap();
+            });
         }
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mlp
-}
-criterion_main!(benches);

@@ -1,26 +1,23 @@
-//! Criterion bench: the instruction-level NMP pool (functional compute +
+//! Bench: the instruction-level NMP pool (functional compute +
 //! cycle-level DRAM timing). Reported wall time is simulator throughput;
 //! the *simulated* latencies appear in the pool's PoolExec results and
 //! are validated against the analytic model in
 //! `tests/model_crossvalidation.rs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tcast_bench::harness::BenchGroup;
 use tcast_core::tensor_casting;
 use tcast_datasets::{DatasetPreset, TableWorkload};
 use tcast_embedding::{gradient_expand_coalesce, EmbeddingTable};
 use tcast_nmp::{NmpPool, PoolConfig};
 use tcast_tensor::Matrix;
 
-fn bench_pool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nmp_pool");
+fn main() {
+    let mut group = BenchGroup::new("nmp_pool");
     let dim = 64;
     let rows = 20_000;
     let table = EmbeddingTable::seeded(rows, dim, 1);
-    let workload = TableWorkload::new(
-        DatasetPreset::CriteoKaggle.popularity().with_rows(rows),
-        10,
-    );
+    let workload = TableWorkload::new(DatasetPreset::CriteoKaggle.popularity().with_rows(rows), 10);
 
     for batch in [128usize, 512] {
         let index = workload.generator(3).next_batch(batch);
@@ -28,42 +25,29 @@ fn bench_pool(c: &mut Criterion) {
         let casted = tensor_casting(&index);
         let coalesced = gradient_expand_coalesce(&grads, &index).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("gather_reduce", batch), &index, |b, idx| {
+        {
             let mut pool = NmpPool::new(PoolConfig::small(4));
             let h = pool.load_table(&table).unwrap();
-            b.iter(|| pool.gather_reduce(h, black_box(idx)).unwrap());
-        });
-        group.bench_with_input(
-            BenchmarkId::new("casted_backward", batch),
-            &casted,
-            |b, casted| {
-                let mut pool = NmpPool::new(PoolConfig::small(4));
-                let h = pool.load_table(&table).unwrap();
-                b.iter(|| {
-                    pool.casted_gather_reduce(h, black_box(&grads), black_box(casted))
-                        .unwrap()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("scatter_sgd", batch),
-            &coalesced,
-            |b, coalesced| {
-                let mut pool = NmpPool::new(PoolConfig::small(4));
-                let h = pool.load_table(&table).unwrap();
-                b.iter(|| {
-                    pool.scatter_sgd(h, black_box(coalesced), 0.01, false)
-                        .unwrap()
-                });
-            },
-        );
+            group.bench(&format!("gather_reduce/{batch}"), || {
+                pool.gather_reduce(h, black_box(&index)).unwrap()
+            });
+        }
+        {
+            let mut pool = NmpPool::new(PoolConfig::small(4));
+            let h = pool.load_table(&table).unwrap();
+            group.bench(&format!("casted_backward/{batch}"), || {
+                pool.casted_gather_reduce(h, black_box(&grads), black_box(&casted))
+                    .unwrap()
+            });
+        }
+        {
+            let mut pool = NmpPool::new(PoolConfig::small(4));
+            let h = pool.load_table(&table).unwrap();
+            group.bench(&format!("scatter_sgd/{batch}"), || {
+                pool.scatter_sgd(h, black_box(&coalesced), 0.01, false)
+                    .unwrap()
+            });
+        }
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pool
-}
-criterion_main!(benches);

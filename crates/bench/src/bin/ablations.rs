@@ -3,9 +3,7 @@
 //! traffic on the scatter, and the fused-backward extension.
 
 use tcast_bench::banner;
-use tcast_system::{
-    ablation, render_table, Calibration, DesignPoint, RmModel, SystemWorkload,
-};
+use tcast_system::{ablation, render_table, Calibration, DesignPoint, RmModel, SystemWorkload};
 
 fn main() {
     let cal = Calibration::default();
@@ -30,7 +28,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "casting exposed", "casting hidden", "runtime speedup"],
+            &[
+                "config",
+                "casting exposed",
+                "casting hidden",
+                "runtime speedup"
+            ],
             &rows,
         )
     );

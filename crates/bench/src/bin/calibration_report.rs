@@ -71,6 +71,11 @@ fn main() {
             "paper: >600 GB/s".into(),
         ],
     ];
-    println!("{}", render_table(&["parameter", "value", "provenance"], &rows));
-    println!("rerun any figure with measured efficiencies via Calibration::default().from_dram_sim(n).");
+    println!(
+        "{}",
+        render_table(&["parameter", "value", "provenance"], &rows)
+    );
+    println!(
+        "rerun any figure with measured efficiencies via Calibration::default().from_dram_sim(n)."
+    );
 }

@@ -3,9 +3,7 @@
 //! with total latency normalized to each model's fastest configuration.
 
 use tcast_bench::{banner, grid_label};
-use tcast_system::{
-    render_table, Calibration, DesignPoint, PhaseKind, RmModel, SystemWorkload,
-};
+use tcast_system::{render_table, Calibration, DesignPoint, PhaseKind, RmModel, SystemWorkload};
 
 fn main() {
     banner(

@@ -37,7 +37,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "p(rank 1)", "p(rank 10)", "p(rank 100)", "p(rank 1k)", "p(rank 10k)", "top-100 mass"],
+            &[
+                "dataset",
+                "p(rank 1)",
+                "p(rank 10)",
+                "p(rank 100)",
+                "p(rank 1k)",
+                "p(rank 10k)",
+                "top-100 mass"
+            ],
             &rows,
         )
     );
@@ -64,7 +72,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "batch", "backpropagated", "expanded", "coalesced", "coalesce savings"],
+            &[
+                "dataset",
+                "batch",
+                "backpropagated",
+                "expanded",
+                "coalesced",
+                "coalesce savings"
+            ],
             &rows,
         )
     );

@@ -43,5 +43,7 @@ fn main() {
         avg,
         geometric_mean(&ours_nmp),
     );
-    println!("paper check: Ours(CPU) 1.2-1.6x (default batches), Ours(NMP) 2.0-15x with average 6.9x.");
+    println!(
+        "paper check: Ours(CPU) 1.2-1.6x (default batches), Ours(NMP) 2.0-15x with average 6.9x."
+    );
 }

@@ -5,7 +5,10 @@ use tcast_bench::{banner, grid_label, workload_grid, DEFAULT_BATCHES};
 use tcast_system::{energy_joules, render_table, Calibration, DesignPoint};
 
 fn main() {
-    banner("Fig. 14", "Energy consumption (normalized to Baseline(CPU))");
+    banner(
+        "Fig. 14",
+        "Energy consumption (normalized to Baseline(CPU))",
+    );
     let cal = Calibration::default();
     let designs = [
         DesignPoint::BaselineCpuGpu,

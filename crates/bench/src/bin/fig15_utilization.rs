@@ -6,14 +6,19 @@ use tcast_bench::{banner, grid_label, workload_grid, DEFAULT_BATCHES};
 use tcast_system::{render_table, Calibration, DesignPoint};
 
 fn main() {
-    banner("Fig. 15", "NMP utilization (% of training time NMP is active)");
+    banner(
+        "Fig. 15",
+        "NMP utilization (% of training time NMP is active)",
+    );
     let cal = Calibration::default();
     let mut rows = Vec::new();
     let mut td_sum = (0.0, 0usize);
     let mut tc_emb = (0.0, 0usize);
     let mut tc_mlp = (0.0, 0usize);
     for wl in workload_grid(&DEFAULT_BATCHES, 64) {
-        let td = DesignPoint::BaselineNmp.evaluate(&wl, &cal).nmp_utilization();
+        let td = DesignPoint::BaselineNmp
+            .evaluate(&wl, &cal)
+            .nmp_utilization();
         let tc = DesignPoint::OursNmp.evaluate(&wl, &cal).nmp_utilization();
         rows.push(vec![
             grid_label(&wl),

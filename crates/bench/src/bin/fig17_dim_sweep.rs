@@ -5,7 +5,10 @@ use tcast_bench::{banner, speedup, DIM_SWEEP};
 use tcast_system::{render_table, Calibration, DesignPoint, RmModel, SystemWorkload};
 
 fn main() {
-    banner("Fig. 17", "Sensitivity to embedding vector size (dim 32/128/256)");
+    banner(
+        "Fig. 17",
+        "Sensitivity to embedding vector size (dim 32/128/256)",
+    );
     let cal = Calibration::default();
     let mut rows = Vec::new();
     for model in RmModel::all() {

@@ -1,0 +1,215 @@
+//! End-to-end training-step throughput: serial vs pooled execution of
+//! the casted (and baseline) DLRM training step, with per-phase timings.
+//!
+//! This is the repository's perf-trajectory anchor: it appends
+//! machine-readable rows to `BENCH_step.json` (override with
+//! `--json PATH` or the `TCAST_BENCH_JSON` environment variable) so
+//! every future optimization PR can be compared against recorded data.
+//!
+//! ```text
+//! step_throughput [--batch N] [--dim D] [--steps S] [--threads T] [--json PATH]
+//! ```
+//!
+//! Defaults: batch 4096, dim 64, 20 measured steps (2 warm-up), threads =
+//! `available_parallelism`, sink `BENCH_step.json`. `FAST=1` shrinks the
+//! run for smoke tests (batch 512, 4 steps).
+//!
+//! The pooled/serial speedup is hardware-dependent: on a multi-core host
+//! the pooled casted step must reach >= 1.5x serial at >= 4 workers; on a
+//! single-core container both schedules collapse to the same wall clock
+//! (the row records `cores` so readers can tell which regime produced
+//! it).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use std::sync::Arc;
+use tcast_bench::{banner, fast_mode, json};
+use tcast_datasets::SyntheticCtr;
+use tcast_dlrm::{
+    BackwardMode, DlrmConfig, EmbeddingOptimizer, Execution, PhaseTimings, TableConfig, Trainer,
+};
+use tcast_pool::Pool;
+
+struct Args {
+    batch: usize,
+    dim: usize,
+    steps: usize,
+    threads: usize,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let fast = fast_mode();
+    let mut args = Args {
+        batch: if fast { 512 } else { 4096 },
+        dim: 64,
+        steps: if fast { 4 } else { 20 },
+        threads: tcast_pool::default_parallelism(),
+        json: json::sink_from_env().unwrap_or_else(|| PathBuf::from("BENCH_step.json")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--batch" => args.batch = value("--batch").parse().expect("--batch: integer"),
+            "--dim" => args.dim = value("--dim").parse().expect("--dim: integer"),
+            "--steps" => args.steps = value("--steps").parse().expect("--steps: integer"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
+            "--json" => args.json = PathBuf::from(value("--json")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// A table-heavy config at the paper's default embedding dimension: four
+/// Zipf tables, pooling 10 — the regime where embedding backward
+/// dominates (Fig. 4's 62-92%).
+fn bench_config(dim: usize) -> DlrmConfig {
+    DlrmConfig {
+        dense_features: 13,
+        embedding_dim: dim,
+        tables: vec![
+            TableConfig {
+                rows: 100_000,
+                pooling: 10,
+                zipf_exponent: 1.05,
+            };
+            4
+        ],
+        bottom_mlp: vec![64, dim],
+        top_mlp: vec![64, 32, 1],
+        interaction: tcast_tensor::InteractionKind::Dot,
+    }
+}
+
+struct Measurement {
+    steps_per_s: f64,
+    phases: PhaseTimings,
+}
+
+fn measure(mode: BackwardMode, execution: Execution, args: &Args) -> Measurement {
+    let config = bench_config(args.dim);
+    let mut data = SyntheticCtr::new(config.table_workloads(), config.dense_features, 42);
+    let mut trainer =
+        Trainer::with_execution(config, mode, EmbeddingOptimizer::Sgd, execution, 7).unwrap();
+    // One fixed batch: measures compute, not the generator.
+    let batch = data.next_batch(args.batch);
+    for _ in 0..2 {
+        trainer.step(&batch).unwrap(); // warm-up: size scratch, warm pool
+    }
+    let mut phases = PhaseTimings::default();
+    let t0 = Instant::now();
+    for _ in 0..args.steps {
+        let report = trainer.step(&batch).unwrap();
+        let t = report.timings;
+        phases.fwd_gather += t.fwd_gather;
+        phases.fwd_dnn += t.fwd_dnn;
+        phases.bwd_dnn += t.bwd_dnn;
+        phases.bwd_embedding += t.bwd_embedding;
+        phases.bwd_scatter += t.bwd_scatter;
+    }
+    let wall = t0.elapsed();
+    Measurement {
+        steps_per_s: args.steps as f64 / wall.as_secs_f64(),
+        phases,
+    }
+}
+
+fn phase_ns(d: Duration, steps: usize) -> f64 {
+    d.as_secs_f64() * 1e9 / steps as f64
+}
+
+fn emit(args: &Args, mode: &str, sched: &str, threads: usize, m: &Measurement) {
+    println!(
+        "  {mode:<8} {sched:<22} {:>8.2} steps/s  (gather {:>10.0} ns, dnn {:>10.0} ns, \
+         bwd_dnn {:>10.0} ns, bwd_emb {:>10.0} ns, scatter {:>10.0} ns)",
+        m.steps_per_s,
+        phase_ns(m.phases.fwd_gather, args.steps),
+        phase_ns(m.phases.fwd_dnn, args.steps),
+        phase_ns(m.phases.bwd_dnn, args.steps),
+        phase_ns(m.phases.bwd_embedding, args.steps),
+        phase_ns(m.phases.bwd_scatter, args.steps),
+    );
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "step_throughput")
+        .str_field("mode", mode)
+        .str_field("schedule", sched)
+        .u64_field("threads", threads as u64)
+        .u64_field("cores", tcast_pool::default_parallelism() as u64)
+        .u64_field("batch", args.batch as u64)
+        .u64_field("dim", args.dim as u64)
+        .u64_field("steps", args.steps as u64)
+        .f64_field("steps_per_s", m.steps_per_s)
+        .f64_field("fwd_gather_ns", phase_ns(m.phases.fwd_gather, args.steps))
+        .f64_field("fwd_dnn_ns", phase_ns(m.phases.fwd_dnn, args.steps))
+        .f64_field("bwd_dnn_ns", phase_ns(m.phases.bwd_dnn, args.steps))
+        .f64_field(
+            "bwd_embedding_ns",
+            phase_ns(m.phases.bwd_embedding, args.steps),
+        )
+        .f64_field("bwd_scatter_ns", phase_ns(m.phases.bwd_scatter, args.steps));
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[step_throughput] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "step_throughput",
+        "end-to-end DLRM training-step throughput, serial vs pooled",
+    );
+    println!(
+        "batch {}, dim {}, {} measured steps, pool threads {}, host cores {}, sink {}",
+        args.batch,
+        args.dim,
+        args.steps,
+        args.threads,
+        tcast_pool::default_parallelism(),
+        args.json.display()
+    );
+
+    let pool = Arc::new(Pool::new(args.threads));
+
+    let serial_casted = measure(BackwardMode::Casted, Execution::Serial, &args);
+    emit(&args, "casted", "serial", 1, &serial_casted);
+    let pooled_casted = measure(
+        BackwardMode::Casted,
+        Execution::Pooled(Arc::clone(&pool)),
+        &args,
+    );
+    emit(&args, "casted", "pooled", args.threads, &pooled_casted);
+
+    let serial_baseline = measure(BackwardMode::Baseline, Execution::Serial, &args);
+    emit(&args, "baseline", "serial", 1, &serial_baseline);
+    let pooled_baseline = measure(
+        BackwardMode::Baseline,
+        Execution::Pooled(Arc::clone(&pool)),
+        &args,
+    );
+    emit(&args, "baseline", "pooled", args.threads, &pooled_baseline);
+
+    let speedup = pooled_casted.steps_per_s / serial_casted.steps_per_s;
+    let casted_vs_baseline = serial_casted.steps_per_s / serial_baseline.steps_per_s;
+    println!(
+        "\npooled/serial (casted): {speedup:.2}x at {} threads on {} core(s); \
+         casted/baseline (serial): {casted_vs_baseline:.2}x",
+        args.threads,
+        tcast_pool::default_parallelism()
+    );
+    if tcast_pool::default_parallelism() >= 4 && args.threads >= 4 && speedup < 1.5 {
+        eprintln!(
+            "[step_throughput] WARNING: pooled speedup {speedup:.2}x < 1.5x target on a \
+             >=4-core host"
+        );
+        std::process::exit(1);
+    }
+}

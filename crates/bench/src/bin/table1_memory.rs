@@ -7,10 +7,7 @@ use tcast_dram::{streams, AddressMapping, DramConfig, MemorySystem};
 use tcast_system::render_table;
 
 fn main() {
-    banner(
-        "Table I",
-        "Disaggregated memory architecture configuration",
-    );
+    banner("Table I", "Disaggregated memory architecture configuration");
     let mut channel = DramConfig::ddr4_3200().with_mapping(AddressMapping::ColumnFirst);
     channel.ranks_per_channel = 2;
     let per_rank = channel.peak_bandwidth_gbps();
@@ -21,7 +18,10 @@ fn main() {
         render_table(
             &["parameter", "value"],
             &[
-                vec!["DRAM specification".into(), "DDR4-3200 (dual-rank LRDIMM)".into()],
+                vec![
+                    "DRAM specification".into(),
+                    "DDR4-3200 (dual-rank LRDIMM)".into()
+                ],
                 vec!["Number of ranks".into(), ranks.to_string()],
                 vec![
                     "Effective memory bandwidth (per rank)".into(),

@@ -31,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Model", "# of Tables", "Gathers/table", "Bottom MLP", "Top MLP", "intensive"],
+            &[
+                "Model",
+                "# of Tables",
+                "Gathers/table",
+                "Bottom MLP",
+                "Top MLP",
+                "intensive"
+            ],
             &rows,
         )
     );

@@ -5,6 +5,9 @@
 //! rows/series the paper reports, normalized the same way. Run them all
 //! with `cargo run -p tcast-bench --release --bin repro_all`.
 
+pub mod harness;
+pub mod json;
+
 use tcast_system::{Calibration, DesignPoint, RmModel, SystemWorkload};
 
 /// Prints a figure banner.
@@ -72,7 +75,12 @@ mod tests {
     fn speedup_of_design_against_itself_is_one() {
         let cal = Calibration::default();
         let wl = SystemWorkload::build(RmModel::rm1(), 1024, 64, 1);
-        let s = speedup(&wl, DesignPoint::BaselineCpuGpu, DesignPoint::BaselineCpuGpu, &cal);
+        let s = speedup(
+            &wl,
+            DesignPoint::BaselineCpuGpu,
+            DesignPoint::BaselineCpuGpu,
+            &cal,
+        );
         assert!((s - 1.0).abs() < 1e-12);
     }
 }

@@ -164,9 +164,7 @@ mod tests {
 
     #[test]
     fn rejects_jumps_in_reduce_dst() {
-        assert!(
-            CastedIndexArray::new(vec![0, 0], vec![0, 2], vec![1, 2, 3], 1).is_err()
-        );
+        assert!(CastedIndexArray::new(vec![0, 0], vec![0, 2], vec![1, 2, 3], 1).is_err());
     }
 
     #[test]
@@ -176,9 +174,7 @@ mod tests {
 
     #[test]
     fn rejects_unsorted_unique_rows() {
-        assert!(
-            CastedIndexArray::new(vec![0, 0], vec![0, 1], vec![4, 2], 1).is_err()
-        );
+        assert!(CastedIndexArray::new(vec![0, 0], vec![0, 1], vec![4, 2], 1).is_err());
     }
 
     #[test]

@@ -74,9 +74,13 @@ pub fn tensor_casting_counting(index: &IndexArray) -> CastedIndexArray {
     build_casted(&sorted_src, sorted_dst, index.num_outputs())
 }
 
-/// Steps 2-3 of Algorithm 2 over pre-sorted pairs: scan for run starts,
-/// cumulative-sum into `reduce_dst`, collect `unique_rows`.
-fn build_casted(
+/// Steps 2-3 of Algorithm 2 over pre-sorted pairs, fused into one pass:
+/// each new `src` run starts a fresh output row (the adjacent-difference
+/// scan and its cumulative sum collapse into the `current` counter).
+///
+/// Shared with the parallel casting path, which produces the same sorted
+/// pair order by other means.
+pub(crate) fn build_casted(
     sorted_src: &[u32],
     sorted_dst: Vec<u32>,
     num_outputs: usize,
@@ -84,16 +88,13 @@ fn build_casted(
     let n = sorted_src.len();
     let mut reduce_dst = Vec::with_capacity(n);
     let mut unique_rows = Vec::new();
-    // scan[i] = (sorted_src[i] != sorted_src[i-1]) ? 1 : 0, scan[0] = 1;
-    // reduce_dst = cumulative_sum(scan) - 1, fused into one pass.
     let mut current: i64 = -1;
     let mut prev: Option<u32> = None;
-    for (i, &s) in sorted_src.iter().enumerate() {
+    for &s in sorted_src {
         if prev != Some(s) {
             current += 1;
             unique_rows.push(s);
         }
-        let _ = i;
         reduce_dst.push(current as u32);
         prev = Some(s);
     }
@@ -129,8 +130,7 @@ mod tests {
     fn counting_variant_on_sparse_range_falls_back() {
         // max_src >> 4n triggers the comparison-sort fallback; results must
         // still be identical.
-        let idx =
-            IndexArray::from_pairs(vec![1_000_000, 5, 1_000_000], vec![0, 1, 2], 3).unwrap();
+        let idx = IndexArray::from_pairs(vec![1_000_000, 5, 1_000_000], vec![0, 1, 2], 3).unwrap();
         assert_eq!(tensor_casting(&idx), tensor_casting_counting(&idx));
     }
 

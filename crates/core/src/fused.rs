@@ -137,7 +137,12 @@ mod tests {
 
         let mut two_step_table = table.clone();
         let coalesced = casted_gather_reduce(&grads, &casted).unwrap();
-        scatter_apply(&mut two_step_table, &coalesced, &mut Adagrad::new(0.1, 1e-8)).unwrap();
+        scatter_apply(
+            &mut two_step_table,
+            &coalesced,
+            &mut Adagrad::new(0.1, 1e-8),
+        )
+        .unwrap();
 
         assert_eq!(fused_table.max_abs_diff(&two_step_table).unwrap(), 0.0);
     }

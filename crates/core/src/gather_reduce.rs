@@ -18,6 +18,7 @@
 use crate::casted_index::CastedIndexArray;
 use crate::casting::tensor_casting;
 use tcast_embedding::{CoalescedGradients, EmbeddingError, IndexArray};
+use tcast_pool::{Exec, Pool};
 use tcast_tensor::Matrix;
 
 /// The fused casted gather-reduce (Algorithm 3's `GatherReduce`): gathers
@@ -53,12 +54,15 @@ pub fn casted_gather_reduce(
     CoalescedGradients::new(casted.unique_rows().to_vec(), out)
 }
 
-/// Parallel variant of [`casted_gather_reduce`].
+/// Parallel variant of [`casted_gather_reduce`] on the shared
+/// [`tcast_pool::global`] pool.
 ///
 /// Because `reduce_dst` is non-decreasing, the lookups split into
-/// contiguous chunks at output-row boundaries: each thread owns a disjoint
+/// contiguous chunks at output-row boundaries: each task owns a disjoint
 /// band of coalesced rows, making the parallelization race-free — the same
-/// structure the NMP cores exploit per rank.
+/// structure the NMP cores exploit per rank. Per output row the
+/// accumulation order matches the serial kernel, so results are
+/// bit-identical.
 ///
 /// # Errors
 ///
@@ -69,6 +73,67 @@ pub fn casted_gather_reduce_parallel(
     casted: &CastedIndexArray,
     threads: usize,
 ) -> Result<CoalescedGradients, EmbeddingError> {
+    casted_gather_reduce_parallel_in(tcast_pool::global(), grads, casted, threads)
+}
+
+/// [`casted_gather_reduce_parallel`] on an explicit pool.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `grads.rows()` differs
+/// from `casted.num_gradient_rows()`.
+pub fn casted_gather_reduce_parallel_in(
+    pool: &Pool,
+    grads: &Matrix,
+    casted: &CastedIndexArray,
+    threads: usize,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    let mut scratch = CoalescedScratch::default();
+    casted_gather_reduce_into(grads, casted, &mut scratch, Exec::Pooled { pool, threads })?;
+    let CoalescedScratch { rows, grads, .. } = scratch;
+    CoalescedGradients::new(rows, grads)
+}
+
+/// Reusable output + bookkeeping buffers for [`casted_gather_reduce_into`].
+///
+/// Holding one of these per table across training steps is what makes the
+/// casted backward allocation-free in steady state: `rows`, `grads` and
+/// the `row_start` offset table all retain their capacity between steps.
+#[derive(Debug, Clone)]
+pub struct CoalescedScratch {
+    /// Touched (unique, ascending) table rows — matches
+    /// [`CoalescedGradients::rows`].
+    pub rows: Vec<u32>,
+    /// One coalesced gradient row per entry of `rows`.
+    pub grads: Matrix,
+    /// Start offset (in lookup space) of every output row; scratch for
+    /// the band partitioning.
+    row_start: Vec<usize>,
+}
+
+impl Default for CoalescedScratch {
+    fn default() -> Self {
+        Self {
+            rows: Vec::new(),
+            grads: Matrix::zeros(0, 0),
+            row_start: Vec::new(),
+        }
+    }
+}
+
+/// [`casted_gather_reduce`] writing into reusable buffers, serially or on
+/// a pool ([`Exec`]). Bit-identical to the allocating serial kernel.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `grads.rows()` differs
+/// from `casted.num_gradient_rows()`.
+pub fn casted_gather_reduce_into(
+    grads: &Matrix,
+    casted: &CastedIndexArray,
+    out: &mut CoalescedScratch,
+    exec: Exec<'_>,
+) -> Result<(), EmbeddingError> {
     if grads.rows() != casted.num_gradient_rows() {
         return Err(EmbeddingError::LengthMismatch {
             expected: casted.num_gradient_rows(),
@@ -77,17 +142,35 @@ pub fn casted_gather_reduce_parallel(
     }
     let dim = grads.cols();
     let unique = casted.num_unique();
-    let mut out = Matrix::zeros(unique, dim);
+    out.rows.clear();
+    out.rows.extend_from_slice(casted.unique_rows());
+    out.grads.zero_into(unique, dim);
     if unique == 0 {
-        return CoalescedGradients::new(casted.unique_rows().to_vec(), out);
+        return Ok(());
     }
-    let threads = threads.max(1).min(unique);
-    let per = unique.div_ceil(threads);
     let reduce_dst = casted.reduce_dst();
     let gather_src = casted.gather_src();
+    let threads = exec.threads().min(unique);
+
+    let (pool, threads) = match exec.pool() {
+        Some(pool) if threads > 1 => (pool, threads),
+        _ => {
+            // Serial: the exact Algorithm 3 loop.
+            for (&src, &dst) in gather_src.iter().zip(reduce_dst.iter()) {
+                let row = grads.row(src as usize);
+                let acc = out.grads.row_mut(dst as usize);
+                for (a, &v) in acc.iter_mut().zip(row.iter()) {
+                    *a += v;
+                }
+            }
+            return Ok(());
+        }
+    };
 
     // Start offset (in lookup space) of every output row.
-    let mut row_start = vec![0usize; unique + 1];
+    let row_start = &mut out.row_start;
+    row_start.clear();
+    row_start.resize(unique + 1, 0);
     row_start[unique] = reduce_dst.len();
     let mut prev = 0usize;
     for (i, &d) in reduce_dst.iter().enumerate() {
@@ -100,8 +183,9 @@ pub fn casted_gather_reduce_parallel(
         }
     }
 
-    let buf = out.as_mut_slice();
-    std::thread::scope(|scope| {
+    let per = unique.div_ceil(threads);
+    let buf = out.grads.as_mut_slice();
+    pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
             let ulo = t * per;
@@ -111,7 +195,7 @@ pub fn casted_gather_reduce_parallel(
             }
             let (band, tail) = rest.split_at_mut((uhi - ulo) * dim);
             rest = tail;
-            let row_start = &row_start;
+            let row_start = &*row_start;
             scope.spawn(move || {
                 for u in ulo..uhi {
                     let acc = &mut band[(u - ulo) * dim..(u - ulo + 1) * dim];
@@ -125,7 +209,7 @@ pub fn casted_gather_reduce_parallel(
             });
         }
     });
-    CoalescedGradients::new(casted.unique_rows().to_vec(), out)
+    Ok(())
 }
 
 /// Convenience composition (Algorithm 3 top-level,
@@ -226,7 +310,10 @@ mod tests {
         for threads in [1, 2, 5, 16] {
             let par = casted_gather_reduce_parallel(&grads, &casted, threads).unwrap();
             assert_eq!(serial.rows(), par.rows());
-            assert!(serial.max_abs_diff(&par).unwrap() < 1e-5, "threads={threads}");
+            assert!(
+                serial.max_abs_diff(&par).unwrap() < 1e-5,
+                "threads={threads}"
+            );
         }
     }
 

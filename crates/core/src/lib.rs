@@ -71,6 +71,9 @@ pub use casted_index::CastedIndexArray;
 pub use casting::{tensor_casting, tensor_casting_counting};
 pub use equivalence::verify_equivalence;
 pub use fused::fused_casted_backward;
-pub use gather_reduce::{casted_backward, casted_gather_reduce, casted_gather_reduce_parallel};
-pub use parallel_casting::tensor_casting_parallel;
+pub use gather_reduce::{
+    casted_backward, casted_gather_reduce, casted_gather_reduce_into,
+    casted_gather_reduce_parallel, casted_gather_reduce_parallel_in, CoalescedScratch,
+};
+pub use parallel_casting::{tensor_casting_parallel, tensor_casting_parallel_in};
 pub use runtime::{CastingPipeline, PipelineStats};

@@ -1,91 +1,120 @@
 //! Multi-threaded Tensor Casting: Algorithm 2 with its dominant cost —
-//! the sort-by-key — parallelized.
+//! the sort-by-key — parallelized on the persistent pool.
 //!
-//! The paper runs the casting on a GPU (thousands of lanes); the host
-//! analogue is a chunked parallel sort: partition the packed
-//! `(src, position)` keys, sort each partition on its own thread, then
-//! k-way merge. Because every packed key is unique, the merged order is
-//! identical to the serial stable sort's, so the result is *exactly* the
-//! serial [`crate::tensor_casting`] output.
+//! The paper runs the casting on a GPU (thousands of lanes); the original
+//! host analogue here sorted per-thread chunks and then k-way-merged them
+//! with an O(n·k) cursor scan, copying every chunk twice. This version is
+//! an MSB-partitioned bucket sort with **no merge step at all**:
+//!
+//! 1. histogram the packed `(src, position)` keys into 256 buckets by the
+//!    top bits of `src` (parallel, one histogram per task);
+//! 2. prefix-sum the histograms so every bucket owns its final contiguous
+//!    slice of the output;
+//! 3. scatter each key into its bucket slice (stable single pass);
+//! 4. sort every bucket independently in parallel (`split_at_mut` bands,
+//!    no overlap).
+//!
+//! Because the bucket id is the high bits of the key, concatenated sorted
+//! buckets *are* the globally sorted order — and because every packed key
+//! is unique, that order is exactly the serial stable sort's. The result
+//! is bit-identical to [`crate::tensor_casting`] on any distribution
+//! (all-equal, all-unique, power-law, ...).
 
 use crate::casted_index::CastedIndexArray;
 use tcast_embedding::IndexArray;
+use tcast_pool::Pool;
 
-/// Parallel variant of [`crate::tensor_casting`] using `threads` sort
-/// workers. Bit-identical results to the serial transform.
+/// Number of MSB partitions (and an upper bound on sort tasks).
+const BUCKETS: usize = 256;
+
+/// Below this many lookups the serial transform wins; matches the old
+/// threshold so existing behavior is preserved.
+const PARALLEL_MIN: usize = 1024;
+
+/// Parallel variant of [`crate::tensor_casting`] using `threads` tasks on
+/// the shared [`tcast_pool::global`] pool. Bit-identical results to the
+/// serial transform.
 pub fn tensor_casting_parallel(index: &IndexArray, threads: usize) -> CastedIndexArray {
+    tensor_casting_parallel_in(tcast_pool::global(), index, threads)
+}
+
+/// [`tensor_casting_parallel`] on an explicit pool.
+pub fn tensor_casting_parallel_in(
+    pool: &Pool,
+    index: &IndexArray,
+    threads: usize,
+) -> CastedIndexArray {
     let n = index.len();
     let threads = threads.max(1).min(n.max(1));
-    if threads <= 1 || n < 1024 {
+    if threads <= 1 || n < PARALLEL_MIN {
         return crate::casting::tensor_casting(index);
     }
-
-    // Pack (src, position); unique keys make merge order deterministic.
     let src = index.src();
-    let keys: Vec<u64> = src
-        .iter()
-        .enumerate()
-        .map(|(pos, &s)| ((s as u64) << 32) | pos as u64)
-        .collect();
+    let dst = index.dst();
+    let max_src = *src.iter().max().expect("n >= PARALLEL_MIN");
 
-    // Sort chunks in parallel.
+    // Bucket id = top (up to) 8 bits of src, so bucket order == key order.
+    // Derived from max_src's bit length directly: `max_src + 1` would
+    // overflow when an id equals u32::MAX.
+    let shift = (u32::BITS - max_src.leading_zeros()).saturating_sub(8);
+
+    // Step 1: parallel histogram, one row of counts per chunk-task.
     let chunk = n.div_ceil(threads);
-    let mut sorted_chunks: Vec<Vec<u64>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = keys
-            .chunks(chunk)
-            .map(|c| {
-                scope.spawn(move || {
-                    let mut v = c.to_vec();
-                    v.sort_unstable();
-                    v
-                })
-            })
-            .collect();
-        for h in handles {
-            sorted_chunks.push(h.join().expect("sort worker panicked"));
+    let tasks = n.div_ceil(chunk);
+    let mut counts = vec![0u32; tasks * BUCKETS];
+    pool.scope(|scope| {
+        let mut rest = counts.as_mut_slice();
+        for piece in src.chunks(chunk) {
+            let (hist, tail) = rest.split_at_mut(BUCKETS);
+            rest = tail;
+            scope.spawn(move || {
+                for &s in piece {
+                    hist[(s >> shift) as usize] += 1;
+                }
+            });
         }
     });
 
-    // K-way merge via a simple cursor scan (k is small).
-    let mut cursors = vec![0usize; sorted_chunks.len()];
-    let mut merged = Vec::with_capacity(n);
-    loop {
-        let mut best: Option<(usize, u64)> = None;
-        for (i, chunk) in sorted_chunks.iter().enumerate() {
-            if let Some(&key) = chunk.get(cursors[i]) {
-                if best.is_none_or(|(_, b)| key < b) {
-                    best = Some((i, key));
-                }
-            }
-        }
-        let Some((i, key)) = best else { break };
-        cursors[i] += 1;
-        merged.push(key);
+    // Step 2: exclusive prefix sum over buckets (summed across chunks).
+    let mut bucket_start = [0usize; BUCKETS + 1];
+    for b in 0..BUCKETS {
+        let total: usize = (0..tasks).map(|t| counts[t * BUCKETS + b] as usize).sum();
+        bucket_start[b + 1] = bucket_start[b] + total;
     }
 
-    // Unpack and run the scan/cumsum stages.
-    let dst = index.dst();
+    // Step 3: stable scatter of packed keys into their bucket slices.
+    let mut cursor = [0usize; BUCKETS];
+    cursor.copy_from_slice(&bucket_start[..BUCKETS]);
+    let mut keys = vec![0u64; n];
+    for (pos, &s) in src.iter().enumerate() {
+        let b = (s >> shift) as usize;
+        keys[cursor[b]] = ((s as u64) << 32) | pos as u64;
+        cursor[b] += 1;
+    }
+
+    // Step 4: sort each bucket slice in parallel. Keys are unique, so
+    // `sort_unstable` within a bucket plus bucket-major order equals the
+    // serial stable sort by `src`.
+    pool.scope(|scope| {
+        let mut rest = keys.as_mut_slice();
+        for b in 0..BUCKETS {
+            let len = bucket_start[b + 1] - bucket_start[b];
+            let (bucket, tail) = rest.split_at_mut(len);
+            rest = tail;
+            if len > 1 {
+                scope.spawn(move || bucket.sort_unstable());
+            }
+        }
+    });
+
+    // Unpack and run the scan/cumsum stages (Algorithm 2 steps 2-3).
     let mut sorted_src = Vec::with_capacity(n);
     let mut sorted_dst = Vec::with_capacity(n);
-    for key in merged {
+    for &key in &keys {
         sorted_src.push((key >> 32) as u32);
         sorted_dst.push(dst[(key & 0xFFFF_FFFF) as usize]);
     }
-    let mut reduce_dst = Vec::with_capacity(n);
-    let mut unique_rows = Vec::new();
-    let mut current: i64 = -1;
-    let mut prev: Option<u32> = None;
-    for &s in &sorted_src {
-        if prev != Some(s) {
-            current += 1;
-            unique_rows.push(s);
-        }
-        reduce_dst.push(current as u32);
-        prev = Some(s);
-    }
-    CastedIndexArray::new(sorted_dst, reduce_dst, unique_rows, index.num_outputs())
-        .expect("parallel casting output satisfies invariants")
+    crate::casting::build_casted(&sorted_src, sorted_dst, index.num_outputs())
 }
 
 #[cfg(test)]
@@ -98,6 +127,24 @@ mod tests {
         let mut rng = SplitMix64::new(seed);
         let samples: Vec<Vec<u32>> = (0..n_samples)
             .map(|_| (0..pooling).map(|_| rng.next_below(rows) as u32).collect())
+            .collect();
+        IndexArray::from_samples(&samples).unwrap()
+    }
+
+    /// Power-law (approximately Zipf) ids over a large range: stresses
+    /// skewed bucket occupancy.
+    fn power_law_index(n_samples: usize, pooling: usize, rows: u64, seed: u64) -> IndexArray {
+        let mut rng = SplitMix64::new(seed);
+        let samples: Vec<Vec<u32>> = (0..n_samples)
+            .map(|_| {
+                (0..pooling)
+                    .map(|_| {
+                        let u = (rng.next_below(1 << 20) as f64 + 1.0) / (1u64 << 20) as f64;
+                        let id = (u.powf(-1.2) - 1.0) as u64;
+                        id.min(rows - 1) as u32
+                    })
+                    .collect()
+            })
             .collect();
         IndexArray::from_samples(&samples).unwrap()
     }
@@ -123,15 +170,100 @@ mod tests {
 
     #[test]
     fn heavy_duplication_matches_serial() {
-        // Only 4 distinct rows: long equal-key runs across chunks stress
-        // the merge's stability.
+        // Only 4 distinct rows: long equal-key runs concentrated in few
+        // buckets stress the partitioning's stability.
         let idx = random_index(1024, 2, 4, 3);
         assert_eq!(tensor_casting_parallel(&idx, 4), tensor_casting(&idx));
+    }
+
+    #[test]
+    fn all_equal_src_matches_serial() {
+        // Degenerate distribution: every lookup hits one row, so a single
+        // bucket holds everything.
+        let samples: Vec<Vec<u32>> = (0..800).map(|_| vec![7, 7]).collect();
+        let idx = IndexArray::from_samples(&samples).unwrap();
+        assert!(idx.len() >= 1024);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                tensor_casting_parallel(&idx, threads),
+                tensor_casting(&idx),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_unique_src_matches_serial() {
+        // Every src distinct (reversed so the input is maximally
+        // unsorted); buckets are uniformly thin.
+        let n = 4096u32;
+        let src: Vec<u32> = (0..n).rev().collect();
+        let dst: Vec<u32> = (0..n).map(|i| i % 64).collect();
+        let idx = IndexArray::from_pairs(src, dst, 64).unwrap();
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                tensor_casting_parallel(&idx, threads),
+                tensor_casting(&idx),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_law_matches_serial() {
+        let idx = power_law_index(512, 8, 1_000_000, 4);
+        assert!(idx.len() >= 1024);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                tensor_casting_parallel(&idx, threads),
+                tensor_casting(&idx),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_id_range_matches_serial() {
+        // max_src near u32::MAX exercises the full 8-bit shift.
+        let mut rng = SplitMix64::new(9);
+        let src: Vec<u32> = (0..2048)
+            .map(|_| rng.next_below(u32::MAX as u64) as u32)
+            .collect();
+        let dst: Vec<u32> = (0..2048).map(|i| i % 128).collect();
+        let idx = IndexArray::from_pairs(src, dst, 128).unwrap();
+        assert_eq!(tensor_casting_parallel(&idx, 4), tensor_casting(&idx));
+    }
+
+    #[test]
+    fn src_at_u32_max_matches_serial() {
+        // Regression: ids at the very top of the u32 range must not
+        // overflow the bucket-shift derivation.
+        let n = 2048u32;
+        let src: Vec<u32> = (0..n).map(|i| u32::MAX - (i % 97)).collect();
+        let dst: Vec<u32> = (0..n).map(|i| i % 64).collect();
+        let idx = IndexArray::from_pairs(src, dst, 64).unwrap();
+        for threads in [2, 4] {
+            assert_eq!(
+                tensor_casting_parallel(&idx, threads),
+                tensor_casting(&idx),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
     fn single_thread_matches_serial() {
         let idx = random_index(512, 4, 500, 4);
         assert_eq!(tensor_casting_parallel(&idx, 1), tensor_casting(&idx));
+    }
+
+    #[test]
+    fn explicit_pool_matches_global() {
+        let pool = Pool::new(2);
+        let idx = random_index(512, 4, 300, 5);
+        assert_eq!(
+            tensor_casting_parallel_in(&pool, &idx, 2),
+            tensor_casting(&idx)
+        );
     }
 }

@@ -16,11 +16,9 @@
 //! was actually exposed (i.e. how long the collect blocked).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use crate::casted_index::CastedIndexArray;
 use crate::casting::tensor_casting;
@@ -106,30 +104,39 @@ impl CastingPipeline {
     /// Panics if `workers == 0`.
     pub fn with_workers(workers: usize) -> Self {
         assert!(workers > 0, "need at least one casting worker");
-        let (job_tx, job_rx) = unbounded::<Job>();
-        let (res_tx, res_rx) = unbounded::<JobResult>();
+        // std::sync::mpsc receivers are single-consumer; the worker side
+        // shares one behind a mutex (each worker holds the lock only while
+        // blocked in recv, releasing it as soon as a job arrives).
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = channel::<JobResult>();
         let stats = Arc::new(Mutex::new(PipelineStats::default()));
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let job_rx = job_rx.clone();
+            let job_rx = Arc::clone(&job_rx);
             let res_tx = res_tx.clone();
             let worker_stats = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name(format!("tcast-casting-{w}"))
-                .spawn(move || {
-                    while let Ok(job) = job_rx.recv() {
-                        let start = Instant::now();
-                        let casted: Vec<CastedIndexArray> =
-                            job.indices.iter().map(tensor_casting).collect();
-                        let elapsed = start.elapsed();
-                        {
-                            let mut s = worker_stats.lock();
-                            s.jobs_completed += 1;
-                            s.casting_time += elapsed;
-                        }
-                        if res_tx.send(JobResult { id: job.id, casted }).is_err() {
-                            break; // pipeline dropped
-                        }
+                .spawn(move || loop {
+                    let job = {
+                        let rx = job_rx.lock().expect("casting job queue poisoned");
+                        rx.recv()
+                    };
+                    let Ok(job) = job else {
+                        break; // pipeline dropped the sender
+                    };
+                    let start = Instant::now();
+                    let casted: Vec<CastedIndexArray> =
+                        job.indices.iter().map(tensor_casting).collect();
+                    let elapsed = start.elapsed();
+                    {
+                        let mut s = worker_stats.lock().expect("pipeline stats poisoned");
+                        s.jobs_completed += 1;
+                        s.casting_time += elapsed;
+                    }
+                    if res_tx.send(JobResult { id: job.id, casted }).is_err() {
+                        break; // pipeline dropped
                     }
                 })
                 .expect("spawn casting worker");
@@ -178,7 +185,10 @@ impl CastingPipeline {
         loop {
             let result = self.rx.recv().expect("casting worker alive");
             if result.id == ticket.0 {
-                self.stats.lock().exposed_wait += start.elapsed();
+                self.stats
+                    .lock()
+                    .expect("pipeline stats poisoned")
+                    .exposed_wait += start.elapsed();
                 return result.casted;
             }
             self.ready.insert(result.id, result.casted);
@@ -195,7 +205,7 @@ impl CastingPipeline {
 
     /// Snapshot of the pipeline's timing statistics.
     pub fn stats(&self) -> PipelineStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("pipeline stats poisoned")
     }
 }
 

@@ -61,7 +61,9 @@ impl SyntheticCtr {
     /// Hidden affinity of a table row in the planted model (deterministic
     /// hash of `(table, row)` mapped into `[-0.5, 0.5]`).
     fn affinity(&self, table: usize, row: u32) -> f32 {
-        let mut h = SplitMix64::new(self.row_affinity_seeds[table] ^ (row as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut h = SplitMix64::new(
+            self.row_affinity_seeds[table] ^ (row as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
         h.next_range(-0.5, 0.5)
     }
 
@@ -74,7 +76,9 @@ impl SyntheticCtr {
         }
         // Sparse lookups per table.
         let indices: Vec<IndexArray> = {
-            let seeds: Vec<u64> = (0..self.tables.len()).map(|_| self.rng.next_u64()).collect();
+            let seeds: Vec<u64> = (0..self.tables.len())
+                .map(|_| self.rng.next_u64())
+                .collect();
             self.tables
                 .iter()
                 .zip(seeds)
@@ -149,12 +153,7 @@ mod tests {
     fn labels_are_binary_and_mixed() {
         let mut g = gen();
         let b = g.next_batch(512);
-        let ones = b
-            .labels
-            .as_slice()
-            .iter()
-            .filter(|&&v| v == 1.0)
-            .count();
+        let ones = b.labels.as_slice().iter().filter(|&&v| v == 1.0).count();
         assert!(b.labels.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
         // Planted model is roughly balanced; allow wide slack.
         assert!(ones > 64 && ones < 448, "ones = {ones}");

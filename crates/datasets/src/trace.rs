@@ -124,9 +124,7 @@ pub fn read_trace(r: &mut impl Read) -> Result<Vec<IndexArray>, TraceError> {
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(TraceError::Format(format!(
-            "unsupported version {version}"
-        )));
+        return Err(TraceError::Format(format!("unsupported version {version}")));
     }
     let count = read_u32(r)?;
     let mut out = Vec::with_capacity(count as usize);
@@ -167,7 +165,9 @@ pub fn record_trace(
     seed: u64,
 ) -> Result<(), TraceError> {
     let mut generator = workload.generator(seed);
-    let batches: Vec<IndexArray> = (0..iterations).map(|_| generator.next_batch(batch)).collect();
+    let batches: Vec<IndexArray> = (0..iterations)
+        .map(|_| generator.next_batch(batch))
+        .collect();
     write_trace(w, &batches)
 }
 

@@ -181,7 +181,7 @@ mod tests {
         assert_eq!(idx.num_outputs(), 512);
         // Every sample has at least one lookup.
         for b in 0..512u32 {
-            assert!(idx.dst().iter().any(|&d| d == b), "sample {b} empty");
+            assert!(idx.dst().contains(&b), "sample {b} empty");
         }
         // Counts vary (not all equal to the nominal pooling factor).
         let counts: Vec<usize> = (0..512u32)

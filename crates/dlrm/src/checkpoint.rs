@@ -229,8 +229,7 @@ mod tests {
         load_checkpoint(&mut buf.as_slice(), &mut restored).unwrap();
 
         let cfg = DlrmConfig::tiny();
-        let batch =
-            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 5).next_batch(32);
+        let batch = SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 5).next_batch(32);
         let a = model.predict(&batch.dense, &batch.indices).unwrap();
         let b = restored.predict(&batch.dense, &batch.indices).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());

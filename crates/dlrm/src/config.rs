@@ -86,13 +86,25 @@ impl DlrmConfig {
 
     /// RM2's architecture at reduced cardinality: 40 tables x 80 gathers.
     pub fn rm2_scaled(rows_per_table: usize) -> Self {
-        Self::rm_scaled(40, 80, vec![256, 128, 64], vec![512, 128, 1], rows_per_table)
+        Self::rm_scaled(
+            40,
+            80,
+            vec![256, 128, 64],
+            vec![512, 128, 1],
+            rows_per_table,
+        )
     }
 
     /// RM3's architecture at reduced cardinality: 10 tables x 20 gathers,
     /// MLP-heavy stacks.
     pub fn rm3_scaled(rows_per_table: usize) -> Self {
-        Self::rm_scaled(10, 20, vec![2560, 512, 64], vec![512, 128, 1], rows_per_table)
+        Self::rm_scaled(
+            10,
+            20,
+            vec![2560, 512, 64],
+            vec![512, 128, 1],
+            rows_per_table,
+        )
     }
 
     /// RM4's architecture at reduced cardinality.

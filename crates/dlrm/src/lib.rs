@@ -45,4 +45,4 @@ mod trainer;
 pub use config::{DlrmConfig, TableConfig};
 pub use metrics::{evaluate_ctr, CtrMetrics};
 pub use model::Dlrm;
-pub use trainer::{BackwardMode, EmbeddingOptimizer, PhaseTimings, StepReport, Trainer};
+pub use trainer::{BackwardMode, EmbeddingOptimizer, Execution, PhaseTimings, StepReport, Trainer};

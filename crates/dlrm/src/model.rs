@@ -1,7 +1,10 @@
 //! The DLRM model: Fig. 1's topology over this repository's kernels.
 
 use crate::config::DlrmConfig;
-use tcast_embedding::{gather_reduce, EmbeddingError, EmbeddingTable, IndexArray};
+use tcast_embedding::{
+    gather_reduce, gather_reduce_into, EmbeddingError, EmbeddingTable, IndexArray,
+};
+use tcast_pool::Exec;
 use tcast_tensor::{Activation, FeatureInteraction, Matrix, Mlp, ShapeError};
 
 /// A DLRM model instance: bottom MLP, embedding tables, feature
@@ -18,6 +21,19 @@ pub struct Dlrm {
     top: Mlp,
     interaction: FeatureInteraction,
     tables: Vec<EmbeddingTable>,
+    scratch: DenseScratch,
+}
+
+/// Reusable intermediates of the dense step path; every buffer is
+/// `zero_into`-recycled each step, so the steady-state dense forward and
+/// backward allocate nothing.
+#[derive(Debug, Default)]
+struct DenseScratch {
+    bottom_out: Matrix,
+    interaction_out: Matrix,
+    dz: Matrix,
+    ddense: Matrix,
+    dinput_sink: Matrix,
 }
 
 impl Dlrm {
@@ -41,8 +57,13 @@ impl Dlrm {
             tcast_tensor::InteractionKind::Dot => config.embedding_dim + m * (m - 1) / 2,
             tcast_tensor::InteractionKind::Concat => config.embedding_dim * m,
         };
-        let top = Mlp::new(interaction_dim, &config.top_mlp, Activation::Relu, seed ^ 0xA5A5)
-            .map_err(EmbeddingError::from)?;
+        let top = Mlp::new(
+            interaction_dim,
+            &config.top_mlp,
+            Activation::Relu,
+            seed ^ 0xA5A5,
+        )
+        .map_err(EmbeddingError::from)?;
         let tables = config
             .tables
             .iter()
@@ -57,6 +78,7 @@ impl Dlrm {
             bottom,
             top,
             tables,
+            scratch: DenseScratch::default(),
         })
     }
 
@@ -114,10 +136,7 @@ impl Dlrm {
     ///
     /// Returns an error if index arrays are out of range or their count
     /// differs from the table count.
-    pub fn embedding_forward(
-        &self,
-        indices: &[IndexArray],
-    ) -> Result<Vec<Matrix>, EmbeddingError> {
+    pub fn embedding_forward(&self, indices: &[IndexArray]) -> Result<Vec<Matrix>, EmbeddingError> {
         if indices.len() != self.tables.len() {
             return Err(EmbeddingError::LengthMismatch {
                 expected: self.tables.len(),
@@ -129,6 +148,86 @@ impl Dlrm {
             .zip(indices.iter())
             .map(|(t, idx)| gather_reduce(t, idx))
             .collect()
+    }
+
+    /// [`Dlrm::embedding_forward`] writing into per-table reused buffers
+    /// (`pooled` is resized to the table count), serially or on a pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if index arrays are out of range or their count
+    /// differs from the table count.
+    pub fn embedding_forward_into(
+        &self,
+        indices: &[IndexArray],
+        pooled: &mut Vec<Matrix>,
+        exec: Exec<'_>,
+    ) -> Result<(), EmbeddingError> {
+        if indices.len() != self.tables.len() {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: self.tables.len(),
+                found: indices.len(),
+            });
+        }
+        pooled.resize_with(self.tables.len(), Matrix::default);
+        for ((table, idx), out) in self
+            .tables
+            .iter()
+            .zip(indices.iter())
+            .zip(pooled.iter_mut())
+        {
+            gather_reduce_into(table, idx, out, exec)?;
+        }
+        Ok(())
+    }
+
+    /// [`Dlrm::dense_forward`] writing the logits into a reused buffer —
+    /// the zero-allocation steady-state form. Bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on dimension mismatches.
+    pub fn dense_forward_into(
+        &mut self,
+        dense: &Matrix,
+        pooled: &[Matrix],
+        logits: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        let Self {
+            bottom,
+            top,
+            interaction,
+            scratch,
+            ..
+        } = self;
+        bottom.forward_into(dense, &mut scratch.bottom_out, exec)?;
+        interaction.forward_into(&scratch.bottom_out, pooled, &mut scratch.interaction_out)?;
+        top.forward_into(&scratch.interaction_out, logits, exec)
+    }
+
+    /// [`Dlrm::dense_backward`] writing the per-table pooled-embedding
+    /// gradients into reused buffers. Bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no step forward preceded this call.
+    pub fn dense_backward_into(
+        &mut self,
+        dlogits: &Matrix,
+        dpooled: &mut Vec<Matrix>,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        let Self {
+            bottom,
+            top,
+            interaction,
+            scratch,
+            ..
+        } = self;
+        top.backward_into(dlogits, &mut scratch.dz, exec)?;
+        interaction.backward_into(&scratch.dz, &mut scratch.ddense, dpooled)?;
+        bottom.backward_into(&scratch.ddense, &mut scratch.dinput_sink, exec)
     }
 
     /// Dense forward: bottom MLP, interaction, top MLP; returns logits.

@@ -2,19 +2,21 @@
 //! with per-phase wall-clock timings (the repository's Fig. 4/12
 //! real-system measurement harness).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::DlrmConfig;
-use crate::model::Dlrm;
 use crate::metrics::{evaluate_ctr, CtrMetrics};
-use tcast_core::{casted_gather_reduce, CastingPipeline};
+use crate::model::Dlrm;
+use tcast_core::{casted_gather_reduce_into, CastingPipeline, CoalescedScratch};
 use tcast_datasets::CtrBatch;
 use tcast_embedding::{
     gradient_coalesce, gradient_expand,
     optim::{Adagrad, RmsProp, Sgd, SparseOptimizer},
-    scatter_apply, EmbeddingError,
+    scatter_apply, scatter_apply_dense, EmbeddingError,
 };
-use tcast_tensor::{bce_with_logits, bce_with_logits_backward};
+use tcast_pool::{Exec, Pool};
+use tcast_tensor::{bce_with_logits, bce_with_logits_backward_into, Matrix};
 
 /// Which embedding-backward implementation the trainer runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +103,43 @@ impl EmbeddingOptimizer {
     }
 }
 
+/// How the trainer's kernels execute.
+///
+/// Serial and pooled execution are **bit-identical** (every pooled kernel
+/// preserves the serial per-output accumulation order), so this only
+/// selects a schedule — determinism tests can run serial while
+/// throughput runs pooled, and trajectories still match exactly.
+#[derive(Clone, Default)]
+pub enum Execution {
+    /// Everything on the calling thread.
+    #[default]
+    Serial,
+    /// Hot kernels split across the given persistent pool.
+    Pooled(Arc<Pool>),
+}
+
+impl std::fmt::Debug for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Execution::Serial => write!(f, "Serial"),
+            Execution::Pooled(pool) => write!(f, "Pooled({} threads)", pool.threads()),
+        }
+    }
+}
+
+/// Reusable per-step buffers: after the first step (which sizes them to
+/// the batch's high-water mark) a steady-state training step performs no
+/// heap allocation in the embedding/MLP hot path — every intermediate is
+/// `zero_into`-recycled.
+#[derive(Debug, Default)]
+struct StepScratch {
+    pooled: Vec<Matrix>,
+    logits: Matrix,
+    dlogits: Matrix,
+    dpooled: Vec<Matrix>,
+    coalesced: Vec<CoalescedScratch>,
+}
+
 /// An instrumented DLRM trainer.
 pub struct Trainer {
     model: Dlrm,
@@ -109,6 +148,8 @@ pub struct Trainer {
     pipeline: Option<CastingPipeline>,
     table_optimizers: Vec<Box<dyn SparseOptimizer>>,
     steps: u64,
+    execution: Execution,
+    scratch: StepScratch,
 }
 
 impl std::fmt::Debug for Trainer {
@@ -135,7 +176,8 @@ impl Trainer {
         Self::with_optimizer(config, mode, EmbeddingOptimizer::Sgd, seed)
     }
 
-    /// Builds a trainer with an explicit embedding optimizer.
+    /// Builds a trainer with an explicit embedding optimizer (serial
+    /// execution).
     ///
     /// # Errors
     ///
@@ -144,6 +186,24 @@ impl Trainer {
         config: DlrmConfig,
         mode: BackwardMode,
         optimizer: EmbeddingOptimizer,
+        seed: u64,
+    ) -> Result<Self, EmbeddingError> {
+        Self::with_execution(config, mode, optimizer, Execution::Serial, seed)
+    }
+
+    /// Builds a trainer with an explicit embedding optimizer and
+    /// execution mode. [`Execution::Pooled`] runs the hot kernels
+    /// (gather-reduce, MLP GEMMs, casted gather-reduce) on the given
+    /// persistent pool; trajectories are bit-identical to serial.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn with_execution(
+        config: DlrmConfig,
+        mode: BackwardMode,
+        optimizer: EmbeddingOptimizer,
+        execution: Execution,
         seed: u64,
     ) -> Result<Self, EmbeddingError> {
         let lr = 0.05;
@@ -162,6 +222,8 @@ impl Trainer {
             pipeline,
             table_optimizers,
             steps: 0,
+            execution,
+            scratch: StepScratch::default(),
         })
     }
 
@@ -178,7 +240,10 @@ impl Trainer {
         // kind is recoverable from the first instance's name.
         let kind = match self.table_optimizers.first().map(|o| o.name()) {
             Some("adagrad") => EmbeddingOptimizer::Adagrad { eps: 1e-8 },
-            Some("rmsprop") => EmbeddingOptimizer::RmsProp { gamma: 0.9, eps: 1e-8 },
+            Some("rmsprop") => EmbeddingOptimizer::RmsProp {
+                gamma: 0.9,
+                eps: 1e-8,
+            },
             _ => EmbeddingOptimizer::Sgd,
         };
         self.table_optimizers = (0..self.model.num_tables())
@@ -212,6 +277,11 @@ impl Trainer {
     ///
     /// Returns an error on shape/index inconsistencies in the batch.
     pub fn step(&mut self, batch: &CtrBatch) -> Result<StepReport, EmbeddingError> {
+        let exec = match &self.execution {
+            Execution::Serial => Exec::Serial,
+            Execution::Pooled(pool) => Exec::pooled(pool.as_ref()),
+        };
+
         // Kick off casting first: its inputs exist before forward starts.
         let ticket = self
             .pipeline
@@ -220,57 +290,92 @@ impl Trainer {
 
         // FWD (Gather).
         let t0 = Instant::now();
-        let pooled = self.model.embedding_forward(&batch.indices)?;
+        self.model
+            .embedding_forward_into(&batch.indices, &mut self.scratch.pooled, exec)?;
         let fwd_gather = t0.elapsed();
 
         // FWD (DNN) + loss.
         let t0 = Instant::now();
-        let logits = self.model.dense_forward(&batch.dense, &pooled)?;
-        let loss = bce_with_logits(&logits, &batch.labels)?;
-        let dlogits = bce_with_logits_backward(&logits, &batch.labels)?;
+        self.model.dense_forward_into(
+            &batch.dense,
+            &self.scratch.pooled,
+            &mut self.scratch.logits,
+            exec,
+        )?;
+        let loss = bce_with_logits(&self.scratch.logits, &batch.labels)?;
+        bce_with_logits_backward_into(
+            &self.scratch.logits,
+            &batch.labels,
+            &mut self.scratch.dlogits,
+        )?;
         let fwd_dnn = t0.elapsed();
 
         // BWD (DNN).
         let t0 = Instant::now();
-        let dpooled = self.model.dense_backward(&dlogits)?;
+        self.model
+            .dense_backward_into(&self.scratch.dlogits, &mut self.scratch.dpooled, exec)?;
         self.model.apply_dense_update(self.lr);
         let bwd_dnn = t0.elapsed();
 
         // BWD (embedding): baseline expand-coalesce or casted gather-reduce.
         let t0 = Instant::now();
-        let coalesced: Vec<_> = match self.mode {
-            BackwardMode::Baseline => batch
-                .indices
-                .iter()
-                .zip(dpooled.iter())
-                .map(|(idx, grads)| {
-                    let expanded = gradient_expand(grads, idx)?;
-                    gradient_coalesce(&expanded, idx)
-                })
-                .collect::<Result<_, _>>()?,
+        let mut baseline_coalesced = Vec::new();
+        match self.mode {
+            BackwardMode::Baseline => {
+                // The baseline deliberately pays Algorithm 1's full cost —
+                // materialized n x D expand, sort, accumulate — each step.
+                baseline_coalesced = batch
+                    .indices
+                    .iter()
+                    .zip(self.scratch.dpooled.iter())
+                    .map(|(idx, grads)| {
+                        let expanded = gradient_expand(grads, idx)?;
+                        gradient_coalesce(&expanded, idx)
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             BackwardMode::Casted => {
                 let casted = self
                     .pipeline
                     .as_mut()
                     .expect("casted mode has a pipeline")
                     .collect(ticket.expect("ticket issued"));
-                casted
+                self.scratch
+                    .coalesced
+                    .resize_with(casted.len(), CoalescedScratch::default);
+                for ((c, grads), out) in casted
                     .iter()
-                    .zip(dpooled.iter())
-                    .map(|(c, grads)| casted_gather_reduce(grads, c))
-                    .collect::<Result<_, _>>()?
+                    .zip(self.scratch.dpooled.iter())
+                    .zip(self.scratch.coalesced.iter_mut())
+                {
+                    casted_gather_reduce_into(grads, c, out, exec)?;
+                }
             }
-        };
+        }
         let bwd_embedding = t0.elapsed();
 
         // BWD (Scatter): sparse optimizer update per table.
         let t0 = Instant::now();
-        for (i, c) in coalesced.iter().enumerate() {
-            scatter_apply(
-                self.model.table_mut(i),
-                c,
-                self.table_optimizers[i].as_mut(),
-            )?;
+        match self.mode {
+            BackwardMode::Baseline => {
+                for (i, c) in baseline_coalesced.iter().enumerate() {
+                    scatter_apply(
+                        self.model.table_mut(i),
+                        c,
+                        self.table_optimizers[i].as_mut(),
+                    )?;
+                }
+            }
+            BackwardMode::Casted => {
+                for (i, c) in self.scratch.coalesced.iter().enumerate() {
+                    scatter_apply_dense(
+                        self.model.table_mut(i),
+                        &c.rows,
+                        &c.grads,
+                        self.table_optimizers[i].as_mut(),
+                    )?;
+                }
+            }
         }
         let bwd_scatter = t0.elapsed();
 
@@ -371,6 +476,42 @@ mod tests {
     }
 
     #[test]
+    fn pooled_execution_is_bit_identical_to_serial() {
+        // The whole point of Execution: pooled kernels preserve the
+        // serial accumulation order, so trajectories match EXACTLY.
+        let pool = Arc::new(tcast_pool::Pool::new(4));
+        for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+            let mut serial = Trainer::new(DlrmConfig::tiny(), mode, 17).unwrap();
+            let mut pooled = Trainer::with_execution(
+                DlrmConfig::tiny(),
+                mode,
+                EmbeddingOptimizer::Sgd,
+                Execution::Pooled(Arc::clone(&pool)),
+                17,
+            )
+            .unwrap();
+            let mut sa = data(21);
+            let mut sb = data(21);
+            for step in 0..4 {
+                let ra = serial.step(&sa.next_batch(48)).unwrap();
+                let rb = pooled.step(&sb.next_batch(48)).unwrap();
+                assert_eq!(ra.loss, rb.loss, "{mode:?} loss diverged at step {step}");
+            }
+            for i in 0..serial.model().num_tables() {
+                assert_eq!(
+                    serial
+                        .model()
+                        .table(i)
+                        .max_abs_diff(pooled.model().table(i))
+                        .unwrap(),
+                    0.0,
+                    "{mode:?} table {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn phase_timings_accessors() {
         let timings = PhaseTimings {
             fwd_gather: Duration::from_millis(10),
@@ -407,7 +548,10 @@ mod tests {
         }
         for i in 0..base.model().num_tables() {
             assert_eq!(
-                base.model().table(i).max_abs_diff(cast.model().table(i)).unwrap(),
+                base.model()
+                    .table(i)
+                    .max_abs_diff(cast.model().table(i))
+                    .unwrap(),
                 0.0
             );
         }

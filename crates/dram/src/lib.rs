@@ -42,8 +42,8 @@ mod request;
 mod stats;
 pub mod streams;
 mod system;
-pub mod verify;
 mod timing;
+pub mod verify;
 
 pub use address::{AddressMapping, DecodedAddr};
 pub use channel::{Command, CommandKind};

@@ -140,10 +140,15 @@ mod tests {
     #[test]
     fn gather_of_full_vectors_sits_between_streaming_and_random() {
         let cfg = DramConfig::ddr4_3200().with_mapping(AddressMapping::ColumnFirst);
-        let rows: Vec<u32> = (0..2048u32).map(|i| i.wrapping_mul(2654435761) % 50_000).collect();
+        let rows: Vec<u32> = (0..2048u32)
+            .map(|i| i.wrapping_mul(2654435761) % 50_000)
+            .collect();
         let (g_stats, g_e) = run(cfg.clone(), streams::gather_reads(&rows, 256, 0));
         let (s_stats, s_e) = run(cfg.clone(), streams::sequential_reads(8192));
-        let (r_stats, r_e) = run(cfg.clone(), streams::random_reads(8192, cfg.total_blocks(), 3));
+        let (r_stats, r_e) = run(
+            cfg.clone(),
+            streams::random_reads(8192, cfg.total_blocks(), 3),
+        );
         let g = g_e.nj_per_byte(&g_stats);
         let s = s_e.nj_per_byte(&s_stats);
         let r = r_e.nj_per_byte(&r_stats);

@@ -91,7 +91,10 @@ mod tests {
     fn sequential_is_dense_and_ordered() {
         let s = sequential_reads(4);
         assert_eq!(s.len(), 4);
-        assert!(s.iter().enumerate().all(|(i, r)| r.block == i as u64 && r.is_read()));
+        assert!(s
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.block == i as u64 && r.is_read()));
     }
 
     #[test]

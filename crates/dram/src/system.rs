@@ -16,7 +16,9 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Creates a memory system from a configuration.
     pub fn new(config: DramConfig) -> Self {
-        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(&config))
+            .collect();
         Self {
             config,
             channels,

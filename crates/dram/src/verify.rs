@@ -160,10 +160,7 @@ fn verify(trace: &[Command], t: &TimingParams, check_rows: bool) -> Vec<Violatio
                     match bank.open_row {
                         None => fail("column command to a closed bank".to_string()),
                         Some(row) if cmd.kind == CommandKind::Read && row != cmd.row => {
-                            fail(format!(
-                                "READ to row {} while row {row} is open",
-                                cmd.row
-                            ));
+                            fail(format!("READ to row {} while row {row} is open", cmd.row));
                         }
                         _ => {}
                     }

@@ -253,7 +253,8 @@ mod tests {
         let before: Vec<EmbeddingTable> = bags.iter().cloned().collect();
         let idx = indices();
         let grads = vec![Matrix::filled(2, 4, 1.0), Matrix::filled(2, 4, 1.0)];
-        bags.backward_apply(&idx, &grads, &mut Sgd::new(0.5)).unwrap();
+        bags.backward_apply(&idx, &grads, &mut Sgd::new(0.5))
+            .unwrap();
         for (i, b) in before.iter().enumerate() {
             assert!(
                 bags.table(i).max_abs_diff(b).unwrap() > 0.0,

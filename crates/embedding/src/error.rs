@@ -45,13 +45,19 @@ impl fmt::Display for EmbeddingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::SrcOutOfBounds { src, rows } => {
-                write!(f, "src index {src} out of bounds for table with {rows} rows")
+                write!(
+                    f,
+                    "src index {src} out of bounds for table with {rows} rows"
+                )
             }
             Self::DstOutOfBounds { dst, outputs } => {
                 write!(f, "dst slot {dst} out of bounds for {outputs} outputs")
             }
             Self::DimMismatch { expected, found } => {
-                write!(f, "embedding dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "embedding dimension mismatch: expected {expected}, found {found}"
+                )
             }
             Self::LengthMismatch { expected, found } => {
                 write!(f, "row count mismatch: expected {expected}, found {found}")
@@ -87,7 +93,10 @@ mod tests {
         assert!(e.to_string().contains("src index 9"));
         let e = EmbeddingError::DstOutOfBounds { dst: 3, outputs: 2 };
         assert!(e.to_string().contains("dst slot 3"));
-        let e = EmbeddingError::DimMismatch { expected: 8, found: 4 };
+        let e = EmbeddingError::DimMismatch {
+            expected: 8,
+            found: 4,
+        };
         assert!(e.to_string().contains("expected 8"));
     }
 

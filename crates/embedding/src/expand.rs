@@ -80,7 +80,10 @@ mod tests {
         let wrong = Matrix::zeros(3, 4);
         assert!(matches!(
             gradient_expand(&wrong, &index),
-            Err(EmbeddingError::LengthMismatch { expected: 2, found: 3 })
+            Err(EmbeddingError::LengthMismatch {
+                expected: 2,
+                found: 3
+            })
         ));
     }
 
@@ -97,7 +100,10 @@ mod tests {
             .hadamard(&x)
             .unwrap()
             .sum();
-        let rhs = g.hadamard(&reduce_by_dst(&x, &index).unwrap()).unwrap().sum();
+        let rhs = g
+            .hadamard(&reduce_by_dst(&x, &index).unwrap())
+            .unwrap()
+            .sum();
         assert!((lhs - rhs).abs() < 1e-5);
     }
 }

@@ -4,6 +4,7 @@
 use crate::error::EmbeddingError;
 use crate::index::IndexArray;
 use crate::table::EmbeddingTable;
+use tcast_pool::Exec;
 use tcast_tensor::Matrix;
 
 /// Fused tensor gather-reduce: for every `(src, dst)` pair, accumulate
@@ -33,21 +34,55 @@ use tcast_tensor::Matrix;
 /// # Ok(())
 /// # }
 /// ```
-pub fn gather_reduce(
+pub fn gather_reduce(table: &EmbeddingTable, index: &IndexArray) -> Result<Matrix, EmbeddingError> {
+    let mut out = Matrix::default();
+    gather_reduce_into(table, index, &mut out, Exec::Serial)?;
+    Ok(out)
+}
+
+/// [`gather_reduce`] writing into `out` (reshaped in place, reusing its
+/// allocation), serially or band-partitioned on a pool ([`Exec`]).
+/// Bit-identical to the serial kernel either way: each output row
+/// accumulates its lookups in index order.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::SrcOutOfBounds`] if any `src` exceeds the
+/// table.
+pub fn gather_reduce_into(
     table: &EmbeddingTable,
     index: &IndexArray,
-) -> Result<Matrix, EmbeddingError> {
+    out: &mut Matrix,
+    exec: Exec<'_>,
+) -> Result<(), EmbeddingError> {
     index.validate_against_rows(table.rows())?;
+    let outputs = index.num_outputs();
     let dim = table.dim();
-    let mut out = Matrix::zeros(index.num_outputs(), dim);
-    for (src, dst) in index.iter() {
-        let row = table.row(src as usize);
-        let acc = out.row_mut(dst as usize);
-        for (a, &v) in acc.iter_mut().zip(row.iter()) {
-            *a += v;
+    out.zero_into(outputs, dim);
+    if outputs == 0 {
+        return Ok(());
+    }
+    match exec.pool() {
+        Some(pool) if exec.threads() > 1 && outputs > 1 => {
+            crate::parallel::gather_reduce_pooled_unchecked(
+                pool,
+                table,
+                index,
+                out,
+                exec.threads(),
+            );
+        }
+        _ => {
+            for (src, dst) in index.iter() {
+                let row = table.row(src as usize);
+                let acc = out.row_mut(dst as usize);
+                for (a, &v) in acc.iter_mut().zip(row.iter()) {
+                    *a += v;
+                }
+            }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Unfused gather: materializes every looked-up row as an `n x dim`

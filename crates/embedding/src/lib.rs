@@ -62,9 +62,12 @@ pub use bag::EmbeddingBagCollection;
 pub use coalesce::{gradient_coalesce, gradient_expand_coalesce, CoalescedGradients};
 pub use error::EmbeddingError;
 pub use expand::gradient_expand;
-pub use gather::{gather, gather_reduce, reduce_by_dst};
+pub use gather::{gather, gather_reduce, gather_reduce_into, reduce_by_dst};
 pub use index::IndexArray;
-pub use parallel::{gather_reduce_parallel, gradient_coalesce_parallel};
+pub use parallel::{
+    gather_reduce_parallel, gather_reduce_parallel_in, gradient_coalesce_parallel,
+    gradient_coalesce_parallel_in,
+};
 pub use scatter::{scatter_apply, scatter_apply_dense};
 pub use sharding::ShardedTable;
 pub use table::EmbeddingTable;

@@ -242,9 +242,10 @@ impl Adam {
 impl SparseOptimizer for Adam {
     fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
         assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-        let (m, v, t) = self.state.entry(row).or_insert_with(|| {
-            (vec![0.0; param.len()], vec![0.0; param.len()], 0)
-        });
+        let (m, v, t) = self
+            .state
+            .entry(row)
+            .or_insert_with(|| (vec![0.0; param.len()], vec![0.0; param.len()], 0));
         *t += 1;
         let bc1 = 1.0 - self.beta1.powi(*t as i32);
         let bc2 = 1.0 - self.beta2.powi(*t as i32);

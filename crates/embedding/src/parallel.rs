@@ -6,18 +6,25 @@
 //! results use the tuned version. These parallel kernels are this
 //! repository's equivalent, so that wall-clock comparisons between the
 //! baseline and the casted path are conservative in the same way.
+//!
+//! All entry points dispatch onto the persistent [`tcast_pool`] workers
+//! (the `_in` variants take an explicit pool, the legacy signatures use
+//! [`tcast_pool::global`]): no OS threads are spawned per call.
 
 use crate::coalesce::CoalescedGradients;
 use crate::error::EmbeddingError;
 use crate::index::IndexArray;
 use crate::table::EmbeddingTable;
+use tcast_pool::Pool;
 use tcast_tensor::Matrix;
 
-/// Parallel fused gather-reduce over `threads` OS threads.
+/// Parallel fused gather-reduce over `threads` pool tasks on the shared
+/// [`tcast_pool::global`] pool.
 ///
-/// Output slots are partitioned into contiguous ranges; every thread scans
+/// Output slots are partitioned into contiguous ranges; every task scans
 /// the index array and accumulates only the pairs whose `dst` falls in its
-/// range, so no two threads ever write the same output row.
+/// range, so no two tasks ever write the same output row — and each output
+/// row accumulates in index order, exactly like the serial kernel.
 ///
 /// # Errors
 ///
@@ -28,20 +35,48 @@ pub fn gather_reduce_parallel(
     index: &IndexArray,
     threads: usize,
 ) -> Result<Matrix, EmbeddingError> {
+    gather_reduce_parallel_in(tcast_pool::global(), table, index, threads)
+}
+
+/// [`gather_reduce_parallel`] on an explicit pool.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::SrcOutOfBounds`] if any `src` exceeds the
+/// table.
+pub fn gather_reduce_parallel_in(
+    pool: &Pool,
+    table: &EmbeddingTable,
+    index: &IndexArray,
+    threads: usize,
+) -> Result<Matrix, EmbeddingError> {
     index.validate_against_rows(table.rows())?;
     let outputs = index.num_outputs();
-    let dim = table.dim();
-    let threads = threads.max(1).min(outputs.max(1));
-    let mut out = Matrix::zeros(outputs, dim);
+    let mut out = Matrix::zeros(outputs, table.dim());
     if outputs == 0 {
         return Ok(out);
     }
+    gather_reduce_pooled_unchecked(pool, table, index, &mut out, threads);
+    Ok(out)
+}
 
-    // Contiguous output ranges per thread; the matrix buffer splits into
+/// Pooled gather-reduce into a pre-shaped, zeroed `outputs x dim` matrix
+/// (bounds already validated by the caller).
+pub(crate) fn gather_reduce_pooled_unchecked(
+    pool: &Pool,
+    table: &EmbeddingTable,
+    index: &IndexArray,
+    out: &mut Matrix,
+    threads: usize,
+) {
+    let outputs = index.num_outputs();
+    let dim = table.dim();
+    let threads = threads.max(1).min(outputs.max(1));
+    // Contiguous output ranges per task; the matrix buffer splits into
     // disjoint row bands.
     let per = outputs.div_ceil(threads);
     let buf = out.as_mut_slice();
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
             let lo = t * per;
@@ -66,7 +101,6 @@ pub fn gather_reduce_parallel(
             });
         }
     });
-    Ok(out)
 }
 
 /// Parallel gradient coalescing (Algorithm 1 with a parallel Step B).
@@ -80,6 +114,21 @@ pub fn gather_reduce_parallel(
 /// Returns [`EmbeddingError::LengthMismatch`] if `expanded.rows()` differs
 /// from `index.len()`.
 pub fn gradient_coalesce_parallel(
+    expanded: &Matrix,
+    index: &IndexArray,
+    threads: usize,
+) -> Result<CoalescedGradients, EmbeddingError> {
+    gradient_coalesce_parallel_in(tcast_pool::global(), expanded, index, threads)
+}
+
+/// [`gradient_coalesce_parallel`] on an explicit pool.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `expanded.rows()` differs
+/// from `index.len()`.
+pub fn gradient_coalesce_parallel_in(
+    pool: &Pool,
     expanded: &Matrix,
     index: &IndexArray,
     threads: usize,
@@ -127,7 +176,7 @@ pub fn gradient_coalesce_parallel(
     let buf = grads.as_mut_slice();
     let keys = &keys;
     let run_starts = &run_starts;
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
             let ulo = t * per;
@@ -171,7 +220,11 @@ mod tests {
         let table = EmbeddingTable::seeded(rows, dim, seed);
         let mut rng = SplitMix64::new(seed ^ 0xABCD);
         let samples: Vec<Vec<u32>> = (0..batch)
-            .map(|_| (0..pooling).map(|_| rng.next_below(rows as u64) as u32).collect())
+            .map(|_| {
+                (0..pooling)
+                    .map(|_| rng.next_below(rows as u64) as u32)
+                    .collect()
+            })
             .collect();
         let index = IndexArray::from_samples(&samples).unwrap();
         let mut grads = Matrix::zeros(batch, dim);

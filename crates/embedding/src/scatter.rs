@@ -30,7 +30,11 @@ pub fn scatter_apply(
             found: coalesced.grads().cols(),
         });
     }
-    if let Some(&bad) = coalesced.rows().iter().find(|&&r| r as usize >= table.rows()) {
+    if let Some(&bad) = coalesced
+        .rows()
+        .iter()
+        .find(|&&r| r as usize >= table.rows())
+    {
         return Err(EmbeddingError::SrcOutOfBounds {
             src: bad,
             rows: table.rows(),
@@ -108,8 +112,7 @@ mod tests {
     #[test]
     fn scatter_validates_bounds_and_dims() {
         let mut table = EmbeddingTable::zeros(3, 2);
-        let too_wide =
-            CoalescedGradients::new(vec![0], Matrix::zeros(1, 3)).unwrap();
+        let too_wide = CoalescedGradients::new(vec![0], Matrix::zeros(1, 3)).unwrap();
         assert!(scatter_apply(&mut table, &too_wide, &mut Sgd::new(1.0)).is_err());
         let oob = CoalescedGradients::new(vec![3], Matrix::zeros(1, 2)).unwrap();
         assert!(scatter_apply(&mut table, &oob, &mut Sgd::new(1.0)).is_err());
@@ -177,8 +180,6 @@ mod tests {
     fn scatter_dense_validates_lengths() {
         let mut table = EmbeddingTable::zeros(3, 1);
         let grads = Matrix::zeros(2, 1);
-        assert!(
-            scatter_apply_dense(&mut table, &[0], &grads, &mut Sgd::new(0.1)).is_err()
-        );
+        assert!(scatter_apply_dense(&mut table, &[0], &grads, &mut Sgd::new(0.1)).is_err());
     }
 }

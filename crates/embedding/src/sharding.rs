@@ -96,7 +96,11 @@ impl ShardedTable {
             });
         }
         let shard = self.bounds.partition_point(|&b| b <= r);
-        let base = if shard == 0 { 0 } else { self.bounds[shard - 1] };
+        let base = if shard == 0 {
+            0
+        } else {
+            self.bounds[shard - 1]
+        };
         Ok((shard, (r - base) as u32))
     }
 
@@ -159,7 +163,9 @@ impl ShardedTable {
         for (i, &row) in coalesced.rows().iter().enumerate() {
             let (shard, local) = self.locate(row)?;
             per_shard[shard].0.push(local);
-            per_shard[shard].1.extend_from_slice(coalesced.grads().row(i));
+            per_shard[shard]
+                .1
+                .extend_from_slice(coalesced.grads().row(i));
         }
         for (shard, (rows, grads)) in self.shards.iter_mut().zip(per_shard) {
             if rows.is_empty() {

@@ -180,10 +180,7 @@ impl NmpCore {
                     for &(src, dst) in pairs {
                         let s = src as usize;
                         if s >= t.rows {
-                            return Err(EmbeddingError::SrcOutOfBounds {
-                                src,
-                                rows: t.rows,
-                            });
+                            return Err(EmbeddingError::SrcOutOfBounds { src, rows: t.rows });
                         }
                         let d = dst as usize;
                         if d >= *num_outputs {
@@ -202,8 +199,7 @@ impl NmpCore {
                     // the output buffer), one 64 B write per output slot as
                     // results drain to local memory for the host link.
                     let srcs: Vec<u32> = pairs.iter().map(|&(s, _)| s).collect();
-                    let mut trace =
-                        streams::gather_reads(&srcs, SLICE_BYTES as u64, t.base_block);
+                    let mut trace = streams::gather_reads(&srcs, SLICE_BYTES as u64, t.base_block);
                     let outs: Vec<u32> = (0..*num_outputs as u32).collect();
                     trace.extend(streams::scatter_writes(
                         &outs,
@@ -342,7 +338,11 @@ mod tests {
         write_rows(
             &mut c,
             t,
-            &[(0, vec![1.0, 10.0]), (1, vec![2.0, 20.0]), (2, vec![4.0, 40.0])],
+            &[
+                (0, vec![1.0, 10.0]),
+                (1, vec![2.0, 20.0]),
+                (2, vec![4.0, 40.0]),
+            ],
         );
         let instr = NmpInstruction::GatherReduce {
             table: t,

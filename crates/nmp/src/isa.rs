@@ -68,10 +68,14 @@ impl NmpInstruction {
     pub fn row_ops(&self) -> usize {
         match self {
             NmpInstruction::WriteRows { rows, .. } => rows.len(),
-            NmpInstruction::GatherReduce { pairs, num_outputs, .. } => pairs.len() + num_outputs,
-            NmpInstruction::ScatterSgd { updates, grads_in_dram, .. } => {
-                updates.len() * if *grads_in_dram { 3 } else { 2 }
-            }
+            NmpInstruction::GatherReduce {
+                pairs, num_outputs, ..
+            } => pairs.len() + num_outputs,
+            NmpInstruction::ScatterSgd {
+                updates,
+                grads_in_dram,
+                ..
+            } => updates.len() * if *grads_in_dram { 3 } else { 2 },
         }
     }
 }
@@ -82,11 +86,26 @@ mod tests {
 
     #[test]
     fn mnemonics_are_distinct() {
-        let a = NmpInstruction::WriteRows { table: 0, rows: vec![] };
-        let b = NmpInstruction::GatherReduce { table: 0, pairs: vec![], num_outputs: 0 };
-        let c = NmpInstruction::ScatterSgd { table: 0, updates: vec![], lr: 0.1, grads_in_dram: false };
+        let a = NmpInstruction::WriteRows {
+            table: 0,
+            rows: vec![],
+        };
+        let b = NmpInstruction::GatherReduce {
+            table: 0,
+            pairs: vec![],
+            num_outputs: 0,
+        };
+        let c = NmpInstruction::ScatterSgd {
+            table: 0,
+            updates: vec![],
+            lr: 0.1,
+            grads_in_dram: false,
+        };
         let names = [a.mnemonic(), b.mnemonic(), c.mnemonic()];
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn presets_ordered_by_bandwidth() {
-        assert!(LinkModel::pcie_gen3().bandwidth_gbps() < LinkModel::pool_default().bandwidth_gbps());
+        assert!(
+            LinkModel::pcie_gen3().bandwidth_gbps() < LinkModel::pool_default().bandwidth_gbps()
+        );
         assert!(LinkModel::pool_default().bandwidth_gbps() < LinkModel::nvlink().bandwidth_gbps());
     }
 

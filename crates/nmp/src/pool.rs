@@ -204,8 +204,7 @@ impl NmpPool {
         let t = self.pooled(handle)?;
         let mut out = EmbeddingTable::zeros(t.rows, t.dim);
         for r in 0..t.rows {
-            for ((&ch, &local), &(lo, hi)) in
-                t.members.iter().zip(&t.local_ids).zip(&t.col_ranges)
+            for ((&ch, &local), &(lo, hi)) in t.members.iter().zip(&t.local_ids).zip(&t.col_ranges)
             {
                 out.row_mut(r)[lo..hi].copy_from_slice(self.cores[ch].row_slice(local, r as u32));
             }
@@ -479,7 +478,11 @@ mod tests {
         let table = EmbeddingTable::seeded(rows, dim, seed);
         let mut rng = SplitMix64::new(seed ^ 0x5555);
         let samples: Vec<Vec<u32>> = (0..batch)
-            .map(|_| (0..pooling).map(|_| rng.next_below(rows as u64) as u32).collect())
+            .map(|_| {
+                (0..pooling)
+                    .map(|_| rng.next_below(rows as u64) as u32)
+                    .collect()
+            })
             .collect();
         let index = IndexArray::from_samples(&samples).unwrap();
         let mut grads = Matrix::zeros(batch, dim);

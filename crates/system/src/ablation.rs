@@ -65,10 +65,9 @@ pub fn optimizer_state_overhead_ns(
 ) -> f64 {
     let s = wl.table_shape();
     let t = wl.model.tables as f64;
-    let extra_bytes =
-        (traffic::scatter(&s, state_bytes_per_elem).total() - traffic::scatter(&s, 0).total())
-            as f64
-            * t;
+    let extra_bytes = (traffic::scatter(&s, state_bytes_per_elem).total()
+        - traffic::scatter(&s, 0).total()) as f64
+        * t;
     // The scatter runs on the CPU for CPU-centric designs and on the pool
     // for NMP designs.
     match design {
@@ -136,11 +135,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "only applies to Tensor Casting")]
     fn exposure_rejects_baselines() {
-        casting_exposure(
-            DesignPoint::BaselineCpuGpu,
-            &wl(),
-            &Calibration::default(),
-        );
+        casting_exposure(DesignPoint::BaselineCpuGpu, &wl(), &Calibration::default());
     }
 
     #[test]

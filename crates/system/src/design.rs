@@ -87,8 +87,7 @@ impl DesignPoint {
         let dense_b = (wl.batch * wl.model.dense_features * 4) as f64;
         let index_b = wl.index_bytes() as f64;
         // Casted arrays: (casted_src, casted_dst) per lookup + unique ids.
-        let casted_index_b =
-            index_b + (wl.unique_per_table * wl.model.tables * 4) as f64;
+        let casted_index_b = index_b + (wl.unique_per_table * wl.model.tables * 4) as f64;
         // Gradient-table staging write inside the pool.
         let staging_b = pooled_b;
 
@@ -106,8 +105,16 @@ impl DesignPoint {
                 push(PhaseKind::FwdDnn, Device::Cpu, c.cpu_gemm(mlp_f));
                 push(PhaseKind::BwdDnn, Device::Cpu, c.cpu_gemm(2.0 * mlp_f));
                 push(PhaseKind::BwdExpand, Device::Cpu, c.cpu_stream(expand_b));
-                push(PhaseKind::BwdCoalesceSort, Device::Cpu, c.cpu_sort(sort_elems));
-                push(PhaseKind::BwdCoalesceAccu, Device::Cpu, c.cpu_gather(accu_b));
+                push(
+                    PhaseKind::BwdCoalesceSort,
+                    Device::Cpu,
+                    c.cpu_sort(sort_elems),
+                );
+                push(
+                    PhaseKind::BwdCoalesceAccu,
+                    Device::Cpu,
+                    c.cpu_gather(accu_b),
+                );
                 push(PhaseKind::BwdScatter, Device::Cpu, c.cpu_gather(scatter_b));
             }
             DesignPoint::BaselineCpuGpu => {
@@ -117,8 +124,16 @@ impl DesignPoint {
                 push(PhaseKind::BwdDnn, Device::Gpu, c.gpu_gemm(2.0 * mlp_f));
                 push(PhaseKind::BwdDnn, Device::Link, c.pcie(grad_b));
                 push(PhaseKind::BwdExpand, Device::Cpu, c.cpu_stream(expand_b));
-                push(PhaseKind::BwdCoalesceSort, Device::Cpu, c.cpu_sort(sort_elems));
-                push(PhaseKind::BwdCoalesceAccu, Device::Cpu, c.cpu_gather(accu_b));
+                push(
+                    PhaseKind::BwdCoalesceSort,
+                    Device::Cpu,
+                    c.cpu_sort(sort_elems),
+                );
+                push(
+                    PhaseKind::BwdCoalesceAccu,
+                    Device::Cpu,
+                    c.cpu_gather(accu_b),
+                );
                 push(PhaseKind::BwdScatter, Device::Cpu, c.cpu_gather(scatter_b));
             }
             DesignPoint::BaselineNmp => {
@@ -135,11 +150,19 @@ impl DesignPoint {
                 push(PhaseKind::BwdDnn, Device::Gpu, c.gpu_gemm(2.0 * mlp_f));
                 push(PhaseKind::BwdDnn, Device::Link, c.pcie(grad_b));
                 push(PhaseKind::BwdExpand, Device::Cpu, c.cpu_stream(expand_b));
-                push(PhaseKind::BwdCoalesceSort, Device::Cpu, c.cpu_sort(sort_elems));
-                push(PhaseKind::BwdCoalesceAccu, Device::Cpu, c.cpu_gather(accu_b));
+                push(
+                    PhaseKind::BwdCoalesceSort,
+                    Device::Cpu,
+                    c.cpu_sort(sort_elems),
+                );
+                push(
+                    PhaseKind::BwdCoalesceAccu,
+                    Device::Cpu,
+                    c.cpu_gather(accu_b),
+                );
                 // Coalesced gradients travel to the pool for the scatter.
-                let coalesced_b = (wl.unique_per_table * wl.model.tables) as f64
-                    * (wl.dim as f64 * 4.0 + 4.0);
+                let coalesced_b =
+                    (wl.unique_per_table * wl.model.tables) as f64 * (wl.dim as f64 * 4.0 + 4.0);
                 push(PhaseKind::BwdScatter, Device::Link, c.link(coalesced_b));
                 // Gradients stream from the link; table rows RMW in-pool.
                 let rmw_b = (2 * wl.unique_per_table * wl.model.tables * wl.dim * 4) as f64;
@@ -177,9 +200,8 @@ impl DesignPoint {
                 push(PhaseKind::FwdDnn, Device::Link, c.pcie(dense_b));
                 push(PhaseKind::FwdDnn, Device::Gpu, c.gpu_gemm(mlp_f));
                 push(PhaseKind::BwdDnn, Device::Gpu, c.gpu_gemm(2.0 * mlp_f));
-                casting_total_ns = c.pcie(index_b)
-                    + c.gpu_sort(sort_elems)
-                    + c.gpu_stream(4.0 * index_b);
+                casting_total_ns =
+                    c.pcie(index_b) + c.gpu_sort(sort_elems) + c.gpu_stream(4.0 * index_b);
                 push(PhaseKind::Casting, Device::Gpu, casting_total_ns);
                 // Gradient table + casted arrays move to the pool, the
                 // casted gather-reduce runs on the NMP cores.
@@ -198,7 +220,11 @@ impl DesignPoint {
                 );
                 // Coalesced gradients already staged in pool DRAM.
                 let scatter_pool_b = by(traffic::scatter(&s, 0));
-                push(PhaseKind::BwdScatter, Device::Nmp, c.pool_rmw(scatter_pool_b));
+                push(
+                    PhaseKind::BwdScatter,
+                    Device::Nmp,
+                    c.pool_rmw(scatter_pool_b),
+                );
             }
         }
 
@@ -299,8 +325,7 @@ impl Evaluation {
 
     /// Fraction of iteration time spent in the MLPs.
     pub fn mlp_fraction(&self) -> f64 {
-        (self.phase_ns(PhaseKind::FwdDnn) + self.phase_ns(PhaseKind::BwdDnn))
-            / self.serial_sum_ns()
+        (self.phase_ns(PhaseKind::FwdDnn) + self.phase_ns(PhaseKind::BwdDnn)) / self.serial_sum_ns()
     }
 
     /// NMP utilization: fraction of wall-clock time the pool is active
@@ -451,7 +476,8 @@ mod tests {
                 let s = base.total_ns / ours.total_ns;
                 assert!(
                     (1.05..=3.0).contains(&s),
-                    "{} b{batch}: Ours(CPU) speedup {s:.2}", w.model.name
+                    "{} b{batch}: Ours(CPU) speedup {s:.2}",
+                    w.model.name
                 );
             }
         }
@@ -469,7 +495,8 @@ mod tests {
                 let s = base.total_ns / ours.total_ns;
                 assert!(
                     (1.8..=25.0).contains(&s),
-                    "{} b{batch}: Ours(NMP) speedup {s:.2}", w.model.name
+                    "{} b{batch}: Ours(NMP) speedup {s:.2}",
+                    w.model.name
                 );
                 speedups.push(s);
             }
@@ -575,7 +602,8 @@ mod tests {
                 let s = base.backward_operator_ns() / ours.backward_operator_ns();
                 assert!(
                     (1.0..=12.0).contains(&s),
-                    "{} b{batch}: operator speedup {s:.2}", w.model.name
+                    "{} b{batch}: operator speedup {s:.2}",
+                    w.model.name
                 );
             }
         }

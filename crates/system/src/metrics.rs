@@ -79,7 +79,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     out.push_str(&sep);
     for row in rows {
-        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push_str(&render_row(
+            row.iter().map(String::as_str).collect(),
+            &widths,
+        ));
     }
     out
 }
@@ -117,7 +120,7 @@ mod tests {
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4); // header, sep, 2 rows
-        // All lines equal width.
+                                    // All lines equal width.
         assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
         assert!(t.contains("long-name"));
     }

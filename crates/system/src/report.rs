@@ -59,9 +59,8 @@ impl EvaluationReport {
             }
             util_baseline.push(base_nmp.nmp_utilization());
             util_casting.push(ours_nmp.nmp_utilization());
-            energy_ratios.push(
-                energy_joules(&ours_nmp, cal).total() / energy_joules(&base, cal).total(),
-            );
+            energy_ratios
+                .push(energy_joules(&ours_nmp, cal).total() / energy_joules(&base, cal).total());
         }
 
         let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
@@ -119,7 +118,8 @@ impl EvaluationReport {
 
     /// Renders the report as a markdown table.
     pub fn to_markdown(&self) -> String {
-        let mut out = String::from("| quantity | measured | paper | in band |\n|---|---|---|---|\n");
+        let mut out =
+            String::from("| quantity | measured | paper | in band |\n|---|---|---|---|\n");
         for h in &self.headlines {
             out.push_str(&format!(
                 "| {} | {} | {} | {} |\n",
@@ -142,7 +142,11 @@ mod tests {
         let report = EvaluationReport::build(&Calibration::default());
         assert_eq!(report.headlines.len(), 5);
         for h in &report.headlines {
-            assert!(h.in_band, "{}: measured {} vs {}", h.name, h.measured, h.paper);
+            assert!(
+                h.in_band,
+                "{}: measured {} vs {}",
+                h.name, h.measured, h.paper
+            );
         }
         assert!(report.all_in_band());
     }

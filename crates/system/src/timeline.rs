@@ -77,8 +77,7 @@ pub fn render_timeline(events: &[TimelineEvent], width: usize) -> String {
     let lanes = [Device::Cpu, Device::Gpu, Device::Nmp, Device::Link];
     let mut out = String::new();
     for lane in lanes {
-        let lane_events: Vec<&TimelineEvent> =
-            events.iter().filter(|e| e.device == lane).collect();
+        let lane_events: Vec<&TimelineEvent> = events.iter().filter(|e| e.device == lane).collect();
         if lane_events.is_empty() {
             continue;
         }

@@ -262,13 +262,8 @@ mod tests {
             DatasetPreset::CriteoKaggle,
             4,
         );
-        let random = SystemWorkload::build_with_dataset(
-            RmModel::rm1(),
-            2048,
-            64,
-            DatasetPreset::Random,
-            4,
-        );
+        let random =
+            SystemWorkload::build_with_dataset(RmModel::rm1(), 2048, 64, DatasetPreset::Random, 4);
         assert!(criteo.unique_per_table < random.unique_per_table);
     }
 }

@@ -170,8 +170,12 @@ mod tests {
         let w = he_normal(128, 64, 3);
         let mean: f32 = w.sum() / w.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        let var: f32 =
-            w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
+        let var: f32 = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         let expected = 2.0 / 128.0;
         assert!(
             (var - expected).abs() < expected * 0.5,

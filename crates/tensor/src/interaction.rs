@@ -52,12 +52,21 @@ pub fn interaction_output_dim(kind: InteractionKind, num_tables: usize, dim: usi
 pub struct FeatureInteraction {
     kind: InteractionKind,
     cached: Option<Vec<Matrix>>,
+    // Reusable input copies for the zero-allocation step path
+    // ([`FeatureInteraction::forward_into`] / `backward_into`).
+    step_cache: Vec<Matrix>,
+    step_cache_live: bool,
 }
 
 impl FeatureInteraction {
     /// Creates the operator.
     pub fn new(kind: InteractionKind) -> Self {
-        Self { kind, cached: None }
+        Self {
+            kind,
+            cached: None,
+            step_cache: Vec::new(),
+            step_cache_live: false,
+        }
     }
 
     /// The configured interaction kind.
@@ -75,7 +84,11 @@ impl FeatureInteraction {
     pub fn forward(&mut self, dense: &Matrix, embeddings: &[Matrix]) -> Result<Matrix, ShapeError> {
         for e in embeddings {
             if e.rows() != dense.rows() {
-                return Err(ShapeError::new("interaction_batch", dense.shape(), e.shape()));
+                return Err(ShapeError::new(
+                    "interaction_batch",
+                    dense.shape(),
+                    e.shape(),
+                ));
             }
             if self.kind == InteractionKind::Dot && e.cols() != dense.cols() {
                 return Err(ShapeError::new("interaction_dim", dense.shape(), e.shape()));
@@ -116,6 +129,187 @@ impl FeatureInteraction {
         Ok(out)
     }
 
+    /// [`FeatureInteraction::forward`] writing into `out` and caching the
+    /// inputs into reused buffers — the zero-allocation steady-state form.
+    /// Bit-identical to the allocating pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if any operand disagrees on `batch`/`dim`.
+    pub fn forward_into(
+        &mut self,
+        dense: &Matrix,
+        embeddings: &[Matrix],
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        for e in embeddings {
+            if e.rows() != dense.rows() {
+                return Err(ShapeError::new(
+                    "interaction_batch",
+                    dense.shape(),
+                    e.shape(),
+                ));
+            }
+            if self.kind == InteractionKind::Dot && e.cols() != dense.cols() {
+                return Err(ShapeError::new("interaction_dim", dense.shape(), e.shape()));
+            }
+        }
+        let m = embeddings.len() + 1;
+        self.step_cache.resize_with(m, Matrix::default);
+        self.step_cache[0].copy_from(dense);
+        for (buf, e) in self.step_cache[1..].iter_mut().zip(embeddings.iter()) {
+            buf.copy_from(e);
+        }
+
+        match self.kind {
+            InteractionKind::Concat => {
+                let batch = dense.rows();
+                let total: usize = self.step_cache.iter().map(Matrix::cols).sum();
+                out.zero_into(batch, total);
+                for b in 0..batch {
+                    let row = out.row_mut(b);
+                    let mut offset = 0;
+                    for part in &self.step_cache {
+                        row[offset..offset + part.cols()].copy_from_slice(part.row(b));
+                        offset += part.cols();
+                    }
+                }
+            }
+            InteractionKind::Dot => {
+                let batch = dense.rows();
+                let dim = dense.cols();
+                let pairs = m * (m - 1) / 2;
+                out.zero_into(batch, dim + pairs);
+                let inputs = &self.step_cache;
+                for b in 0..batch {
+                    let row = out.row_mut(b);
+                    row[..dim].copy_from_slice(inputs[0].row(b));
+                    let mut p = dim;
+                    for i in 0..m {
+                        for j in (i + 1)..m {
+                            let vi = inputs[i].row(b);
+                            let vj = inputs[j].row(b);
+                            row[p] = vi.iter().zip(vj.iter()).map(|(a, c)| a * c).sum();
+                            p += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.step_cache_live = true;
+        Ok(())
+    }
+
+    /// [`FeatureInteraction::backward`] writing the dense gradient into
+    /// `ddense` and the per-table gradients into `dpooled` (resized and
+    /// reused). Consumes the cache of the last
+    /// [`FeatureInteraction::forward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no step forward preceded this call or
+    /// the gradient width is inconsistent.
+    pub fn backward_into(
+        &mut self,
+        dout: &Matrix,
+        ddense: &mut Matrix,
+        dpooled: &mut Vec<Matrix>,
+    ) -> Result<(), ShapeError> {
+        if !self.step_cache_live {
+            return Err(ShapeError::new(
+                "interaction_backward_without_forward",
+                (0, 0),
+                dout.shape(),
+            ));
+        }
+        self.step_cache_live = false;
+        let inputs = &self.step_cache;
+        let m = inputs.len();
+        let batch = inputs[0].rows();
+        let dim = inputs[0].cols();
+        dpooled.resize_with(m - 1, Matrix::default);
+
+        match self.kind {
+            InteractionKind::Concat => {
+                let total: usize = inputs.iter().map(Matrix::cols).sum();
+                if dout.cols() != total || dout.rows() != batch {
+                    return Err(ShapeError::new(
+                        "interaction_backward",
+                        (batch, total),
+                        dout.shape(),
+                    ));
+                }
+                ddense.zero_into(batch, dim);
+                for (buf, src) in dpooled.iter_mut().zip(inputs[1..].iter()) {
+                    buf.zero_into(batch, src.cols());
+                }
+                for b in 0..batch {
+                    let drow = dout.row(b);
+                    ddense.row_mut(b).copy_from_slice(&drow[..dim]);
+                    let mut offset = dim;
+                    for buf in dpooled.iter_mut() {
+                        let w = buf.cols();
+                        buf.row_mut(b).copy_from_slice(&drow[offset..offset + w]);
+                        offset += w;
+                    }
+                }
+            }
+            InteractionKind::Dot => {
+                let pairs = m * (m - 1) / 2;
+                if dout.cols() != dim + pairs || dout.rows() != batch {
+                    return Err(ShapeError::new(
+                        "interaction_backward",
+                        (batch, dim + pairs),
+                        dout.shape(),
+                    ));
+                }
+                ddense.zero_into(batch, dim);
+                for buf in dpooled.iter_mut() {
+                    buf.zero_into(batch, dim);
+                }
+                for b in 0..batch {
+                    let drow = dout.row(b);
+                    // Dense passthrough part.
+                    ddense.row_mut(b).copy_from_slice(&drow[..dim]);
+                    // Pair part: dz_ij flows to both v_i and v_j. The
+                    // cached inputs and the gradient buffers are separate
+                    // storage, so no row copies are needed.
+                    let mut p = dim;
+                    for i in 0..m {
+                        for j in (i + 1)..m {
+                            let g = drow[p];
+                            p += 1;
+                            if g == 0.0 {
+                                continue;
+                            }
+                            {
+                                let gi = if i == 0 {
+                                    &mut *ddense
+                                } else {
+                                    &mut dpooled[i - 1]
+                                };
+                                for (o, &vjv) in
+                                    gi.row_mut(b).iter_mut().zip(inputs[j].row(b).iter())
+                                {
+                                    *o += g * vjv;
+                                }
+                            }
+                            {
+                                let gj = &mut dpooled[j - 1]; // j >= 1 always
+                                for (o, &viv) in
+                                    gj.row_mut(b).iter_mut().zip(inputs[i].row(b).iter())
+                                {
+                                    *o += g * viv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Backward pass: splits `dout` into the gradient w.r.t. the dense
     /// vector (first element of the returned pair) and the gradients
     /// w.r.t. each pooled embedding (second element, one per table).
@@ -125,10 +319,9 @@ impl FeatureInteraction {
     /// Returns a [`ShapeError`] if no forward pass preceded this call or the
     /// gradient width is inconsistent.
     pub fn backward(&mut self, dout: &Matrix) -> Result<(Matrix, Vec<Matrix>), ShapeError> {
-        let inputs = self
-            .cached
-            .take()
-            .ok_or_else(|| ShapeError::new("interaction_backward_without_forward", (0, 0), dout.shape()))?;
+        let inputs = self.cached.take().ok_or_else(|| {
+            ShapeError::new("interaction_backward_without_forward", (0, 0), dout.shape())
+        })?;
         let m = inputs.len();
         let batch = inputs[0].rows();
         let dim = inputs[0].cols();

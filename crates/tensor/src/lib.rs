@@ -40,8 +40,12 @@ pub use error::ShapeError;
 pub use init::{he_normal, xavier_uniform, SplitMix64};
 pub use interaction::{interaction_output_dim, FeatureInteraction, InteractionKind};
 pub use linear::Linear;
-pub use loss::{bce_with_logits, bce_with_logits_backward, mse, mse_backward, mse_with_grad};
+pub use loss::{
+    bce_with_logits, bce_with_logits_backward, bce_with_logits_backward_into, mse, mse_backward,
+    mse_with_grad,
+};
 pub use matrix::Matrix;
 pub use mlp::{Activation, Mlp};
-pub use ops::{relu, relu_backward, sigmoid, sigmoid_backward};
-pub use parallel::matmul_parallel;
+pub use ops::{relu, relu_backward, relu_backward_in_place, relu_into, sigmoid, sigmoid_backward};
+pub use parallel::{matmul_parallel, matmul_parallel_in};
+pub use tcast_pool::{Exec, Pool};

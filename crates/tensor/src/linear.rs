@@ -3,6 +3,11 @@
 use crate::error::ShapeError;
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
+use tcast_pool::Exec;
+
+/// Minimum output elements per task before a pooled GEMM pays off; below
+/// this the serial kernel runs even under [`Exec::Pooled`].
+const POOLED_GEMM_MIN_ROWS: usize = 8;
 
 /// A fully-connected (dense) layer `y = x W + b`.
 ///
@@ -21,6 +26,10 @@ pub struct Linear {
     cached_input: Option<Matrix>,
     grad_weight: Option<Matrix>,
     grad_bias: Option<Vec<f32>>,
+    // Retired gradient buffers recycled by the next backward pass, so the
+    // steady-state training step allocates nothing here.
+    spare_grad_weight: Option<Matrix>,
+    spare_grad_bias: Option<Vec<f32>>,
 }
 
 impl Linear {
@@ -32,6 +41,8 @@ impl Linear {
             cached_input: None,
             grad_weight: None,
             grad_bias: None,
+            spare_grad_weight: None,
+            spare_grad_bias: None,
         }
     }
 
@@ -54,6 +65,8 @@ impl Linear {
             cached_input: None,
             grad_weight: None,
             grad_bias: None,
+            spare_grad_weight: None,
+            spare_grad_bias: None,
         })
     }
 
@@ -88,10 +101,32 @@ impl Linear {
     ///
     /// Returns a [`ShapeError`] if `x.cols() != in_dim`.
     pub fn forward(&mut self, x: &Matrix) -> Result<Matrix, ShapeError> {
-        let mut y = x.matmul(&self.weight)?;
-        y.add_row_vector(&self.bias)?;
-        self.cached_input = Some(x.clone());
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y, Exec::Serial)?;
         Ok(y)
+    }
+
+    /// [`Linear::forward`] writing into `out` (reusing its allocation) and
+    /// caching `x` into a reused buffer — the zero-allocation steady-state
+    /// form. With [`Exec::Pooled`], the GEMM is row-partitioned across the
+    /// pool; results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `x.cols() != in_dim`.
+    pub fn forward_into(
+        &mut self,
+        x: &Matrix,
+        out: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        matmul_exec(x, &self.weight, out, exec)?;
+        out.add_row_vector(&self.bias)?;
+        match &mut self.cached_input {
+            Some(buf) => buf.copy_from(x),
+            none => *none = Some(x.clone()),
+        }
+        Ok(())
     }
 
     /// Stateless forward pass (no caching); used for inference/evaluation.
@@ -113,16 +148,38 @@ impl Linear {
     /// Returns a [`ShapeError`] if no forward pass preceded this call or the
     /// gradient shape is inconsistent with the cached input.
     pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut dx = Matrix::default();
+        self.backward_into(dy, &mut dx, Exec::Serial)?;
+        Ok(dx)
+    }
+
+    /// [`Linear::backward`] writing `dx` into a reused buffer, recycling
+    /// the gradient buffers retired by the last [`Linear::apply_update`].
+    /// With [`Exec::Pooled`], `dx = dy W^T` is row-partitioned across the
+    /// pool; results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no forward pass preceded this call or the
+    /// gradient shape is inconsistent with the cached input.
+    pub fn backward_into(
+        &mut self,
+        dy: &Matrix,
+        dx: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
         let x = self
             .cached_input
             .as_ref()
             .ok_or_else(|| ShapeError::new("backward_without_forward", (0, 0), dy.shape()))?;
-        let grad_w = x.matmul_at(dy)?;
-        let grad_b = dy.sum_rows();
-        let dx = dy.matmul_bt(&self.weight)?;
+        let mut grad_w = self.spare_grad_weight.take().unwrap_or_default();
+        x.matmul_at_into(dy, &mut grad_w)?;
+        let mut grad_b = self.spare_grad_bias.take().unwrap_or_default();
+        dy.sum_rows_into(&mut grad_b);
+        matmul_bt_exec(dy, &self.weight, dx, exec)?;
         self.grad_weight = Some(grad_w);
         self.grad_bias = Some(grad_b);
-        Ok(dx)
+        Ok(())
     }
 
     /// Applies the cached gradients with plain SGD:
@@ -136,11 +193,13 @@ impl Linear {
             self.weight
                 .add_scaled(&gw, -lr)
                 .expect("weight gradient shape matches weight");
+            self.spare_grad_weight = Some(gw); // recycle for the next step
         }
         if let Some(gb) = self.grad_bias.take() {
             for (b, g) in self.bias.iter_mut().zip(gb.iter()) {
                 *b -= lr * g;
             }
+            self.spare_grad_bias = Some(gb);
         }
     }
 
@@ -178,6 +237,63 @@ impl Linear {
     /// The cached bias gradient from the last backward pass, if any.
     pub fn grad_bias(&self) -> Option<&[f32]> {
         self.grad_bias.as_deref()
+    }
+}
+
+/// `a * b` into `out`, pooled when `exec` provides a pool and the batch is
+/// worth splitting. Bit-identical to [`Matrix::matmul_into`].
+fn matmul_exec(a: &Matrix, b: &Matrix, out: &mut Matrix, exec: Exec<'_>) -> Result<(), ShapeError> {
+    match exec.pool() {
+        Some(pool) if exec.threads() > 1 && a.rows() >= POOLED_GEMM_MIN_ROWS => {
+            if a.cols() != b.rows() {
+                return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+            }
+            out.zero_into(a.rows(), b.cols());
+            crate::parallel::matmul_pooled_unchecked(pool, a, b, out, exec.threads());
+            Ok(())
+        }
+        _ => a.matmul_into(b, out),
+    }
+}
+
+/// `a * b^T` into `out`, row-partitioned on the pool when worthwhile.
+/// Bit-identical to [`Matrix::matmul_bt_into`] (same per-row dot kernel).
+fn matmul_bt_exec(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    exec: Exec<'_>,
+) -> Result<(), ShapeError> {
+    match exec.pool() {
+        Some(pool) if exec.threads() > 1 && a.rows() >= POOLED_GEMM_MIN_ROWS => {
+            if a.cols() != b.cols() {
+                return Err(ShapeError::new("matmul_bt", a.shape(), b.shape()));
+            }
+            let (m, k, n) = (a.rows(), a.cols(), b.rows());
+            out.zero_into(m, n);
+            let threads = exec.threads().min(m.max(1));
+            let per = m.div_ceil(threads);
+            let a_data = a.as_slice();
+            let b_data = b.as_slice();
+            let buf = out.as_mut_slice();
+            pool.scope(|scope| {
+                let mut rest = buf;
+                for t in 0..threads {
+                    let lo = t * per;
+                    let hi = ((t + 1) * per).min(m);
+                    if lo >= hi {
+                        break;
+                    }
+                    let (band, tail) = rest.split_at_mut((hi - lo) * n);
+                    rest = tail;
+                    let a_band = &a_data[lo * k..hi * k];
+                    scope
+                        .spawn(move || crate::parallel::bt_band_kernel(a_band, b_data, band, k, n));
+                }
+            });
+            Ok(())
+        }
+        _ => a.matmul_bt_into(b, out),
     }
 }
 
@@ -219,8 +335,7 @@ mod tests {
         let gb = layer.grad_bias().unwrap().to_vec();
 
         let eps = 1e-2f32;
-        let loss =
-            |l: &Linear, x: &Matrix| -> f32 { l.forward_inference(x).unwrap().sum() };
+        let loss = |l: &Linear, x: &Matrix| -> f32 { l.forward_inference(x).unwrap().sum() };
 
         // Weight gradient check.
         for r in 0..3 {

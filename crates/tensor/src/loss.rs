@@ -44,6 +44,22 @@ pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> Result<f32, ShapeEr
 ///
 /// Returns a [`ShapeError`] if the shapes differ.
 pub fn bce_with_logits_backward(logits: &Matrix, targets: &Matrix) -> Result<Matrix, ShapeError> {
+    let mut out = Matrix::default();
+    bce_with_logits_backward_into(logits, targets, &mut out)?;
+    Ok(out)
+}
+
+/// [`bce_with_logits_backward`] writing into `out` (reshaped in place,
+/// reusing its allocation).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the shapes differ.
+pub fn bce_with_logits_backward_into(
+    logits: &Matrix,
+    targets: &Matrix,
+    out: &mut Matrix,
+) -> Result<(), ShapeError> {
     if logits.shape() != targets.shape() {
         return Err(ShapeError::new(
             "bce_with_logits_backward",
@@ -52,13 +68,15 @@ pub fn bce_with_logits_backward(logits: &Matrix, targets: &Matrix) -> Result<Mat
         ));
     }
     let n = logits.len() as f32;
-    let data: Vec<f32> = logits
-        .as_slice()
-        .iter()
-        .zip(targets.as_slice().iter())
-        .map(|(&z, &t)| (sigmoid_scalar(z) - t) / n)
-        .collect();
-    Matrix::from_vec(logits.rows(), logits.cols(), data)
+    out.zero_into(logits.rows(), logits.cols());
+    for (o, (&z, &t)) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(logits.as_slice().iter().zip(targets.as_slice().iter()))
+    {
+        *o = (sigmoid_scalar(z) - t) / n;
+    }
+    Ok(())
 }
 
 /// Mean squared error `mean((y - t)^2)`.
@@ -87,7 +105,11 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> Result<f32, ShapeError> {
 /// Returns a [`ShapeError`] if the shapes differ.
 pub fn mse_backward(pred: &Matrix, target: &Matrix) -> Result<Matrix, ShapeError> {
     if pred.shape() != target.shape() {
-        return Err(ShapeError::new("mse_backward", pred.shape(), target.shape()));
+        return Err(ShapeError::new(
+            "mse_backward",
+            pred.shape(),
+            target.shape(),
+        ));
     }
     let n = pred.len() as f32;
     let data: Vec<f32> = pred
@@ -125,9 +147,7 @@ mod tests {
         let right = Matrix::from_rows(&[&[5.0]]).unwrap();
         let wrong = Matrix::from_rows(&[&[-5.0]]).unwrap();
         let t = Matrix::from_rows(&[&[1.0]]).unwrap();
-        assert!(
-            bce_with_logits(&wrong, &t).unwrap() > bce_with_logits(&right, &t).unwrap() + 4.0
-        );
+        assert!(bce_with_logits(&wrong, &t).unwrap() > bce_with_logits(&right, &t).unwrap() + 4.0);
     }
 
     #[test]
@@ -153,8 +173,7 @@ mod tests {
                 zp[(r, c)] += eps;
                 let mut zm = z.clone();
                 zm[(r, c)] -= eps;
-                let num = (bce_with_logits(&zp, &t).unwrap()
-                    - bce_with_logits(&zm, &t).unwrap())
+                let num = (bce_with_logits(&zp, &t).unwrap() - bce_with_logits(&zm, &t).unwrap())
                     / (2.0 * eps);
                 assert!(
                     (g[(r, c)] - num).abs() < 1e-3,

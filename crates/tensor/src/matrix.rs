@@ -30,6 +30,13 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// The empty `0 x 0` matrix (no allocation).
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -38,6 +45,28 @@ impl Matrix {
             cols,
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// Reshapes this matrix to `rows x cols` with every element zero,
+    /// **reusing the existing allocation** whenever its capacity suffices.
+    ///
+    /// This is the buffer-recycling primitive behind the zero-allocation
+    /// steady-state training step: scratch matrices are `zero_into`-ed at
+    /// the start of each kernel instead of freshly allocated.
+    pub fn zero_into(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes this matrix an exact copy of `src`, reusing the existing
+    /// allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        self.rows = src.rows;
+        self.cols = src.cols;
     }
 
     /// Creates a `rows x cols` matrix with every element set to `value`.
@@ -174,13 +203,25 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] unless `self.cols() == rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::default();
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] writing into `out` (reshaped in place, reusing
+    /// its allocation). Bit-identical to the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] unless `self.cols() == rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        out.zero_into(m, n);
         gemm_blocked(&self.data, &rhs.data, &mut out.data, m, k, n);
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
@@ -191,11 +232,23 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] unless `self.rows() == rhs.rows()`.
     pub fn matmul_at(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::default();
+        self.matmul_at_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_at`] writing into `out` (reshaped in place,
+    /// reusing its allocation). Bit-identical to the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] unless `self.rows() == rhs.rows()`.
+    pub fn matmul_at_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
         if self.rows != rhs.rows {
             return Err(ShapeError::new("matmul_at", self.shape(), rhs.shape()));
         }
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        out.zero_into(m, n);
         // out[i][j] = sum_r self[r][i] * rhs[r][j]; iterate r outermost so
         // both operands stream sequentially.
         for r in 0..k {
@@ -212,7 +265,7 @@ impl Matrix {
             }
         }
         let _ = m;
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
@@ -223,20 +276,25 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] unless `self.cols() == rhs.cols()`.
     pub fn matmul_bt(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::default();
+        self.matmul_bt_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_bt`] writing into `out` (reshaped in place,
+    /// reusing its allocation). Bit-identical to the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] unless `self.cols() == rhs.cols()`.
+    pub fn matmul_bt_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
         if self.cols != rhs.cols {
             return Err(ShapeError::new("matmul_bt", self.shape(), rhs.shape()));
         }
-        let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o = &mut out.data[i * n..(i + 1) * n];
-            for (j, oj) in o.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                *oj = dot(a_row, b_row);
-            }
-        }
-        Ok(out)
+        let (k, n) = (self.cols, rhs.rows);
+        out.zero_into(self.rows, n);
+        crate::parallel::bt_band_kernel(&self.data, &rhs.data, &mut out.data, k, n);
+        Ok(())
     }
 
     /// Elementwise sum `self + rhs`.
@@ -326,13 +384,21 @@ impl Matrix {
     ///
     /// This is the bias-gradient reduction in backprop.
     pub fn sum_rows(&self) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = Vec::new();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] writing into `out` (resized in place, reusing
+    /// its allocation).
+    pub fn sum_rows_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.data.chunks_exact(self.cols.max(1)) {
             for (o, &v) in out.iter_mut().zip(row.iter()) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -460,7 +526,7 @@ impl Matrix {
 }
 
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     // Manual 4-way unroll: reliably auto-vectorized and avoids the strict
     // left-to-right fold the naive iterator sum would impose.
     let mut acc = [0.0f32; 4];

@@ -3,7 +3,8 @@
 use crate::error::ShapeError;
 use crate::linear::Linear;
 use crate::matrix::Matrix;
-use crate::ops::{relu, relu_backward};
+use crate::ops::{relu, relu_backward, relu_backward_in_place, relu_into};
+use tcast_pool::Exec;
 
 /// Hidden-layer activation for [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -30,6 +31,10 @@ pub struct Mlp {
     activation: Activation,
     // Pre-activation outputs of each hidden layer, saved for backprop.
     cached_pre_activations: Vec<Matrix>,
+    // Reusable buffers for the zero-allocation step path: post-activation
+    // outputs per hidden layer, and two ping-pong gradient buffers.
+    step_hidden: Vec<Matrix>,
+    step_grad: [Matrix; 2],
 }
 
 impl Mlp {
@@ -58,6 +63,8 @@ impl Mlp {
             layers,
             activation,
             cached_pre_activations: Vec::new(),
+            step_hidden: Vec::new(),
+            step_grad: [Matrix::default(), Matrix::default()],
         })
     }
 
@@ -116,6 +123,54 @@ impl Mlp {
         Ok(h)
     }
 
+    /// [`Mlp::forward`] writing into `out` and reusing every intermediate
+    /// buffer (pre-activations, hidden activations, cached layer inputs):
+    /// the zero-allocation steady-state form. With [`Exec::Pooled`] the
+    /// layer GEMMs run on the pool. Bit-identical to [`Mlp::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on input-dimension mismatch.
+    pub fn forward_into(
+        &mut self,
+        x: &Matrix,
+        out: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        let n = self.layers.len();
+        let hidden = n - 1;
+        // Lazily size the per-hidden-layer buffers (first call only).
+        self.cached_pre_activations
+            .resize_with(hidden, Matrix::default);
+        self.step_hidden.resize_with(hidden, Matrix::default);
+
+        let Self {
+            layers,
+            activation,
+            cached_pre_activations,
+            step_hidden,
+            ..
+        } = self;
+        for i in 0..hidden {
+            // Split the buffer list so the previous layer's (immutable)
+            // output and this layer's (mutable) output never alias.
+            let (before, at) = step_hidden.split_at_mut(i);
+            let input = if i == 0 { x } else { &before[i - 1] };
+            let z = &mut cached_pre_activations[i];
+            layers[i].forward_into(input, z, exec)?;
+            match activation {
+                Activation::Relu => relu_into(z, &mut at[0]),
+                Activation::Identity => at[0].copy_from(z),
+            }
+        }
+        let input = if hidden == 0 {
+            x
+        } else {
+            &step_hidden[hidden - 1]
+        };
+        layers[hidden].forward_into(input, out, exec)
+    }
+
     /// Inference-only forward pass (no caching, `&self`).
     ///
     /// # Errors
@@ -158,6 +213,63 @@ impl Mlp {
             }
         }
         Ok(grad)
+    }
+
+    /// [`Mlp::backward`] writing `dL/d(input)` into `dx` and reusing the
+    /// two internal ping-pong gradient buffers. Bit-identical to
+    /// [`Mlp::backward`]; with [`Exec::Pooled`] the GEMMs run on the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if no forward pass preceded this call.
+    pub fn backward_into(
+        &mut self,
+        dy: &Matrix,
+        dx: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        let n = self.layers.len();
+        let Self {
+            layers,
+            activation,
+            cached_pre_activations,
+            step_grad,
+            ..
+        } = self;
+        let [buf_a, buf_b] = step_grad;
+        // The running gradient ping-pongs dy -> a -> b -> a -> ... -> dx.
+        let mut src_in_a = false;
+        let mut src_is_dy = true;
+        for i in (0..n).rev() {
+            let into_dx = i == 0;
+            match (src_is_dy, src_in_a, into_dx) {
+                (true, _, true) => layers[i].backward_into(dy, dx, exec)?,
+                (true, _, false) => {
+                    layers[i].backward_into(dy, buf_a, exec)?;
+                    src_in_a = true;
+                }
+                (false, true, true) => layers[i].backward_into(&*buf_a, dx, exec)?,
+                (false, true, false) => {
+                    layers[i].backward_into(&*buf_a, buf_b, exec)?;
+                    src_in_a = false;
+                }
+                (false, false, true) => layers[i].backward_into(&*buf_b, dx, exec)?,
+                (false, false, false) => {
+                    layers[i].backward_into(&*buf_b, buf_a, exec)?;
+                    src_in_a = true;
+                }
+            }
+            src_is_dy = false;
+            if i > 0 {
+                let z = &cached_pre_activations[i - 1];
+                let grad: &mut Matrix = if src_in_a { buf_a } else { buf_b };
+                match activation {
+                    Activation::Relu => relu_backward_in_place(grad, z)?,
+                    Activation::Identity => {}
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Applies cached gradients on every layer with SGD at rate `lr`.

@@ -1,7 +1,7 @@
 //! Elementwise activations and their backward passes.
 
-use crate::matrix::Matrix;
 use crate::error::ShapeError;
+use crate::matrix::Matrix;
 
 /// ReLU: `max(0, x)` elementwise.
 ///
@@ -13,6 +13,16 @@ use crate::error::ShapeError;
 /// ```
 pub fn relu(x: &Matrix) -> Matrix {
     x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// [`relu`] writing into `out` (reshaped in place, reusing its
+/// allocation). Bit-identical to [`relu`], including on NaN and `-0.0`
+/// inputs (both map to `+0.0`).
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    out.copy_from(x);
+    for v in out.as_mut_slice() {
+        *v = if *v > 0.0 { *v } else { 0.0 };
+    }
 }
 
 /// Backward pass of ReLU: `dx = dy ⊙ 1[x > 0]`, where `x` is the
@@ -32,6 +42,23 @@ pub fn relu_backward(dy: &Matrix, x: &Matrix) -> Result<Matrix, ShapeError> {
         .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
         .collect();
     Matrix::from_vec(dy.rows(), dy.cols(), data)
+}
+
+/// [`relu_backward`] masking the gradient **in place** (`dy` is both input
+/// and output): `dy[i] = 0` wherever the pre-activation is not `> 0`
+/// (negative, zero, or NaN — the same mask as [`relu_backward`]).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `dy` and `x` have different shapes.
+pub fn relu_backward_in_place(dy: &mut Matrix, x: &Matrix) -> Result<(), ShapeError> {
+    if dy.shape() != x.shape() {
+        return Err(ShapeError::new("relu_backward", dy.shape(), x.shape()));
+    }
+    for (g, &v) in dy.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
+        *g = if v > 0.0 { *g } else { 0.0 };
+    }
+    Ok(())
 }
 
 /// Numerically-stable logistic sigmoid, elementwise.
@@ -84,6 +111,21 @@ mod tests {
         let dy = Matrix::from_rows(&[&[10.0, 10.0]]).unwrap();
         let dx = relu_backward(&dy, &x).unwrap();
         assert_eq!(dx.row(0), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn in_place_forms_match_allocating_forms_on_nan_and_negative_zero() {
+        let x = Matrix::from_rows(&[&[f32::NAN, -0.0, 0.0, -1.0, 2.0]]).unwrap();
+        let mut out = Matrix::default();
+        relu_into(&x, &mut out);
+        assert_eq!(relu(&x).as_slice(), out.as_slice());
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+
+        let dy = Matrix::filled(1, 5, 3.0);
+        let expect = relu_backward(&dy, &x).unwrap();
+        let mut grad = dy.clone();
+        relu_backward_in_place(&mut grad, &x).unwrap();
+        assert_eq!(expect.as_slice(), grad.as_slice());
     }
 
     #[test]

@@ -1,33 +1,72 @@
-//! Multi-threaded GEMM: row-partitioned matrix multiply over scoped OS
-//! threads. The DLRM trainer's MLP phases use this to keep the dense
-//! side from distorting the embedding-phase measurements on multi-core
-//! hosts (the paper's CPU baseline is similarly multi-threaded MKL).
+//! Multi-threaded GEMM: row-partitioned matrix multiply over the shared
+//! persistent pool. The DLRM trainer's MLP phases use this to keep the
+//! dense side from distorting the embedding-phase measurements on
+//! multi-core hosts (the paper's CPU baseline is similarly multi-threaded
+//! MKL).
+//!
+//! Prior to `tcast-pool`, every call paid OS-thread spawn/join through
+//! `std::thread::scope`; all entry points now dispatch onto long-lived
+//! workers and perform zero thread spawns per invocation.
 
 use crate::error::ShapeError;
 use crate::matrix::Matrix;
+use tcast_pool::Pool;
 
-/// `self * rhs` with the output rows partitioned across `threads` OS
-/// threads. Exact same result as [`Matrix::matmul`] (identical inner
-/// kernel, disjoint output bands).
+/// `lhs * rhs` with the output rows partitioned across `threads` tasks on
+/// the process-wide [`tcast_pool::global`] pool. Exact same result as
+/// [`Matrix::matmul`] (identical per-row inner kernel, disjoint output
+/// bands).
 ///
 /// # Errors
 ///
 /// Returns a [`ShapeError`] unless `lhs.cols() == rhs.rows()`.
 pub fn matmul_parallel(lhs: &Matrix, rhs: &Matrix, threads: usize) -> Result<Matrix, ShapeError> {
+    matmul_parallel_in(tcast_pool::global(), lhs, rhs, threads)
+}
+
+/// [`matmul_parallel`] on an explicit pool.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] unless `lhs.cols() == rhs.rows()`.
+pub fn matmul_parallel_in(
+    pool: &Pool,
+    lhs: &Matrix,
+    rhs: &Matrix,
+    threads: usize,
+) -> Result<Matrix, ShapeError> {
     if lhs.cols() != rhs.rows() {
         return Err(ShapeError::new("matmul_parallel", lhs.shape(), rhs.shape()));
     }
+    let mut out = Matrix::zeros(lhs.rows(), rhs.cols());
+    matmul_pooled_unchecked(pool, lhs, rhs, &mut out, threads);
+    Ok(out)
+}
+
+/// Pooled matmul writing into a pre-shaped output (shapes already
+/// validated by the caller). `out` must be `lhs.rows() x rhs.cols()` and
+/// zeroed.
+pub(crate) fn matmul_pooled_unchecked(
+    pool: &Pool,
+    lhs: &Matrix,
+    rhs: &Matrix,
+    out: &mut Matrix,
+    threads: usize,
+) {
     let (m, k, n) = (lhs.rows(), lhs.cols(), rhs.cols());
     let threads = threads.max(1).min(m.max(1));
-    let mut out = Matrix::zeros(m, n);
     if m == 0 || n == 0 || k == 0 {
-        return Ok(out);
+        return;
     }
-    let rows_per = m.div_ceil(threads);
     let lhs_data = lhs.as_slice();
     let rhs_data = rhs.as_slice();
     let buf = out.as_mut_slice();
-    std::thread::scope(|scope| {
+    if threads <= 1 {
+        band_kernel(lhs_data, rhs_data, buf, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
             let lo = t * rows_per;
@@ -38,26 +77,44 @@ pub fn matmul_parallel(lhs: &Matrix, rhs: &Matrix, threads: usize) -> Result<Mat
             let (band, tail) = rest.split_at_mut((hi - lo) * n);
             rest = tail;
             let lhs_band = &lhs_data[lo * k..hi * k];
-            scope.spawn(move || {
-                // Same blocked kernel shape as the serial matmul: stream
-                // rhs rows, accumulate into the band.
-                for i in 0..(hi - lo) {
-                    let a_row = &lhs_band[i * k..(i + 1) * k];
-                    let c_row = &mut band[i * n..(i + 1) * n];
-                    for (kk, &a) in a_row.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &rhs_data[kk * n..(kk + 1) * n];
-                        for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
-                            *c += a * b;
-                        }
-                    }
-                }
-            });
+            scope.spawn(move || band_kernel(lhs_band, rhs_data, band, k, n));
         }
     });
-    Ok(out)
+}
+
+/// The shared `a * b^T` per-band kernel: one [`crate::matrix::dot`] per
+/// output element. Both [`Matrix::matmul_bt_into`] (full band) and the
+/// pooled row-partitioned path run exactly this loop, so serial and
+/// pooled results are bit-identical by construction.
+pub(crate) fn bt_band_kernel(a_band: &[f32], b_data: &[f32], band: &mut [f32], k: usize, n: usize) {
+    let rows = a_band.len() / k.max(1);
+    for i in 0..rows {
+        let a_row = &a_band[i * k..(i + 1) * k];
+        let o = &mut band[i * n..(i + 1) * n];
+        for (j, oj) in o.iter_mut().enumerate() {
+            *oj = crate::matrix::dot(a_row, &b_data[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// The shared per-band kernel: stream rhs rows, accumulate into the band.
+/// Accumulation over `k` is in ascending order for every output element,
+/// matching the serial blocked GEMM bit-for-bit.
+fn band_kernel(lhs_band: &[f32], rhs_data: &[f32], band: &mut [f32], k: usize, n: usize) {
+    let rows = lhs_band.len() / k.max(1);
+    for i in 0..rows {
+        let a_row = &lhs_band[i * k..(i + 1) * k];
+        let c_row = &mut band[i * n..(i + 1) * n];
+        for (kk, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = &rhs_data[kk * n..(kk + 1) * n];
+            for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
+                *c += a * b;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +143,29 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn bit_identical_to_serial() {
+        // Same accumulation order per output element => exact equality,
+        // not tolerance equality.
+        let a = random_matrix(29, 17, 5);
+        let b = random_matrix(17, 31, 6);
+        let serial = a.matmul(&b).unwrap();
+        for threads in [2, 3, 8] {
+            let par = matmul_parallel(&a, &b, threads).unwrap();
+            assert_eq!(serial.as_slice(), par.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn explicit_pool_matches_global() {
+        let pool = Pool::new(3);
+        let a = random_matrix(12, 9, 7);
+        let b = random_matrix(9, 14, 8);
+        let via_pool = matmul_parallel_in(&pool, &a, &b, 3).unwrap();
+        let via_global = matmul_parallel(&a, &b, 3).unwrap();
+        assert_eq!(via_pool.as_slice(), via_global.as_slice());
     }
 
     #[test]

@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Forward gather-reduce on the pool; verify against the host kernel.
     let (pooled, exec) = pool.gather_reduce(handle, &index)?;
-    assert!(pooled
-        .max_abs_diff(&gather_reduce(&table, &index)?)? < 1e-5);
+    assert!(pooled.max_abs_diff(&gather_reduce(&table, &index)?)? < 1e-5);
     println!(
         "gather-reduce : {:>9.1} us on {} channels, {:.1} GB/s effective",
         exec.nanoseconds / 1e3,

@@ -7,8 +7,7 @@
 
 use tensor_casting::core::{casted_gather_reduce, tensor_casting, verify_equivalence};
 use tensor_casting::embedding::{
-    gather_reduce, gradient_expand_coalesce, optim::Sgd, scatter_apply, EmbeddingTable,
-    IndexArray,
+    gather_reduce, gradient_expand_coalesce, optim::Sgd, scatter_apply, EmbeddingTable, IndexArray,
 };
 use tensor_casting::tensor::Matrix;
 
@@ -34,9 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Tensor Casting backward: Algorithm 2 transforms the index array...
     let casted = tensor_casting(&index);
     println!("\nAlgorithm 2 (Fig. 8):");
-    println!("  casted src (gather from gradient table): {:?}", casted.gather_src());
-    println!("  casted dst (reduce into coalesced rows): {:?}", casted.reduce_dst());
-    println!("  touched table rows:                      {:?}", casted.unique_rows());
+    println!(
+        "  casted src (gather from gradient table): {:?}",
+        casted.gather_src()
+    );
+    println!(
+        "  casted dst (reduce into coalesced rows): {:?}",
+        casted.reduce_dst()
+    );
+    println!(
+        "  touched table rows:                      {:?}",
+        casted.unique_rows()
+    );
 
     // ...and Algorithm 3 computes the same coalesced gradients in one
     // fused gather-reduce, with no expanded intermediate and no sort on
@@ -48,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scatter the coalesced gradients back into the table (SGD).
     scatter_apply(&mut table, &fused, &mut Sgd::new(0.1))?;
-    println!("\nrow E[2] after update (received G[0]+G[1]): {:?}", table.row(2));
+    println!(
+        "\nrow E[2] after update (received G[0]+G[1]): {:?}",
+        table.row(2)
+    );
     Ok(())
 }

@@ -67,7 +67,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["design point", "iteration", "speedup", "emb-bwd share", "NMP util", "energy"],
+            &[
+                "design point",
+                "iteration",
+                "speedup",
+                "emb-bwd share",
+                "NMP util",
+                "energy"
+            ],
             &rows,
         )
     );

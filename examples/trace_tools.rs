@@ -7,16 +7,18 @@
 //! ```
 
 use tensor_casting::core::{casted_gather_reduce, tensor_casting};
+use tensor_casting::datasets::SyntheticCtr;
 use tensor_casting::datasets::{trace, DatasetPreset};
 use tensor_casting::dlrm::checkpoint;
 use tensor_casting::dlrm::{BackwardMode, DlrmConfig, Trainer};
-use tensor_casting::datasets::SyntheticCtr;
 use tensor_casting::embedding::gradient_expand_coalesce;
 use tensor_casting::tensor::Matrix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Record: 5 iterations of Criteo-like lookups for one table.
-    let workload = DatasetPreset::CriteoKaggle.table_workload(10).with_rows(50_000);
+    let workload = DatasetPreset::CriteoKaggle
+        .table_workload(10)
+        .with_rows(50_000);
     let mut buf = Vec::new();
     trace::record_trace(&mut buf, &workload, 512, 5, 42)?;
     println!(
@@ -48,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut ckpt = Vec::new();
     checkpoint::save_checkpoint(&mut ckpt, trainer.model())?;
-    println!("\ncheckpoint: {} bytes for {} parameters", ckpt.len(), trainer.model().parameter_count());
+    println!(
+        "\ncheckpoint: {} bytes for {} parameters",
+        ckpt.len(),
+        trainer.model().parameter_count()
+    );
 
     let mut restored = tensor_casting::dlrm::Dlrm::new(config, 777)?;
     checkpoint::load_checkpoint(&mut ckpt.as_slice(), &mut restored)?;

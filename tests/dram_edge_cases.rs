@@ -15,7 +15,11 @@ fn traffic_spanning_many_refresh_windows_stays_protocol_clean() {
     let mut mem = MemorySystem::new(cfg.clone());
     mem.set_trace_enabled(true);
     let stats = mem.run_trace(streams::sequential_reads(60_000));
-    assert!(stats.refreshes >= 2, "expected multiple refreshes, got {}", stats.refreshes);
+    assert!(
+        stats.refreshes >= 2,
+        "expected multiple refreshes, got {}",
+        stats.refreshes
+    );
     for trace in mem.take_traces() {
         let v = verify::verify_trace(&trace, &cfg.timing);
         assert!(v.is_empty(), "first violation: {}", v[0]);
@@ -85,8 +89,7 @@ fn closed_page_avoids_explicit_precharges() {
     let closed = DramConfig::ddr4_3200().with_row_policy(RowPolicy::Closed);
     let blocks = open.total_blocks();
     let open_stats = MemorySystem::new(open).run_trace(streams::random_reads(2_000, blocks, 3));
-    let closed_stats =
-        MemorySystem::new(closed).run_trace(streams::random_reads(2_000, blocks, 3));
+    let closed_stats = MemorySystem::new(closed).run_trace(streams::random_reads(2_000, blocks, 3));
     // Closed page auto-precharges: no explicit PRE commands at all.
     assert_eq!(closed_stats.precharges, 0);
     assert!(open_stats.precharges > 0);

@@ -42,7 +42,9 @@ fn scheduler_is_protocol_clean_on_canonical_streams() {
             (
                 "gather",
                 streams::gather_reads(
-                    &(0..500u32).map(|i| i.wrapping_mul(7919) % 10_000).collect::<Vec<_>>(),
+                    &(0..500u32)
+                        .map(|i| i.wrapping_mul(7919) % 10_000)
+                        .collect::<Vec<_>>(),
                     256,
                     0,
                 ),
@@ -50,7 +52,9 @@ fn scheduler_is_protocol_clean_on_canonical_streams() {
             (
                 "rmw",
                 streams::update_rmw(
-                    &(0..300u32).map(|i| i.wrapping_mul(104729) % 5_000).collect::<Vec<_>>(),
+                    &(0..300u32)
+                        .map(|i| i.wrapping_mul(104729) % 5_000)
+                        .collect::<Vec<_>>(),
                     256,
                     0,
                 ),

@@ -9,7 +9,8 @@ use tensor_casting::core::{
 use tensor_casting::datasets::{DatasetPreset, SyntheticCtr, TableWorkload};
 use tensor_casting::dlrm::{BackwardMode, DlrmConfig, Trainer};
 use tensor_casting::embedding::{
-    gradient_expand_coalesce, optim::{Adagrad, Momentum, RmsProp, Sgd, SparseOptimizer},
+    gradient_expand_coalesce,
+    optim::{Adagrad, Momentum, RmsProp, Sgd, SparseOptimizer},
     scatter_apply, EmbeddingTable, IndexArray,
 };
 use tensor_casting::nmp::{NmpPool, PoolConfig};
@@ -18,7 +19,11 @@ use tensor_casting::tensor::{Matrix, SplitMix64};
 fn random_workload(seed: u64, batch: usize, pooling: usize, rows: u32) -> (IndexArray, Matrix) {
     let mut rng = SplitMix64::new(seed);
     let samples: Vec<Vec<u32>> = (0..batch)
-        .map(|_| (0..pooling).map(|_| rng.next_below(rows as u64) as u32).collect())
+        .map(|_| {
+            (0..pooling)
+                .map(|_| rng.next_below(rows as u64) as u32)
+                .collect()
+        })
         .collect();
     let index = IndexArray::from_samples(&samples).unwrap();
     let mut grads = Matrix::zeros(batch, 16);
@@ -85,7 +90,8 @@ fn nmp_pool_matches_host_for_the_whole_training_step() {
     let (pool_coalesced, _) = pool
         .casted_gather_reduce(handle, &grads_widened(&grads, 24), &casted)
         .unwrap();
-    pool.scatter_sgd(handle, &pool_coalesced, 0.2, true).unwrap();
+    pool.scatter_sgd(handle, &pool_coalesced, 0.2, true)
+        .unwrap();
 
     let back = pool.read_table(handle).unwrap();
     assert!(back.max_abs_diff(&host_table).unwrap() < 1e-5);

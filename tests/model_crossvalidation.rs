@@ -40,12 +40,9 @@ fn gather_reduce_times_agree() {
     let dim = 64;
     let table = EmbeddingTable::seeded(50_000, dim, 1);
     let handle = pool.load_table(&table).unwrap();
-    let index = TableWorkload::new(
-        DatasetPreset::Random.popularity().with_rows(50_000),
-        10,
-    )
-    .generator(7)
-    .next_batch(512);
+    let index = TableWorkload::new(DatasetPreset::Random.popularity().with_rows(50_000), 10)
+        .generator(7)
+        .next_batch(512);
 
     // Instruction-level measurement.
     let (_, exec) = pool.gather_reduce(handle, &index).unwrap();
@@ -72,12 +69,9 @@ fn scatter_times_agree() {
     let dim = 64;
     let table = EmbeddingTable::seeded(50_000, dim, 2);
     let handle = pool.load_table(&table).unwrap();
-    let index = TableWorkload::new(
-        DatasetPreset::Random.popularity().with_rows(50_000),
-        10,
-    )
-    .generator(9)
-    .next_batch(512);
+    let index = TableWorkload::new(DatasetPreset::Random.popularity().with_rows(50_000), 10)
+        .generator(9)
+        .next_batch(512);
     let grads = Matrix::filled(512, dim, 0.1);
     let coalesced = gradient_expand_coalesce(&grads, &index).unwrap();
 

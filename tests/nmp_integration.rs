@@ -30,10 +30,7 @@ fn multi_table_multi_iteration_training_on_pool_matches_host() {
         .iter()
         .map(|t| pool.load_table(t).unwrap())
         .collect();
-    let workload = TableWorkload::new(
-        DatasetPreset::CriteoKaggle.popularity().with_rows(1000),
-        6,
-    );
+    let workload = TableWorkload::new(DatasetPreset::CriteoKaggle.popularity().with_rows(1000), 6);
 
     for iter in 0..3u64 {
         for (t, (&handle, host)) in handles.iter().zip(host_tables.iter_mut()).enumerate() {

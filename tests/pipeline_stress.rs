@@ -8,8 +8,7 @@ use tensor_casting::core::{
 };
 use tensor_casting::embedding::{
     gather_reduce, gather_reduce_parallel, gradient_coalesce_parallel, gradient_expand,
-    gradient_expand_coalesce, optim::Sgd, scatter_apply, EmbeddingTable, IndexArray,
-    ShardedTable,
+    gradient_expand_coalesce, optim::Sgd, scatter_apply, EmbeddingTable, IndexArray, ShardedTable,
 };
 use tensor_casting::tensor::{matmul_parallel, Matrix, SplitMix64};
 
@@ -88,7 +87,9 @@ fn all_kernel_variants_agree_under_randomized_load() {
         scatter_apply(&mut t_plain, &baseline, &mut Sgd::new(0.1)).unwrap();
 
         let mut t_sharded = ShardedTable::from_table(&table, 3);
-        t_sharded.scatter_apply(&baseline, &mut Sgd::new(0.1)).unwrap();
+        t_sharded
+            .scatter_apply(&baseline, &mut Sgd::new(0.1))
+            .unwrap();
         assert!(t_sharded.to_table().max_abs_diff(&t_plain).unwrap() < 1e-6);
 
         let mut t_fused = table.clone();

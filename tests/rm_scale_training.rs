@@ -56,7 +56,9 @@ fn rm3_architecture_trains() {
 fn multihot_streams_preserve_equivalence() {
     // Variable pooling per sample: the casted path must handle ragged
     // index arrays identically to the baseline.
-    let workload = DatasetPreset::CriteoKaggle.table_workload(8).with_rows(10_000);
+    let workload = DatasetPreset::CriteoKaggle
+        .table_workload(8)
+        .with_rows(10_000);
     let mut gen = workload.generator(21);
     for trial in 0..5 {
         let index = gen.next_batch_multihot(128);

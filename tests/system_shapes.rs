@@ -4,9 +4,7 @@
 
 use tensor_casting::datasets::{CoalesceStats, DatasetPreset};
 use tensor_casting::embedding::traffic;
-use tensor_casting::system::{
-    energy_joules, Calibration, DesignPoint, RmModel, SystemWorkload,
-};
+use tensor_casting::system::{energy_joules, Calibration, DesignPoint, RmModel, SystemWorkload};
 
 fn cal() -> Calibration {
     Calibration::default()
@@ -89,8 +87,18 @@ fn fig13_speedup_bands() {
         let base = DesignPoint::BaselineCpuGpu.evaluate(&wl, &cal()).total_ns;
         let sw = base / DesignPoint::OursCpu.evaluate(&wl, &cal()).total_ns;
         let hw = base / DesignPoint::OursNmp.evaluate(&wl, &cal()).total_ns;
-        assert!(sw > 1.0, "{} b{}: software speedup {sw}", wl.model.name, wl.batch);
-        assert!(hw > sw, "{} b{}: NMP must beat software-only", wl.model.name, wl.batch);
+        assert!(
+            sw > 1.0,
+            "{} b{}: software speedup {sw}",
+            wl.model.name,
+            wl.batch
+        );
+        assert!(
+            hw > sw,
+            "{} b{}: NMP must beat software-only",
+            wl.model.name,
+            wl.batch
+        );
         assert!(
             (1.8..=25.0).contains(&hw),
             "{} b{}: NMP speedup {hw}",
@@ -136,7 +144,9 @@ fn fig15_utilization_gap() {
     // T.Casting must raise NMP utilization by an order of magnitude over
     // TensorDIMM on embedding-intensive models.
     let wl = SystemWorkload::build(RmModel::rm2(), 2048, 64, 42);
-    let td = DesignPoint::BaselineNmp.evaluate(&wl, &cal()).nmp_utilization();
+    let td = DesignPoint::BaselineNmp
+        .evaluate(&wl, &cal())
+        .nmp_utilization();
     let tc = DesignPoint::OursNmp.evaluate(&wl, &cal()).nmp_utilization();
     assert!(tc > 8.0 * td, "utilization {td} -> {tc}");
 }

@@ -1,0 +1,178 @@
+//! The zero-allocation steady-state invariant, enforced with a counting
+//! global allocator: after a warm-up step sizes every scratch buffer to
+//! its high-water mark, the embedding/MLP hot-path kernels perform **no
+//! heap allocation per step** on their serial `_into` paths.
+//!
+//! The whole file is one test function on purpose — the allocation
+//! counter is process-global, and sibling tests running on other threads
+//! would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tensor_casting::core::{casted_gather_reduce_into, tensor_casting, CoalescedScratch};
+use tensor_casting::embedding::{
+    gather_reduce_into, optim::Sgd, scatter_apply_dense, EmbeddingTable, IndexArray,
+};
+use tensor_casting::tensor::{
+    bce_with_logits, bce_with_logits_backward_into, Activation, Exec, FeatureInteraction, Matrix,
+    Mlp, SplitMix64,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Only the test's own thread counts: the libtest harness allocates
+    // from its main thread (timing, channel messages) and would otherwise
+    // pollute the counter nondeterministically.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() {
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_here();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    TRACKING.with(|t| t.set(true));
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.next_range(-1.0, 1.0);
+    }
+    m
+}
+
+#[test]
+fn steady_state_hot_path_performs_zero_allocations() {
+    let batch = 64;
+    let dim = 16;
+
+    // ---- Embedding forward + casted backward + scatter ----------------
+    let mut rng = SplitMix64::new(7);
+    let mut table = EmbeddingTable::seeded(500, dim, 1);
+    let samples: Vec<Vec<u32>> = (0..batch)
+        .map(|_| (0..6).map(|_| rng.next_below(500) as u32).collect())
+        .collect();
+    let index = IndexArray::from_samples(&samples).unwrap();
+    // The casted index array is produced by the overlap pipeline in real
+    // training (off the critical path); here it is fixed input.
+    let casted = tensor_casting(&index);
+    let upstream = random_matrix(batch, dim, 2);
+
+    let mut pooled = Matrix::default();
+    let mut coalesced = CoalescedScratch::default();
+    let mut sgd = Sgd::new(0.01);
+
+    let embedding_step = |pooled: &mut Matrix,
+                          coalesced: &mut CoalescedScratch,
+                          table: &mut EmbeddingTable,
+                          sgd: &mut Sgd| {
+        gather_reduce_into(table, &index, pooled, Exec::Serial).unwrap();
+        casted_gather_reduce_into(&upstream, &casted, coalesced, Exec::Serial).unwrap();
+        scatter_apply_dense(table, &coalesced.rows, &coalesced.grads, sgd).unwrap();
+    };
+
+    // Warm-up: size every buffer to its high-water mark.
+    embedding_step(&mut pooled, &mut coalesced, &mut table, &mut sgd);
+    embedding_step(&mut pooled, &mut coalesced, &mut table, &mut sgd);
+
+    let before = allocations();
+    for _ in 0..10 {
+        embedding_step(&mut pooled, &mut coalesced, &mut table, &mut sgd);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "embedding gather/casted-backward/scatter steady state must not allocate"
+    );
+
+    // ---- MLP forward + loss + backward + update -----------------------
+    let mut mlp = Mlp::new(dim, &[32, 16, 1], Activation::Relu, 3).unwrap();
+    let x = random_matrix(batch, dim, 4);
+    let labels = random_matrix(batch, 1, 5).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+    let mut logits = Matrix::default();
+    let mut dlogits = Matrix::default();
+    let mut dx = Matrix::default();
+
+    let mlp_step = |mlp: &mut Mlp, logits: &mut Matrix, dlogits: &mut Matrix, dx: &mut Matrix| {
+        mlp.forward_into(&x, logits, Exec::Serial).unwrap();
+        let loss = bce_with_logits(logits, &labels).unwrap();
+        assert!(loss.is_finite());
+        bce_with_logits_backward_into(logits, &labels, dlogits).unwrap();
+        mlp.backward_into(dlogits, dx, Exec::Serial).unwrap();
+        mlp.apply_update(0.05);
+    };
+
+    mlp_step(&mut mlp, &mut logits, &mut dlogits, &mut dx);
+    mlp_step(&mut mlp, &mut logits, &mut dlogits, &mut dx);
+
+    let before = allocations();
+    for _ in 0..10 {
+        mlp_step(&mut mlp, &mut logits, &mut dlogits, &mut dx);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "MLP forward/loss/backward/update steady state must not allocate"
+    );
+
+    // ---- Feature interaction (dot) forward + backward -----------------
+    let dense = random_matrix(batch, dim, 6);
+    let embeddings = vec![random_matrix(batch, dim, 7), random_matrix(batch, dim, 8)];
+    let mut op = FeatureInteraction::default();
+    let mut z = Matrix::default();
+    let mut dz = Matrix::default();
+    let mut ddense = Matrix::default();
+    let mut dpooled = Vec::new();
+
+    let interaction_step = |op: &mut FeatureInteraction,
+                            z: &mut Matrix,
+                            dz: &mut Matrix,
+                            ddense: &mut Matrix,
+                            dpooled: &mut Vec<Matrix>| {
+        op.forward_into(&dense, &embeddings, z).unwrap();
+        dz.copy_from(z);
+        op.backward_into(dz, ddense, dpooled).unwrap();
+    };
+
+    interaction_step(&mut op, &mut z, &mut dz, &mut ddense, &mut dpooled);
+    interaction_step(&mut op, &mut z, &mut dz, &mut ddense, &mut dpooled);
+
+    let before = allocations();
+    for _ in 0..10 {
+        interaction_step(&mut op, &mut z, &mut dz, &mut ddense, &mut dpooled);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "feature-interaction steady state must not allocate"
+    );
+}
