@@ -205,7 +205,24 @@ fn main() {
         args.threads,
         tcast_pool::default_parallelism()
     );
-    if tcast_pool::default_parallelism() >= 4 && args.threads >= 4 && speedup < 1.5 {
+    // The scatter phase is band-parallel since the splittable-optimizer
+    // refactor; report its serial/pooled ratio so multi-core CI runners
+    // track it alongside the end-to-end speedup (>1 means the pooled
+    // scatter is faster).
+    let scatter_ratio = |serial: &Measurement, pooled: &Measurement| {
+        phase_ns(serial.phases.bwd_scatter, args.steps)
+            / phase_ns(pooled.phases.bwd_scatter, args.steps).max(1.0)
+    };
+    println!(
+        "bwd_scatter serial/pooled: casted {:.2}x, baseline {:.2}x",
+        scatter_ratio(&serial_casted, &pooled_casted),
+        scatter_ratio(&serial_baseline, &pooled_baseline),
+    );
+    // The 1.5x gate only applies to full-size measurement runs: FAST
+    // smoke batches are too small for the pool to amortize dispatch, so
+    // CI smoke jobs report the ratios without failing on them.
+    if !fast_mode() && tcast_pool::default_parallelism() >= 4 && args.threads >= 4 && speedup < 1.5
+    {
         eprintln!(
             "[step_throughput] WARNING: pooled speedup {speedup:.2}x < 1.5x target on a \
              >=4-core host"

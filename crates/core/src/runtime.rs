@@ -15,7 +15,7 @@
 //! embedding layers; the pipeline records how much of the casting latency
 //! was actually exposed (i.e. how long the collect blocked).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -57,7 +57,7 @@ impl PipelineStats {
 
 struct Job {
     id: u64,
-    indices: Vec<IndexArray>,
+    indices: Arc<[IndexArray]>,
 }
 
 struct JobResult {
@@ -84,6 +84,14 @@ pub struct CastingPipeline {
     rx: Receiver<JobResult>,
     workers: Vec<std::thread::JoinHandle<()>>,
     ready: HashMap<u64, Vec<CastedIndexArray>>,
+    /// Lowest ticket id not yet collected: everything below it is
+    /// collected. In-order collection (the trainer's pattern) only moves
+    /// this watermark, so the already-collected guard costs O(1) memory
+    /// over an arbitrarily long training run.
+    collect_watermark: u64,
+    /// Collected ids at or above the watermark (out-of-order collects
+    /// only); drained as the watermark advances past them.
+    collected_ahead: HashSet<u64>,
     next_id: u64,
     stats: Arc<Mutex<PipelineStats>>,
 }
@@ -147,6 +155,8 @@ impl CastingPipeline {
             rx: res_rx,
             workers: handles,
             ready: HashMap::new(),
+            collect_watermark: 0,
+            collected_ahead: HashSet::new(),
             next_id: 0,
             stats,
         }
@@ -157,13 +167,22 @@ impl CastingPipeline {
     ///
     /// Call this *before* forward propagation so the casting latency
     /// overlaps with it.
-    pub fn submit(&mut self, indices: Vec<IndexArray>) -> JobTicket {
+    ///
+    /// The arrays travel to the worker as an `Arc<[IndexArray]>` share:
+    /// a caller that already holds its batch indices behind an `Arc`
+    /// (as `CtrBatch` does) pays one refcount bump per step instead of
+    /// deep-cloning every table's index arrays — the last steady-state
+    /// allocation the casted hot path used to make.
+    pub fn submit(&mut self, indices: impl Into<Arc<[IndexArray]>>) -> JobTicket {
         let id = self.next_id;
         self.next_id += 1;
         self.tx
             .as_ref()
             .expect("pipeline not shut down")
-            .send(Job { id, indices })
+            .send(Job {
+                id,
+                indices: indices.into(),
+            })
             .expect("casting worker alive");
         JobTicket(id)
     }
@@ -178,6 +197,21 @@ impl CastingPipeline {
     /// collected, or the worker thread died.
     pub fn collect(&mut self, ticket: JobTicket) -> Vec<CastedIndexArray> {
         assert!(ticket.0 < self.next_id, "unknown ticket {ticket:?}");
+        // A collected id is gone from `ready`, so without this guard the
+        // recv loop below would block forever on a result that can never
+        // arrive — the panic the doc promises instead.
+        assert!(
+            ticket.0 >= self.collect_watermark && !self.collected_ahead.contains(&ticket.0),
+            "ticket {ticket:?} already collected"
+        );
+        if ticket.0 == self.collect_watermark {
+            self.collect_watermark += 1;
+            while self.collected_ahead.remove(&self.collect_watermark) {
+                self.collect_watermark += 1;
+            }
+        } else {
+            self.collected_ahead.insert(ticket.0);
+        }
         if let Some(casted) = self.ready.remove(&ticket.0) {
             return casted;
         }
@@ -326,6 +360,68 @@ mod tests {
     fn collect_unknown_ticket_panics() {
         let mut p = CastingPipeline::new();
         p.collect(JobTicket(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "already collected")]
+    fn collect_twice_panics_instead_of_hanging() {
+        // Regression: the id is gone from `ready` after the first
+        // collect, so a second collect used to block in recv() forever.
+        let mut p = CastingPipeline::new();
+        let ticket = p.submit(random_indices(1, 6));
+        let _ = p.collect(ticket);
+        let _ = p.collect(ticket);
+    }
+
+    #[test]
+    #[should_panic(expected = "already collected")]
+    fn double_collect_detected_after_out_of_order_collection() {
+        // The watermark only covers in-order collects; ids collected
+        // ahead of it must be remembered until the watermark passes them.
+        let mut p = CastingPipeline::new();
+        let _ta = p.submit(random_indices(1, 8));
+        let tb = p.submit(random_indices(1, 9));
+        let _ = p.collect(tb); // out of order: watermark stays behind
+        let _ = p.collect(tb);
+    }
+
+    #[test]
+    fn in_order_collection_keeps_the_guard_set_empty() {
+        // The trainer collects strictly in submission order; the
+        // already-collected guard must then be a watermark bump, not a
+        // per-step set insertion (unbounded growth over a training run).
+        let mut p = CastingPipeline::new();
+        for i in 0..20 {
+            let t = p.submit(random_indices(1, 100 + i));
+            let _ = p.collect(t);
+        }
+        assert_eq!(p.collect_watermark, 20);
+        assert!(p.collected_ahead.is_empty());
+        // Out-of-order collects pass through the set, then drain as the
+        // watermark catches up.
+        let ta = p.submit(random_indices(1, 200));
+        let tb = p.submit(random_indices(1, 201));
+        let _ = p.collect(tb);
+        assert_eq!(p.collected_ahead.len(), 1);
+        let _ = p.collect(ta);
+        assert_eq!(p.collect_watermark, 22);
+        assert!(p.collected_ahead.is_empty());
+    }
+
+    #[test]
+    fn arc_submissions_share_without_cloning() {
+        // The trainer's steady-state path: one Arc<[IndexArray]> per
+        // batch, re-submitted by refcount bump. Results must match the
+        // synchronous casting of the same arrays.
+        let mut p = CastingPipeline::new();
+        let indices: Arc<[IndexArray]> = random_indices(3, 7).into();
+        let expected: Vec<_> = indices.iter().map(tensor_casting).collect();
+        for _ in 0..3 {
+            let ticket = p.submit(Arc::clone(&indices));
+            assert_eq!(p.collect(ticket), expected);
+        }
+        drop(p); // joins the worker, releasing its shares
+        assert_eq!(Arc::strong_count(&indices), 1);
     }
 
     #[test]

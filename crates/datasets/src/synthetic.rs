@@ -8,6 +8,7 @@
 //! all-zeros predictor.
 
 use crate::workload::TableWorkload;
+use std::sync::Arc;
 use tcast_embedding::IndexArray;
 use tcast_tensor::{Matrix, SplitMix64};
 
@@ -17,7 +18,14 @@ pub struct CtrBatch {
     /// Dense (continuous) features, `batch x dense_dim`.
     pub dense: Matrix,
     /// Per-table index arrays, each with `batch` outputs.
-    pub indices: Vec<IndexArray>,
+    ///
+    /// Shared behind an `Arc` so consumers that ship the arrays to
+    /// another thread — the trainer hands every casted step's indices to
+    /// the [`CastingPipeline`] worker — bump a refcount instead of
+    /// deep-cloning each table's arrays per step.
+    ///
+    /// [`CastingPipeline`]: ../tcast_core/struct.CastingPipeline.html
+    pub indices: Arc<[IndexArray]>,
     /// Click labels in {0.0, 1.0}, `batch x 1`.
     pub labels: Matrix,
 }
@@ -112,7 +120,7 @@ impl SyntheticCtr {
         }
         CtrBatch {
             dense,
-            indices,
+            indices: indices.into(),
             labels,
         }
     }

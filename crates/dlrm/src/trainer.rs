@@ -12,8 +12,8 @@ use tcast_core::{casted_gather_reduce_into, CastingPipeline, CoalescedScratch};
 use tcast_datasets::CtrBatch;
 use tcast_embedding::{
     gradient_coalesce, gradient_expand,
-    optim::{Adagrad, RmsProp, Sgd, SparseOptimizer},
-    scatter_apply, scatter_apply_dense, EmbeddingError,
+    optim::{Adagrad, Adam, Momentum, RmsProp, Sgd, SplittableOptimizer},
+    scatter_apply_parallel, EmbeddingError,
 };
 use tcast_pool::{Exec, Pool};
 use tcast_tensor::{bce_with_logits, bce_with_logits_backward_into, Matrix};
@@ -79,6 +79,11 @@ pub struct StepReport {
 pub enum EmbeddingOptimizer {
     /// Plain SGD (the default).
     Sgd,
+    /// SGD with heavy-ball momentum.
+    Momentum {
+        /// Momentum coefficient.
+        mu: f32,
+    },
     /// Adagrad (the paper's Eq. 2).
     Adagrad {
         /// Stabilizer epsilon.
@@ -91,14 +96,27 @@ pub enum EmbeddingOptimizer {
         /// Stabilizer epsilon.
         eps: f32,
     },
+    /// Adam with per-row bias-correction step counts.
+    Adam {
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Stabilizer epsilon.
+        eps: f32,
+    },
 }
 
 impl EmbeddingOptimizer {
-    fn build(&self, lr: f32) -> Box<dyn SparseOptimizer> {
+    fn build(&self, lr: f32) -> Box<dyn SplittableOptimizer> {
         match *self {
             EmbeddingOptimizer::Sgd => Box::new(Sgd::new(lr)),
+            EmbeddingOptimizer::Momentum { mu } => Box::new(Momentum::new(lr, mu)),
             EmbeddingOptimizer::Adagrad { eps } => Box::new(Adagrad::new(lr, eps)),
             EmbeddingOptimizer::RmsProp { gamma, eps } => Box::new(RmsProp::new(lr, gamma, eps)),
+            EmbeddingOptimizer::Adam { beta1, beta2, eps } => {
+                Box::new(Adam::new(lr, beta1, beta2, eps))
+            }
         }
     }
 }
@@ -146,7 +164,11 @@ pub struct Trainer {
     mode: BackwardMode,
     lr: f32,
     pipeline: Option<CastingPipeline>,
-    table_optimizers: Vec<Box<dyn SparseOptimizer>>,
+    /// The optimizer configuration the per-table instances were built
+    /// from — kept so [`Trainer::set_learning_rate`] can rebuild them
+    /// with the user's hyperparameters intact.
+    optimizer: EmbeddingOptimizer,
+    table_optimizers: Vec<Box<dyn SplittableOptimizer>>,
     steps: u64,
     execution: Execution,
     scratch: StepScratch,
@@ -193,8 +215,9 @@ impl Trainer {
 
     /// Builds a trainer with an explicit embedding optimizer and
     /// execution mode. [`Execution::Pooled`] runs the hot kernels
-    /// (gather-reduce, MLP GEMMs, casted gather-reduce) on the given
-    /// persistent pool; trajectories are bit-identical to serial.
+    /// (gather-reduce, MLP GEMMs, casted gather-reduce, and the
+    /// band-parallel optimizer scatter) on the given persistent pool;
+    /// trajectories are bit-identical to serial.
     ///
     /// # Errors
     ///
@@ -220,6 +243,7 @@ impl Trainer {
             mode,
             lr,
             pipeline,
+            optimizer,
             table_optimizers,
             steps: 0,
             execution,
@@ -229,6 +253,10 @@ impl Trainer {
 
     /// Sets the (shared) learning rate. Defaults to 0.05.
     ///
+    /// Rebuilds the per-table optimizer instances from the stored
+    /// [`EmbeddingOptimizer`] configuration, so every user-supplied
+    /// hyperparameter (epsilons, decays, betas) survives the rebuild.
+    ///
     /// # Panics
     ///
     /// Panics if called after training started: stateful embedding
@@ -236,18 +264,8 @@ impl Trainer {
     pub fn set_learning_rate(&mut self, lr: f32) {
         assert_eq!(self.steps, 0, "set the learning rate before training");
         self.lr = lr;
-        // Rebuild stateless/per-rate optimizer instances. The concrete
-        // kind is recoverable from the first instance's name.
-        let kind = match self.table_optimizers.first().map(|o| o.name()) {
-            Some("adagrad") => EmbeddingOptimizer::Adagrad { eps: 1e-8 },
-            Some("rmsprop") => EmbeddingOptimizer::RmsProp {
-                gamma: 0.9,
-                eps: 1e-8,
-            },
-            _ => EmbeddingOptimizer::Sgd,
-        };
         self.table_optimizers = (0..self.model.num_tables())
-            .map(|_| kind.build(lr))
+            .map(|_| self.optimizer.build(lr))
             .collect();
     }
 
@@ -283,10 +301,12 @@ impl Trainer {
         };
 
         // Kick off casting first: its inputs exist before forward starts.
+        // The batch's index arrays are Arc-shared, so this is a refcount
+        // bump, not a per-table deep clone.
         let ticket = self
             .pipeline
             .as_mut()
-            .map(|p| p.submit(batch.indices.clone()));
+            .map(|p| p.submit(Arc::clone(&batch.indices)));
 
         // FWD (Gather).
         let t0 = Instant::now();
@@ -354,25 +374,32 @@ impl Trainer {
         }
         let bwd_embedding = t0.elapsed();
 
-        // BWD (Scatter): sparse optimizer update per table.
+        // BWD (Scatter): sparse optimizer update per table. Coalesced
+        // rows are unique, so under Execution::Pooled the scatter splits
+        // into row bands updating disjoint table slices + optimizer state
+        // shards — bit-identical to the serial scatter, like every other
+        // pooled kernel.
         let t0 = Instant::now();
         match self.mode {
             BackwardMode::Baseline => {
                 for (i, c) in baseline_coalesced.iter().enumerate() {
-                    scatter_apply(
+                    scatter_apply_parallel(
                         self.model.table_mut(i),
-                        c,
+                        c.rows(),
+                        c.grads(),
                         self.table_optimizers[i].as_mut(),
+                        exec,
                     )?;
                 }
             }
             BackwardMode::Casted => {
                 for (i, c) in self.scratch.coalesced.iter().enumerate() {
-                    scatter_apply_dense(
+                    scatter_apply_parallel(
                         self.model.table_mut(i),
                         &c.rows,
                         &c.grads,
                         self.table_optimizers[i].as_mut(),
+                        exec,
                     )?;
                 }
             }
@@ -522,6 +549,85 @@ mod tests {
         };
         assert_eq!(timings.total(), Duration::from_millis(100));
         assert!((timings.embedding_backward_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_learning_rate_preserves_optimizer_hyperparameters() {
+        // Regression: set_learning_rate used to reverse-engineer the
+        // optimizer kind from its name and rebuild with hard-coded
+        // hyperparameters, silently replacing e.g. a user's eps. An eps
+        // this large visibly changes the trajectory, so rebuilding with
+        // the default 1e-8 would diverge from the untouched trainer.
+        let opt = EmbeddingOptimizer::Adagrad { eps: 0.5 };
+        let mk =
+            || Trainer::with_optimizer(DlrmConfig::tiny(), BackwardMode::Baseline, opt, 7).unwrap();
+        let mut untouched = mk();
+        let mut rebuilt = mk();
+        rebuilt.set_learning_rate(0.05); // the default rate: a pure rebuild
+        let mut sa = data(51);
+        let mut sb = data(51);
+        for step in 0..3 {
+            let ra = untouched.step(&sa.next_batch(16)).unwrap();
+            let rb = rebuilt.step(&sb.next_batch(16)).unwrap();
+            assert_eq!(ra.loss, rb.loss, "eps was lost in rebuild at step {step}");
+        }
+        for i in 0..untouched.model().num_tables() {
+            assert_eq!(
+                untouched
+                    .model()
+                    .table(i)
+                    .max_abs_diff(rebuilt.model().table(i))
+                    .unwrap(),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn every_optimizer_matches_across_modes_and_schedules() {
+        // Momentum and Adam join the enum in this PR; all five must keep
+        // baseline == casted AND serial == pooled (the pooled scatter
+        // shards stateful optimizer state — a divergence would show here).
+        let pool = Arc::new(tcast_pool::Pool::new(4));
+        let optimizers = [
+            EmbeddingOptimizer::Momentum { mu: 0.9 },
+            EmbeddingOptimizer::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+        ];
+        for opt in optimizers {
+            let mut serial_base =
+                Trainer::with_optimizer(DlrmConfig::tiny(), BackwardMode::Baseline, opt, 23)
+                    .unwrap();
+            let mut pooled_cast = Trainer::with_execution(
+                DlrmConfig::tiny(),
+                BackwardMode::Casted,
+                opt,
+                Execution::Pooled(Arc::clone(&pool)),
+                23,
+            )
+            .unwrap();
+            let mut sa = data(29);
+            let mut sb = data(29);
+            for step in 0..4 {
+                let ra = serial_base.step(&sa.next_batch(32)).unwrap();
+                let rb = pooled_cast.step(&sb.next_batch(32)).unwrap();
+                assert_eq!(ra.loss, rb.loss, "{opt:?} loss diverged at step {step}");
+            }
+            for i in 0..serial_base.model().num_tables() {
+                assert_eq!(
+                    serial_base
+                        .model()
+                        .table(i)
+                        .max_abs_diff(pooled_cast.model().table(i))
+                        .unwrap(),
+                    0.0,
+                    "{opt:?} table {i} diverged"
+                );
+            }
+        }
     }
 
     #[test]

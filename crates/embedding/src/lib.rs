@@ -11,7 +11,12 @@
 //!   `src`;
 //! * **gradient scatter** (backward, Fig. 2b step 3) — apply the coalesced
 //!   gradients to the table through a sparse [`optim::SparseOptimizer`]
-//!   (SGD / momentum / Adagrad Eq. 2 / RMSprop Eq. 1).
+//!   (SGD / momentum / Adagrad Eq. 2 / RMSprop Eq. 1 / Adam). Coalesced
+//!   rows are unique, so the scatter is band-parallelizable: every
+//!   optimizer's state is splittable at row boundaries
+//!   ([`optim::SplittableOptimizer`]) and [`scatter_apply_parallel`]
+//!   updates disjoint table/state bands on the `tcast-pool`,
+//!   bit-identically to the serial scatter.
 //!
 //! The *casted* backward path (Algorithms 2-3) lives in the `tcast-core`
 //! crate; this crate deliberately contains only what existing ML frameworks
@@ -68,6 +73,6 @@ pub use parallel::{
     gather_reduce_parallel, gather_reduce_parallel_in, gradient_coalesce_parallel,
     gradient_coalesce_parallel_in,
 };
-pub use scatter::{scatter_apply, scatter_apply_dense};
+pub use scatter::{scatter_apply, scatter_apply_dense, scatter_apply_parallel};
 pub use sharding::ShardedTable;
 pub use table::EmbeddingTable;

@@ -5,10 +5,20 @@
 //! (potentially multiple) gradients of a parameter accumulated into a
 //! single value `G_i` before the update, because their state update is a
 //! nonlinear function of `G_i`. These implementations keep per-row state
-//! lazily, touching only rows that actually receive gradients — the sparse
+//! touching only rows that actually receive gradients — the sparse
 //! update pattern of embedding training.
-
-use std::collections::HashMap;
+//!
+//! # Splittable state
+//!
+//! Coalescing has a second payoff the paper's Section IV-C datapath
+//! argument relies on: after coalescing, every table row appears **at most
+//! once** per scatter, so the optimizer update of disjoint row ranges is
+//! embarrassingly parallel — *if* the state store can hand out disjoint
+//! mutable views. A `HashMap<u32, Vec<f32>>` cannot (concurrent inserts
+//! rehash), so state lives in a dense, lazily-grown [`RowState`] band
+//! store instead: one contiguous `width`-strided slab, splittable at
+//! arbitrary row boundaries with `split_at_mut`. [`SplittableOptimizer`]
+//! exposes that split, and `scatter_apply_parallel` consumes it.
 
 /// A sparse, row-granular optimizer.
 ///
@@ -34,6 +44,160 @@ pub trait SparseOptimizer {
     }
 }
 
+/// A row-disjoint mutable shard of a splittable optimizer's state — one
+/// band of the parallel scatter.
+///
+/// A shard updates rows exactly as the owning optimizer's
+/// [`SparseOptimizer::update_row`] would (same operations, same order per
+/// row), which is what makes the band-parallel scatter bit-identical to
+/// the serial one. Callers must only pass rows inside the band the shard
+/// was split for.
+pub trait StateShard: Send {
+    /// Applies the update for `row`; `row` must lie in this shard's band.
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]);
+}
+
+/// A [`SparseOptimizer`] whose per-row state splits at row-range
+/// boundaries into independently-updatable shards.
+///
+/// Gradient coalescing guarantees each table row appears at most once per
+/// scatter, so shards over disjoint row ranges never alias state — each
+/// band of `scatter_apply_parallel` updates its table slice and its state
+/// shard with no synchronization.
+pub trait SplittableOptimizer: SparseOptimizer + Send {
+    /// Splits the optimizer state at the row `fence` (ascending,
+    /// `fence.len() >= 2`): shard `i` owns rows `[fence[i], fence[i+1])`.
+    ///
+    /// `dim` is the embedding width of the rows about to be updated;
+    /// state is pre-grown to cover `fence.last()` rows here, on the
+    /// calling thread, so shard updates never grow (and never allocate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fence is not ascending, has fewer than two entries,
+    /// or `dim` conflicts with the width of already-live state.
+    fn split_by_rows<'s>(&'s mut self, fence: &[u32], dim: usize) -> Vec<Box<dyn StateShard + 's>>;
+}
+
+/// Asserts the [`SplittableOptimizer::split_by_rows`] fence contract:
+/// at least two entries, ascending.
+fn validate_fence(fence: &[u32]) {
+    assert!(fence.len() >= 2, "state fence needs >= 2 entries");
+    assert!(
+        fence.windows(2).all(|w| w[0] <= w[1]),
+        "state fence must be ascending"
+    );
+}
+
+/// Dense, lazily-grown per-row optimizer state: `width` `f32` slots per
+/// row in one contiguous slab, plus a touched bitmap for reporting.
+///
+/// Growth is geometric, so serial lazy growth (a new hottest row) is
+/// amortized O(1) and stops entirely once the live row set is covered —
+/// preserving the workspace's zero-allocation steady state. Unlike the
+/// `HashMap` store it replaces, the slab splits into disjoint row bands
+/// (`split_at_mut`) for the parallel scatter.
+#[derive(Debug, Clone, Default)]
+pub struct RowState {
+    width: usize,
+    data: Vec<f32>,
+    touched: Vec<bool>,
+}
+
+/// One row band of a [`RowState`], produced by [`RowState::split`].
+#[derive(Debug)]
+struct RowStateBand<'a> {
+    base: u32,
+    width: usize,
+    data: &'a mut [f32],
+    touched: &'a mut [bool],
+}
+
+impl RowState {
+    fn set_width(&mut self, width: usize) {
+        if self.width == 0 {
+            self.width = width;
+        }
+        assert_eq!(self.width, width, "optimizer state width changed");
+    }
+
+    /// Rows currently backed by the slab.
+    fn rows(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Grows (geometrically) so `row` is addressable without allocation
+    /// on subsequent touches.
+    fn grow_for(&mut self, row: u32) {
+        let needed = row as usize + 1;
+        if needed > self.rows() {
+            let target = needed.max(self.rows() * 2);
+            self.data.resize(target * self.width, 0.0);
+            self.touched.resize(target, false);
+        }
+    }
+
+    /// Grows to exactly cover `rows` rows (no geometric overshoot — used
+    /// by the parallel split, where the table size is known).
+    fn grow_exact(&mut self, rows: usize) {
+        if rows > self.rows() {
+            self.data.resize(rows * self.width, 0.0);
+            self.touched.resize(rows, false);
+        }
+    }
+
+    /// Mutable state of `row` (zeros on first touch), marking it live.
+    fn row_mut(&mut self, row: u32) -> &mut [f32] {
+        self.grow_for(row);
+        self.touched[row as usize] = true;
+        let w = self.width;
+        &mut self.data[row as usize * w..(row as usize + 1) * w]
+    }
+
+    /// Number of rows that ever received an update.
+    fn tracked_rows(&self) -> usize {
+        self.touched.iter().filter(|&&t| t).count()
+    }
+
+    /// Splits the slab at `fence` into one band per window; band `i`
+    /// covers rows `[fence[i], fence[i+1])`. State below `fence[0]` and
+    /// above `fence.last()` is not handed out.
+    fn split<'s>(&'s mut self, fence: &[u32], width: usize) -> Vec<RowStateBand<'s>> {
+        validate_fence(fence);
+        self.set_width(width);
+        self.grow_exact(*fence.last().expect("non-empty fence") as usize);
+        let w = self.width;
+        let skip = fence[0] as usize;
+        let mut data = &mut self.data[skip * w..];
+        let mut touched = &mut self.touched[skip..];
+        let mut bands = Vec::with_capacity(fence.len() - 1);
+        for pair in fence.windows(2) {
+            let rows = (pair[1] - pair[0]) as usize;
+            let (band_data, rest_data) = data.split_at_mut(rows * w);
+            let (band_touched, rest_touched) = touched.split_at_mut(rows);
+            data = rest_data;
+            touched = rest_touched;
+            bands.push(RowStateBand {
+                base: pair[0],
+                width: w,
+                data: band_data,
+                touched: band_touched,
+            });
+        }
+        bands
+    }
+}
+
+impl RowStateBand<'_> {
+    /// Mutable state of `row` (which must lie in this band), marking it
+    /// live.
+    fn row_mut(&mut self, row: u32) -> &mut [f32] {
+        let local = (row - self.base) as usize;
+        self.touched[local] = true;
+        &mut self.data[local * self.width..(local + 1) * self.width]
+    }
+}
+
 /// Plain stochastic gradient descent: `W <- W - lr * G`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sgd {
@@ -52,16 +216,46 @@ impl Sgd {
     }
 }
 
+fn sgd_step(lr: f32, param: &mut [f32], grad: &[f32]) {
+    assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+    for (p, &g) in param.iter_mut().zip(grad.iter()) {
+        *p -= lr * g;
+    }
+}
+
 impl SparseOptimizer for Sgd {
     fn update_row(&mut self, _row: u32, param: &mut [f32], grad: &[f32]) {
-        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-        for (p, &g) in param.iter_mut().zip(grad.iter()) {
-            *p -= self.lr * g;
-        }
+        sgd_step(self.lr, param, grad);
     }
 
     fn name(&self) -> &'static str {
         "sgd"
+    }
+}
+
+struct SgdShard {
+    lr: f32,
+}
+
+impl StateShard for SgdShard {
+    fn update_row(&mut self, _row: u32, param: &mut [f32], grad: &[f32]) {
+        sgd_step(self.lr, param, grad);
+    }
+}
+
+impl SplittableOptimizer for Sgd {
+    fn split_by_rows<'s>(
+        &'s mut self,
+        fence: &[u32],
+        _dim: usize,
+    ) -> Vec<Box<dyn StateShard + 's>> {
+        // Stateless, but the fence contract is validated like every other
+        // optimizer so callers get consistent panics.
+        validate_fence(fence);
+        let lr = self.lr;
+        (0..fence.len() - 1)
+            .map(|_| Box::new(SgdShard { lr }) as Box<dyn StateShard>)
+            .collect()
     }
 }
 
@@ -70,7 +264,7 @@ impl SparseOptimizer for Sgd {
 pub struct Momentum {
     lr: f32,
     mu: f32,
-    velocity: HashMap<u32, Vec<f32>>,
+    velocity: RowState,
 }
 
 impl Momentum {
@@ -79,27 +273,28 @@ impl Momentum {
         Self {
             lr,
             mu,
-            velocity: HashMap::new(),
+            velocity: RowState::default(),
         }
     }
 
     /// Number of rows with live momentum state.
     pub fn tracked_rows(&self) -> usize {
-        self.velocity.len()
+        self.velocity.tracked_rows()
+    }
+}
+
+fn momentum_step(lr: f32, mu: f32, v: &mut [f32], param: &mut [f32], grad: &[f32]) {
+    assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+    for ((p, &g), vi) in param.iter_mut().zip(grad.iter()).zip(v.iter_mut()) {
+        *vi = mu * *vi + g;
+        *p -= lr * *vi;
     }
 }
 
 impl SparseOptimizer for Momentum {
     fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
-        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-        let v = self
-            .velocity
-            .entry(row)
-            .or_insert_with(|| vec![0.0; param.len()]);
-        for ((p, &g), vi) in param.iter_mut().zip(grad.iter()).zip(v.iter_mut()) {
-            *vi = self.mu * *vi + g;
-            *p -= self.lr * *vi;
-        }
+        self.velocity.set_width(param.len());
+        momentum_step(self.lr, self.mu, self.velocity.row_mut(row), param, grad);
     }
 
     fn name(&self) -> &'static str {
@@ -111,12 +306,35 @@ impl SparseOptimizer for Momentum {
     }
 }
 
+struct MomentumShard<'a> {
+    lr: f32,
+    mu: f32,
+    velocity: RowStateBand<'a>,
+}
+
+impl StateShard for MomentumShard<'_> {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        momentum_step(self.lr, self.mu, self.velocity.row_mut(row), param, grad);
+    }
+}
+
+impl SplittableOptimizer for Momentum {
+    fn split_by_rows<'s>(&'s mut self, fence: &[u32], dim: usize) -> Vec<Box<dyn StateShard + 's>> {
+        let (lr, mu) = (self.lr, self.mu);
+        self.velocity
+            .split(fence, dim)
+            .into_iter()
+            .map(|velocity| Box::new(MomentumShard { lr, mu, velocity }) as Box<dyn StateShard>)
+            .collect()
+    }
+}
+
 /// Adagrad (the paper's Eq. 2): `A <- A + G^2; W <- W - lr * G / sqrt(eps + A)`.
 #[derive(Debug, Clone)]
 pub struct Adagrad {
     lr: f32,
     eps: f32,
-    accum: HashMap<u32, Vec<f32>>,
+    accum: RowState,
 }
 
 impl Adagrad {
@@ -125,27 +343,28 @@ impl Adagrad {
         Self {
             lr,
             eps,
-            accum: HashMap::new(),
+            accum: RowState::default(),
         }
     }
 
     /// Number of rows with live accumulator state.
     pub fn tracked_rows(&self) -> usize {
-        self.accum.len()
+        self.accum.tracked_rows()
+    }
+}
+
+fn adagrad_step(lr: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f32]) {
+    assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+    for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
+        *ai += g * g;
+        *p -= lr * g / (eps + *ai).sqrt();
     }
 }
 
 impl SparseOptimizer for Adagrad {
     fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
-        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-        let a = self
-            .accum
-            .entry(row)
-            .or_insert_with(|| vec![0.0; param.len()]);
-        for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
-            *ai += g * g;
-            *p -= self.lr * g / (self.eps + *ai).sqrt();
-        }
+        self.accum.set_width(param.len());
+        adagrad_step(self.lr, self.eps, self.accum.row_mut(row), param, grad);
     }
 
     fn name(&self) -> &'static str {
@@ -157,6 +376,29 @@ impl SparseOptimizer for Adagrad {
     }
 }
 
+struct AdagradShard<'a> {
+    lr: f32,
+    eps: f32,
+    accum: RowStateBand<'a>,
+}
+
+impl StateShard for AdagradShard<'_> {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        adagrad_step(self.lr, self.eps, self.accum.row_mut(row), param, grad);
+    }
+}
+
+impl SplittableOptimizer for Adagrad {
+    fn split_by_rows<'s>(&'s mut self, fence: &[u32], dim: usize) -> Vec<Box<dyn StateShard + 's>> {
+        let (lr, eps) = (self.lr, self.eps);
+        self.accum
+            .split(fence, dim)
+            .into_iter()
+            .map(|accum| Box::new(AdagradShard { lr, eps, accum }) as Box<dyn StateShard>)
+            .collect()
+    }
+}
+
 /// RMSprop (the paper's Eq. 1):
 /// `A <- gamma*A + (1-gamma)*G^2; W <- W - lr * G / sqrt(eps + A)`.
 #[derive(Debug, Clone)]
@@ -164,7 +406,7 @@ pub struct RmsProp {
     lr: f32,
     gamma: f32,
     eps: f32,
-    accum: HashMap<u32, Vec<f32>>,
+    accum: RowState,
 }
 
 impl RmsProp {
@@ -175,27 +417,35 @@ impl RmsProp {
             lr,
             gamma,
             eps,
-            accum: HashMap::new(),
+            accum: RowState::default(),
         }
     }
 
     /// Number of rows with live accumulator state.
     pub fn tracked_rows(&self) -> usize {
-        self.accum.len()
+        self.accum.tracked_rows()
+    }
+}
+
+fn rmsprop_step(lr: f32, gamma: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f32]) {
+    assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+    for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
+        *ai = gamma * *ai + (1.0 - gamma) * g * g;
+        *p -= lr * g / (eps + *ai).sqrt();
     }
 }
 
 impl SparseOptimizer for RmsProp {
     fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
-        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-        let a = self
-            .accum
-            .entry(row)
-            .or_insert_with(|| vec![0.0; param.len()]);
-        for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
-            *ai = self.gamma * *ai + (1.0 - self.gamma) * g * g;
-            *p -= self.lr * g / (self.eps + *ai).sqrt();
-        }
+        self.accum.set_width(param.len());
+        rmsprop_step(
+            self.lr,
+            self.gamma,
+            self.eps,
+            self.accum.row_mut(row),
+            param,
+            grad,
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -204,6 +454,44 @@ impl SparseOptimizer for RmsProp {
 
     fn state_bytes_per_element(&self) -> usize {
         8
+    }
+}
+
+struct RmsPropShard<'a> {
+    lr: f32,
+    gamma: f32,
+    eps: f32,
+    accum: RowStateBand<'a>,
+}
+
+impl StateShard for RmsPropShard<'_> {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        rmsprop_step(
+            self.lr,
+            self.gamma,
+            self.eps,
+            self.accum.row_mut(row),
+            param,
+            grad,
+        );
+    }
+}
+
+impl SplittableOptimizer for RmsProp {
+    fn split_by_rows<'s>(&'s mut self, fence: &[u32], dim: usize) -> Vec<Box<dyn StateShard + 's>> {
+        let (lr, gamma, eps) = (self.lr, self.gamma, self.eps);
+        self.accum
+            .split(fence, dim)
+            .into_iter()
+            .map(|accum| {
+                Box::new(RmsPropShard {
+                    lr,
+                    gamma,
+                    eps,
+                    accum,
+                }) as Box<dyn StateShard>
+            })
+            .collect()
     }
 }
 
@@ -218,7 +506,9 @@ pub struct Adam {
     beta1: f32,
     beta2: f32,
     eps: f32,
-    state: HashMap<u32, (Vec<f32>, Vec<f32>, u32)>,
+    m: RowState,
+    v: RowState,
+    t: Vec<u32>,
 }
 
 impl Adam {
@@ -229,38 +519,80 @@ impl Adam {
             beta1,
             beta2,
             eps,
-            state: HashMap::new(),
+            m: RowState::default(),
+            v: RowState::default(),
+            t: Vec::new(),
         }
     }
 
     /// Number of rows with live moment state.
     pub fn tracked_rows(&self) -> usize {
-        self.state.len()
+        self.t.iter().filter(|&&t| t > 0).count()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AdamHyper {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+fn adam_step(
+    h: AdamHyper,
+    m: &mut [f32],
+    v: &mut [f32],
+    t: &mut u32,
+    param: &mut [f32],
+    grad: &[f32],
+) {
+    assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
+    *t += 1;
+    let bc1 = 1.0 - h.beta1.powi(*t as i32);
+    let bc2 = 1.0 - h.beta2.powi(*t as i32);
+    for (((p, &g), mi), vi) in param
+        .iter_mut()
+        .zip(grad.iter())
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+    {
+        *mi = h.beta1 * *mi + (1.0 - h.beta1) * g;
+        *vi = h.beta2 * *vi + (1.0 - h.beta2) * g * g;
+        let mhat = *mi / bc1;
+        let vhat = *vi / bc2;
+        *p -= h.lr * mhat / (vhat.sqrt() + h.eps);
+    }
+}
+
+impl Adam {
+    fn hyper(&self) -> AdamHyper {
+        AdamHyper {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+        }
     }
 }
 
 impl SparseOptimizer for Adam {
     fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
-        assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-        let (m, v, t) = self
-            .state
-            .entry(row)
-            .or_insert_with(|| (vec![0.0; param.len()], vec![0.0; param.len()], 0));
-        *t += 1;
-        let bc1 = 1.0 - self.beta1.powi(*t as i32);
-        let bc2 = 1.0 - self.beta2.powi(*t as i32);
-        for (((p, &g), mi), vi) in param
-            .iter_mut()
-            .zip(grad.iter())
-            .zip(m.iter_mut())
-            .zip(v.iter_mut())
-        {
-            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
-            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
-            let mhat = *mi / bc1;
-            let vhat = *vi / bc2;
-            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        self.m.set_width(param.len());
+        self.v.set_width(param.len());
+        if row as usize >= self.t.len() {
+            let target = (row as usize + 1).max(self.t.len() * 2);
+            self.t.resize(target, 0);
         }
+        let h = self.hyper();
+        adam_step(
+            h,
+            self.m.row_mut(row),
+            self.v.row_mut(row),
+            &mut self.t[row as usize],
+            param,
+            grad,
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -269,6 +601,54 @@ impl SparseOptimizer for Adam {
 
     fn state_bytes_per_element(&self) -> usize {
         16 // two f32 moments, read + write each
+    }
+}
+
+struct AdamShard<'a> {
+    h: AdamHyper,
+    m: RowStateBand<'a>,
+    v: RowStateBand<'a>,
+    base: u32,
+    t: &'a mut [u32],
+}
+
+impl StateShard for AdamShard<'_> {
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        let local = (row - self.base) as usize;
+        adam_step(
+            self.h,
+            self.m.row_mut(row),
+            self.v.row_mut(row),
+            &mut self.t[local],
+            param,
+            grad,
+        );
+    }
+}
+
+impl SplittableOptimizer for Adam {
+    fn split_by_rows<'s>(&'s mut self, fence: &[u32], dim: usize) -> Vec<Box<dyn StateShard + 's>> {
+        let h = self.hyper();
+        let last = *fence.last().expect("non-empty fence") as usize;
+        if last > self.t.len() {
+            self.t.resize(last, 0);
+        }
+        let m_bands = self.m.split(fence, dim);
+        let v_bands = self.v.split(fence, dim);
+        let mut t_rest = &mut self.t[fence[0] as usize..];
+        let mut shards: Vec<Box<dyn StateShard>> = Vec::with_capacity(fence.len() - 1);
+        for ((pair, m), v) in fence.windows(2).zip(m_bands).zip(v_bands) {
+            let (t_band, tail) = t_rest.split_at_mut((pair[1] - pair[0]) as usize);
+            t_rest = tail;
+            shards.push(Box::new(AdamShard {
+                h,
+                m,
+                v,
+                base: pair[0],
+                t: t_band,
+            }));
+        }
+        shards
     }
 }
 
@@ -360,10 +740,9 @@ mod tests {
     fn adam_first_step_is_lr_sized() {
         // With bias correction, the first step is ~lr regardless of the
         // gradient magnitude (for eps -> 0).
-        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-12);
         for g in [0.1f32, 10.0] {
+            let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-12);
             let mut p = vec![0.0];
-            opt.state.clear();
             opt.update_row(0, &mut p, &[g]);
             assert!((p[0] + 0.01).abs() < 1e-4, "g={g}: step {}", p[0]);
         }
@@ -398,5 +777,90 @@ mod tests {
             opt.update_row(0, &mut p, &[0.5, 0.5]);
         }
         assert!(p[0] < 1.0);
+    }
+
+    #[test]
+    fn splittable_trait_objects_upcast_to_sparse() {
+        // The trainer stores Box<dyn SplittableOptimizer> and hands the
+        // serial paths a &mut dyn SparseOptimizer via upcasting.
+        let mut boxed: Box<dyn SplittableOptimizer> = Box::new(Adagrad::new(0.1, 1e-8));
+        let opt: &mut dyn SparseOptimizer = boxed.as_mut();
+        let mut p = vec![1.0];
+        opt.update_row(0, &mut p, &[2.0]);
+        assert!(p[0] < 1.0);
+    }
+
+    /// Shard updates must be bit-identical to whole-optimizer updates.
+    #[test]
+    fn shards_match_serial_updates_exactly() {
+        let make: Vec<Box<dyn Fn() -> Box<dyn SplittableOptimizer>>> = vec![
+            Box::new(|| Box::new(Sgd::new(0.1))),
+            Box::new(|| Box::new(Momentum::new(0.1, 0.9))),
+            Box::new(|| Box::new(Adagrad::new(0.1, 1e-8))),
+            Box::new(|| Box::new(RmsProp::new(0.1, 0.9, 1e-8))),
+            Box::new(|| Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8))),
+        ];
+        let rows: Vec<u32> = vec![0, 3, 4, 9, 17];
+        let dim = 3;
+        for mk in &make {
+            let mut serial = mk();
+            let mut split = mk();
+            let mut params_a: Vec<Vec<f32>> = rows.iter().map(|&r| vec![r as f32; dim]).collect();
+            let mut params_b = params_a.clone();
+            // Two passes so stateful optimizers exercise non-zero state.
+            for pass in 0..2 {
+                let grads: Vec<Vec<f32>> = rows
+                    .iter()
+                    .map(|&r| {
+                        (0..dim)
+                            .map(|c| (r as f32 + c as f32) * 0.1 + pass as f32)
+                            .collect()
+                    })
+                    .collect();
+                for (i, &r) in rows.iter().enumerate() {
+                    serial.update_row(r, &mut params_a[i], &grads[i]);
+                }
+                // Split at fences that cut the row set unevenly.
+                let fence = [0u32, 4, 10, 32];
+                let mut shards = split.split_by_rows(&fence, dim);
+                for (i, &r) in rows.iter().enumerate() {
+                    let band = fence[1..].iter().position(|&f| r < f).unwrap();
+                    shards[band].update_row(r, &mut params_b[i], &grads[i]);
+                }
+                drop(shards);
+            }
+            assert_eq!(params_a, params_b, "{} diverged", mk().name());
+        }
+    }
+
+    #[test]
+    fn every_optimizer_rejects_a_descending_fence() {
+        let mut opts: Vec<Box<dyn SplittableOptimizer>> = vec![
+            Box::new(Sgd::new(0.1)),
+            Box::new(Momentum::new(0.1, 0.9)),
+            Box::new(Adagrad::new(0.1, 1e-8)),
+            Box::new(RmsProp::new(0.1, 0.9, 1e-8)),
+            Box::new(Adam::new(0.1, 0.9, 0.999, 1e-8)),
+        ];
+        for opt in opts.iter_mut() {
+            let name = opt.name();
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                opt.split_by_rows(&[4, 0], 2);
+            }))
+            .is_err();
+            assert!(panicked, "{name} accepted a descending fence");
+        }
+    }
+
+    #[test]
+    fn row_state_growth_is_geometric_and_preserving() {
+        let mut s = RowState::default();
+        s.set_width(2);
+        s.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        s.row_mut(100).copy_from_slice(&[3.0, 4.0]);
+        assert!(s.rows() >= 101);
+        assert_eq!(s.row_mut(0), &[1.0, 2.0]);
+        assert_eq!(s.row_mut(100), &[3.0, 4.0]);
+        assert_eq!(s.tracked_rows(), 2);
     }
 }

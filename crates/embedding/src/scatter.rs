@@ -7,8 +7,9 @@
 
 use crate::coalesce::CoalescedGradients;
 use crate::error::EmbeddingError;
-use crate::optim::SparseOptimizer;
+use crate::optim::{SparseOptimizer, SplittableOptimizer};
 use crate::table::EmbeddingTable;
+use tcast_pool::Exec;
 use tcast_tensor::Matrix;
 
 /// Applies coalesced gradients to the table: for every `(row, grad)` pair,
@@ -46,10 +47,22 @@ pub fn scatter_apply(
     Ok(())
 }
 
-/// Scatter for an arbitrary (row-id, gradient-matrix) pairing that need
-/// *not* be coalesced or sorted — used to demonstrate, in tests, why
-/// uncoalesced scatters break stateful optimizers (the paper's Section
-/// II-B argument).
+/// Scatter for a raw `(row-ids, gradient-matrix)` pairing — the
+/// **production casted scatter path**: `Trainer::step` feeds it the
+/// `CoalescedScratch` arrays the fused casted gather-reduce fills, so no
+/// `CoalescedGradients` wrapper is materialized on the hot path.
+///
+/// # Caller contract
+///
+/// For stateful optimizers the rows **must already be coalesced** —
+/// unique, with each row's gradients pre-accumulated (sorted order is not
+/// required here, but both producers emit ascending rows). Passing
+/// duplicate rows applies the optimizer's nonlinear state update once per
+/// duplicate instead of once per coalesced sum, which diverges (the
+/// paper's Section II-B argument; demonstrated in
+/// `uncoalesced_scatter_diverges_for_stateful_optimizers`). This function
+/// cannot check uniqueness cheaply and does not try; the parallel form
+/// [`scatter_apply_parallel`] does enforce the ordering contract.
 ///
 /// # Errors
 ///
@@ -83,6 +96,120 @@ pub fn scatter_apply_dense(
     for (i, &row) in rows.iter().enumerate() {
         optimizer.update_row(row, table.row_mut(row as usize), grads.row(i));
     }
+    Ok(())
+}
+
+/// Band-parallel optimizer scatter, **bit-identical** to the serial
+/// scatter.
+///
+/// Coalescing guarantees each table row appears exactly once in `rows`
+/// (strictly ascending — enforced here), so partitioning the
+/// `(rows, grads)` arrays into contiguous equal-count bands yields bands
+/// that touch **disjoint table rows and disjoint optimizer state**: each
+/// band updates its `split_at_mut` table slice plus its
+/// [`SplittableOptimizer`] state shard on a `tcast-pool` scope with no
+/// synchronization. This is the scatter-side dual of the banded casted
+/// gather-reduce — the same row-disjointness RecNMP/MP-Rec exploit to
+/// spread sparse updates across parallel units — and it closes the
+/// paper's Section IV-C "same datapath, opposite direction" loop: with it,
+/// every phase of embedding backward runs on the pool.
+///
+/// Per row, the shard applies exactly the serial optimizer update (same
+/// operations, same order), so tables *and* optimizer state match the
+/// serial scatter bit-for-bit regardless of band count.
+///
+/// With [`Exec::Serial`] (or a single effective band) this degrades to
+/// the serial loop of [`scatter_apply_dense`].
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `rows.len()` differs
+/// from `grads.rows()`, [`EmbeddingError::DimMismatch`] on width
+/// mismatch, [`EmbeddingError::SrcOutOfBounds`] if a row id exceeds the
+/// table, or [`EmbeddingError::InvalidIndex`] if `rows` is not strictly
+/// ascending (i.e. not coalesced).
+pub fn scatter_apply_parallel(
+    table: &mut EmbeddingTable,
+    rows: &[u32],
+    grads: &Matrix,
+    optimizer: &mut dyn SplittableOptimizer,
+    exec: Exec<'_>,
+) -> Result<(), EmbeddingError> {
+    if rows.len() != grads.rows() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: rows.len(),
+            found: grads.rows(),
+        });
+    }
+    if grads.cols() != table.dim() {
+        return Err(EmbeddingError::DimMismatch {
+            expected: table.dim(),
+            found: grads.cols(),
+        });
+    }
+    if !rows.windows(2).all(|w| w[0] < w[1]) {
+        return Err(EmbeddingError::InvalidIndex(
+            "scatter_apply_parallel requires coalesced rows (strictly ascending, unique)".into(),
+        ));
+    }
+    // Ascending order just verified: the last row is the maximum, so it
+    // alone bounds-checks the whole array (no second O(n) pass).
+    if let Some(&last) = rows.last() {
+        if last as usize >= table.rows() {
+            return Err(EmbeddingError::SrcOutOfBounds {
+                src: last,
+                rows: table.rows(),
+            });
+        }
+    }
+
+    let n = rows.len();
+    let bands = exec.threads().min(n);
+    let (pool, bands) = match exec.pool() {
+        Some(pool) if bands > 1 => (pool, bands),
+        _ => {
+            for (i, &row) in rows.iter().enumerate() {
+                optimizer.update_row(row, table.row_mut(row as usize), grads.row(i));
+            }
+            return Ok(());
+        }
+    };
+
+    // Equal-count bands over the coalesced lookups; the row-id fence is
+    // each band's first row id, closed just past the last touched row so
+    // dense optimizer state is only grown to the touched prefix (a
+    // scatter touching low ids on a huge table must not allocate
+    // table-sized state). Strictly ascending rows make the fence strictly
+    // ascending too.
+    let dim = table.dim();
+    let per = n.div_ceil(bands);
+    let bands = n.div_ceil(per);
+    let mut fence = Vec::with_capacity(bands + 1);
+    fence.push(0u32);
+    for b in 1..bands {
+        fence.push(rows[b * per]);
+    }
+    fence.push(rows[n - 1].saturating_add(1));
+
+    let shards = optimizer.split_by_rows(&fence, dim);
+    pool.scope(|scope| {
+        let mut table_rest = table.as_mut_slice();
+        for (b, mut shard) in shards.into_iter().enumerate() {
+            let lo = b * per;
+            let hi = ((b + 1) * per).min(n);
+            let band_lo = fence[b] as usize;
+            let band_hi = fence[b + 1] as usize;
+            let (band, tail) = table_rest.split_at_mut((band_hi - band_lo) * dim);
+            table_rest = tail;
+            let band_rows = &rows[lo..hi];
+            scope.spawn(move || {
+                for (k, &row) in band_rows.iter().enumerate() {
+                    let at = (row as usize - band_lo) * dim;
+                    shard.update_row(row, &mut band[at..at + dim], grads.row(lo + k));
+                }
+            });
+        }
+    });
     Ok(())
 }
 
@@ -181,5 +308,165 @@ mod tests {
         let mut table = EmbeddingTable::zeros(3, 1);
         let grads = Matrix::zeros(2, 1);
         assert!(scatter_apply_dense(&mut table, &[0], &grads, &mut Sgd::new(0.1)).is_err());
+    }
+
+    mod parallel {
+        use super::*;
+        use crate::optim::{Adam, Momentum, RmsProp, SplittableOptimizer};
+        use tcast_pool::Pool;
+        use tcast_tensor::SplitMix64;
+
+        type OptimizerMaker = Box<dyn Fn() -> Box<dyn SplittableOptimizer>>;
+
+        fn makers() -> Vec<(&'static str, OptimizerMaker)> {
+            vec![
+                ("sgd", Box::new(|| Box::new(Sgd::new(0.1)) as _)),
+                (
+                    "momentum",
+                    Box::new(|| Box::new(Momentum::new(0.1, 0.9)) as _),
+                ),
+                (
+                    "adagrad",
+                    Box::new(|| Box::new(Adagrad::new(0.1, 1e-8)) as _),
+                ),
+                (
+                    "rmsprop",
+                    Box::new(|| Box::new(RmsProp::new(0.1, 0.9, 1e-8)) as _),
+                ),
+                (
+                    "adam",
+                    Box::new(|| Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8)) as _),
+                ),
+            ]
+        }
+
+        /// Random coalesced workload: unique ascending rows + gradients.
+        fn workload(seed: u64, table_rows: u32, count: usize, dim: usize) -> (Vec<u32>, Matrix) {
+            let mut rng = SplitMix64::new(seed);
+            let mut rows: Vec<u32> = (0..count.min(table_rows as usize))
+                .map(|_| rng.next_below(table_rows as u64) as u32)
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let mut grads = Matrix::zeros(rows.len(), dim);
+            for v in grads.as_mut_slice() {
+                *v = rng.next_range(-1.0, 1.0);
+            }
+            (rows, grads)
+        }
+
+        #[test]
+        fn parallel_is_bit_identical_for_every_optimizer_and_band_count() {
+            let pool = Pool::new(4);
+            for (name, mk) in &makers() {
+                for threads in [2usize, 3, 8, 64] {
+                    let mut serial_table = EmbeddingTable::seeded(97, 4, 5);
+                    let mut pooled_table = serial_table.clone();
+                    let mut serial_opt = mk();
+                    let mut pooled_opt = mk();
+                    // Several scatters so stateful optimizers accumulate:
+                    // a state divergence would surface in later steps.
+                    for step in 0..4 {
+                        let (rows, grads) = workload(100 * step + threads as u64, 97, 60, 4);
+                        scatter_apply_dense(&mut serial_table, &rows, &grads, serial_opt.as_mut())
+                            .unwrap();
+                        scatter_apply_parallel(
+                            &mut pooled_table,
+                            &rows,
+                            &grads,
+                            pooled_opt.as_mut(),
+                            Exec::Pooled {
+                                pool: &pool,
+                                threads,
+                            },
+                        )
+                        .unwrap();
+                    }
+                    assert_eq!(
+                        serial_table.as_slice(),
+                        pooled_table.as_slice(),
+                        "{name} with {threads} bands diverged"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn serial_exec_degrades_to_dense_scatter() {
+            let (rows, grads) = workload(9, 50, 30, 3);
+            let mut a = EmbeddingTable::seeded(50, 3, 1);
+            let mut b = a.clone();
+            scatter_apply_dense(&mut a, &rows, &grads, &mut Adagrad::new(0.1, 1e-8)).unwrap();
+            scatter_apply_parallel(
+                &mut b,
+                &rows,
+                &grads,
+                &mut Adagrad::new(0.1, 1e-8),
+                Exec::Serial,
+            )
+            .unwrap();
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+
+        #[test]
+        fn empty_and_single_row_scatters() {
+            let pool = Pool::new(2);
+            let exec = Exec::pooled(&pool);
+            let mut table = EmbeddingTable::seeded(10, 2, 3);
+            let before = table.clone();
+            scatter_apply_parallel(
+                &mut table,
+                &[],
+                &Matrix::zeros(0, 2),
+                &mut Sgd::new(0.1),
+                exec,
+            )
+            .unwrap();
+            assert_eq!(table.as_slice(), before.as_slice());
+            let grads = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+            scatter_apply_parallel(&mut table, &[7], &grads, &mut Sgd::new(1.0), exec).unwrap();
+            assert_eq!(table.row(7)[0], before.row(7)[0] - 1.0);
+        }
+
+        #[test]
+        fn rejects_uncoalesced_rows() {
+            let pool = Pool::new(2);
+            let mut table = EmbeddingTable::zeros(10, 1);
+            let grads = Matrix::zeros(2, 1);
+            for rows in [[3u32, 3], [5, 2]] {
+                let err = scatter_apply_parallel(
+                    &mut table,
+                    &rows,
+                    &grads,
+                    &mut Sgd::new(0.1),
+                    Exec::pooled(&pool),
+                )
+                .unwrap_err();
+                assert!(matches!(err, EmbeddingError::InvalidIndex(_)), "{err:?}");
+            }
+        }
+
+        #[test]
+        fn validates_bounds_and_shapes() {
+            let pool = Pool::new(2);
+            let exec = Exec::pooled(&pool);
+            let mut table = EmbeddingTable::zeros(4, 2);
+            let mut sgd = Sgd::new(0.1);
+            // Row id beyond the table.
+            let err =
+                scatter_apply_parallel(&mut table, &[4], &Matrix::zeros(1, 2), &mut sgd, exec)
+                    .unwrap_err();
+            assert!(matches!(err, EmbeddingError::SrcOutOfBounds { .. }));
+            // Gradient width mismatch.
+            let err =
+                scatter_apply_parallel(&mut table, &[0], &Matrix::zeros(1, 3), &mut sgd, exec)
+                    .unwrap_err();
+            assert!(matches!(err, EmbeddingError::DimMismatch { .. }));
+            // Row count mismatch.
+            let err =
+                scatter_apply_parallel(&mut table, &[0], &Matrix::zeros(2, 2), &mut sgd, exec)
+                    .unwrap_err();
+            assert!(matches!(err, EmbeddingError::LengthMismatch { .. }));
+        }
     }
 }

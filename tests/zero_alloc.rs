@@ -1,7 +1,10 @@
 //! The zero-allocation steady-state invariant, enforced with a counting
 //! global allocator: after a warm-up step sizes every scratch buffer to
 //! its high-water mark, the embedding/MLP hot-path kernels perform **no
-//! heap allocation per step** on their serial `_into` paths.
+//! heap allocation per step** on their serial `_into` paths. That now
+//! includes the *stateful* optimizer scatter (the dense `RowState` store
+//! stops growing once warmed) and the casting-pipeline submit (an
+//! `Arc<[IndexArray]>` refcount bump, not a per-table clone).
 //!
 //! The whole file is one test function on purpose — the allocation
 //! counter is process-global, and sibling tests running on other threads
@@ -10,10 +13,15 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use tensor_casting::core::{casted_gather_reduce_into, tensor_casting, CoalescedScratch};
+use tensor_casting::core::{
+    casted_gather_reduce_into, tensor_casting, CastingPipeline, CoalescedScratch,
+};
 use tensor_casting::embedding::{
-    gather_reduce_into, optim::Sgd, scatter_apply_dense, EmbeddingTable, IndexArray,
+    gather_reduce_into,
+    optim::{Adagrad, Adam, Sgd, SparseOptimizer},
+    scatter_apply_dense, EmbeddingTable, IndexArray,
 };
 use tensor_casting::tensor::{
     bce_with_logits, bce_with_logits_backward_into, Activation, Exec, FeatureInteraction, Matrix,
@@ -112,6 +120,76 @@ fn steady_state_hot_path_performs_zero_allocations() {
         allocations() - before,
         0,
         "embedding gather/casted-backward/scatter steady state must not allocate"
+    );
+
+    // ---- Stateful-optimizer scatter (dense RowState) ------------------
+    // The splittable state store grows geometrically on serial lazy
+    // touches; once the warm-up covers the batch's hottest row, further
+    // scatters (including Adam's per-row step counts) allocate nothing.
+    let mut ada_table = EmbeddingTable::seeded(500, dim, 11);
+    let mut ada = Adagrad::new(0.01, 1e-8);
+    let mut adam_table = EmbeddingTable::seeded(500, dim, 12);
+    let mut adam = Adam::new(0.001, 0.9, 0.999, 1e-8);
+
+    let stateful_scatter = |table: &mut EmbeddingTable, opt: &mut dyn SparseOptimizer| {
+        scatter_apply_dense(table, &coalesced.rows, &coalesced.grads, opt).unwrap();
+    };
+
+    stateful_scatter(&mut ada_table, &mut ada);
+    stateful_scatter(&mut adam_table, &mut adam);
+
+    let before = allocations();
+    for _ in 0..10 {
+        stateful_scatter(&mut ada_table, &mut ada);
+        stateful_scatter(&mut adam_table, &mut adam);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "stateful-optimizer scatter steady state must not allocate"
+    );
+
+    // ---- Casting-pipeline submit: Arc share, no per-table clone -------
+    // submit() forwards an Arc<[IndexArray]> by refcount bump. If it
+    // still deep-cloned the arrays (the pre-Arc behaviour), the
+    // caller-side allocation count would scale with the number of
+    // tables; with the share it is a small constant (channel node +
+    // ticket bookkeeping), so a wide batch costs the same as a narrow
+    // one.
+    let make_indices = |tables: usize, seed: u64| -> Arc<[IndexArray]> {
+        let mut rng = SplitMix64::new(seed);
+        (0..tables)
+            .map(|_| {
+                let samples: Vec<Vec<u32>> = (0..batch)
+                    .map(|_| (0..6).map(|_| rng.next_below(500) as u32).collect())
+                    .collect();
+                IndexArray::from_samples(&samples).unwrap()
+            })
+            .collect::<Vec<_>>()
+            .into()
+    };
+    let narrow = make_indices(2, 21);
+    let wide = make_indices(10, 22);
+    let mut pipeline = CastingPipeline::new();
+    let mut submit_cycles = |indices: &Arc<[IndexArray]>, cycles: usize| -> u64 {
+        let before = allocations();
+        for _ in 0..cycles {
+            let ticket = pipeline.submit(Arc::clone(indices));
+            let _ = pipeline.collect(ticket);
+        }
+        allocations() - before
+    };
+    // Warm-up: first submissions size the channel blocks.
+    submit_cycles(&narrow, 4);
+    submit_cycles(&wide, 4);
+    let narrow_allocs = submit_cycles(&narrow, 8);
+    let wide_allocs = submit_cycles(&wide, 8);
+    // Slack for amortized channel-block / ticket-set growth; a clone of
+    // the wide batch's 8 extra IndexArrays would add >= 128 allocations.
+    assert!(
+        wide_allocs <= narrow_allocs + 8,
+        "submit allocations must not scale with table count \
+         (narrow {narrow_allocs}, wide {wide_allocs}): is submit cloning index arrays?"
     );
 
     // ---- MLP forward + loss + backward + update -----------------------
