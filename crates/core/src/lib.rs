@@ -76,4 +76,4 @@ pub use gather_reduce::{
     casted_gather_reduce_parallel, casted_gather_reduce_parallel_in, CoalescedScratch,
 };
 pub use parallel_casting::{tensor_casting_parallel, tensor_casting_parallel_in};
-pub use runtime::{CastingPipeline, PipelineStats};
+pub use runtime::{CastingPipeline, JobTicket, PipelineStats, DEFAULT_INFLIGHT_CAP};

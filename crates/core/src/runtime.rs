@@ -17,12 +17,18 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::casted_index::CastedIndexArray;
 use crate::casting::tensor_casting;
 use tcast_embedding::IndexArray;
+
+/// Default bound on uncompleted casting jobs (submitted but not yet cast).
+/// Generous enough that any sane lookahead depth never blocks, small
+/// enough that a runaway submitter cannot grow the job queue without
+/// bound before the worker catches up.
+pub const DEFAULT_INFLIGHT_CAP: usize = 64;
 
 /// A handle for one submitted casting job (one training iteration's worth
 /// of index arrays, one per embedding table).
@@ -40,6 +46,12 @@ pub struct PipelineStats {
     /// the *exposed* casting latency. Zero means casting was fully hidden
     /// under forward propagation, the Fig. 9b ideal.
     pub exposed_wait: Duration,
+    /// High-water mark of uncompleted jobs (submitted, not yet cast).
+    /// Never exceeds the pipeline's in-flight cap: `submit` blocks
+    /// (backpressure) instead of letting the job queue grow.
+    pub max_in_flight: u64,
+    /// Total time submitters spent blocked on the in-flight cap.
+    pub backpressure_wait: Duration,
 }
 
 impl PipelineStats {
@@ -83,6 +95,10 @@ pub struct CastingPipeline {
     tx: Option<Sender<Job>>,
     rx: Receiver<JobResult>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Uncompleted-job gauge shared with the workers; `submit` blocks on
+    /// the condvar while the gauge sits at `inflight_cap`.
+    in_flight: Arc<(Mutex<usize>, Condvar)>,
+    inflight_cap: usize,
     ready: HashMap<u64, Vec<CastedIndexArray>>,
     /// Lowest ticket id not yet collected: everything below it is
     /// collected. In-order collection (the trainer's pattern) only moves
@@ -97,7 +113,8 @@ pub struct CastingPipeline {
 }
 
 impl CastingPipeline {
-    /// Spawns the casting worker thread.
+    /// Spawns the casting worker thread with the
+    /// [`DEFAULT_INFLIGHT_CAP`].
     pub fn new() -> Self {
         Self::with_workers(1)
     }
@@ -111,7 +128,22 @@ impl CastingPipeline {
     ///
     /// Panics if `workers == 0`.
     pub fn with_workers(workers: usize) -> Self {
+        Self::with_inflight_cap(workers, DEFAULT_INFLIGHT_CAP)
+    }
+
+    /// [`CastingPipeline::with_workers`] with an explicit bound on
+    /// *uncompleted* jobs (submitted but not yet cast). When the bound is
+    /// reached, [`CastingPipeline::submit`] blocks until a worker drains a
+    /// job — backpressure instead of unbounded job-queue growth. Worker
+    /// progress alone releases the block (no collect required), so a
+    /// submit-only caller cannot deadlock itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `cap == 0`.
+    pub fn with_inflight_cap(workers: usize, cap: usize) -> Self {
         assert!(workers > 0, "need at least one casting worker");
+        assert!(cap > 0, "need a nonzero in-flight cap");
         // std::sync::mpsc receivers are single-consumer; the worker side
         // shares one behind a mutex (each worker holds the lock only while
         // blocked in recv, releasing it as soon as a job arrives).
@@ -119,11 +151,13 @@ impl CastingPipeline {
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (res_tx, res_rx) = channel::<JobResult>();
         let stats = Arc::new(Mutex::new(PipelineStats::default()));
+        let in_flight = Arc::new((Mutex::new(0usize), Condvar::new()));
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let job_rx = Arc::clone(&job_rx);
             let res_tx = res_tx.clone();
             let worker_stats = Arc::clone(&stats);
+            let worker_gauge = Arc::clone(&in_flight);
             let handle = std::thread::Builder::new()
                 .name(format!("tcast-casting-{w}"))
                 .spawn(move || loop {
@@ -143,6 +177,15 @@ impl CastingPipeline {
                         s.jobs_completed += 1;
                         s.casting_time += elapsed;
                     }
+                    // Drain the in-flight gauge *before* publishing the
+                    // result: a submitter blocked on the cap wakes as soon
+                    // as the casting work is done.
+                    {
+                        let (gauge, released) = &*worker_gauge;
+                        let mut count = gauge.lock().expect("in-flight gauge poisoned");
+                        *count -= 1;
+                        released.notify_one();
+                    }
                     if res_tx.send(JobResult { id: job.id, casted }).is_err() {
                         break; // pipeline dropped
                     }
@@ -154,6 +197,8 @@ impl CastingPipeline {
             tx: Some(job_tx),
             rx: res_rx,
             workers: handles,
+            in_flight,
+            inflight_cap: cap,
             ready: HashMap::new(),
             collect_watermark: 0,
             collected_ahead: HashSet::new(),
@@ -173,7 +218,29 @@ impl CastingPipeline {
     /// (as `CtrBatch` does) pays one refcount bump per step instead of
     /// deep-cloning every table's index arrays — the last steady-state
     /// allocation the casted hot path used to make.
+    ///
+    /// If the number of uncompleted jobs has reached the in-flight cap,
+    /// this call **blocks** until a worker drains one (backpressure); the
+    /// time spent blocked is recorded in
+    /// [`PipelineStats::backpressure_wait`].
     pub fn submit(&mut self, indices: impl Into<Arc<[IndexArray]>>) -> JobTicket {
+        {
+            let (gauge, released) = &*self.in_flight;
+            let mut count = gauge.lock().expect("in-flight gauge poisoned");
+            if *count >= self.inflight_cap {
+                let start = Instant::now();
+                while *count >= self.inflight_cap {
+                    count = released.wait(count).expect("in-flight gauge poisoned");
+                }
+                self.stats
+                    .lock()
+                    .expect("pipeline stats poisoned")
+                    .backpressure_wait += start.elapsed();
+            }
+            *count += 1;
+            let mut s = self.stats.lock().expect("pipeline stats poisoned");
+            s.max_in_flight = s.max_in_flight.max(*count as u64);
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.tx
@@ -187,6 +254,17 @@ impl CastingPipeline {
         JobTicket(id)
     }
 
+    /// Number of submitted jobs not yet cast by a worker.
+    pub fn in_flight(&self) -> usize {
+        *self.in_flight.0.lock().expect("in-flight gauge poisoned")
+    }
+
+    /// The bound on uncompleted jobs that [`CastingPipeline::submit`]
+    /// enforces by blocking.
+    pub fn inflight_cap(&self) -> usize {
+        self.inflight_cap
+    }
+
     /// Blocks until the given job's casted arrays are ready and returns
     /// them. Time spent blocking is recorded as *exposed* casting latency
     /// in [`PipelineStats`].
@@ -196,6 +274,21 @@ impl CastingPipeline {
     /// Panics if the ticket was never issued by this pipeline, was already
     /// collected, or the worker thread died.
     pub fn collect(&mut self, ticket: JobTicket) -> Vec<CastedIndexArray> {
+        self.collect_timed(ticket).0
+    }
+
+    /// [`CastingPipeline::collect`] with per-ticket exposed-wait
+    /// attribution: returns the casted arrays *and* how long this call
+    /// blocked waiting for them. A zero duration means this job's casting
+    /// latency was fully hidden — the per-step version of
+    /// [`PipelineStats::hidden_fraction`]'s Fig. 9b ideal, which the
+    /// cross-batch training driver reports per lookahead depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket was never issued by this pipeline, was already
+    /// collected, or the worker thread died.
+    pub fn collect_timed(&mut self, ticket: JobTicket) -> (Vec<CastedIndexArray>, Duration) {
         assert!(ticket.0 < self.next_id, "unknown ticket {ticket:?}");
         // A collected id is gone from `ready`, so without this guard the
         // recv loop below would block forever on a result that can never
@@ -212,18 +305,25 @@ impl CastingPipeline {
         } else {
             self.collected_ahead.insert(ticket.0);
         }
+        // Drain results that already arrived before starting the clock:
+        // a job whose casting finished during earlier work must report
+        // exactly zero exposed wait, not the channel-recv overhead.
+        while let Ok(result) = self.rx.try_recv() {
+            self.ready.insert(result.id, result.casted);
+        }
         if let Some(casted) = self.ready.remove(&ticket.0) {
-            return casted;
+            return (casted, Duration::ZERO);
         }
         let start = Instant::now();
         loop {
             let result = self.rx.recv().expect("casting worker alive");
             if result.id == ticket.0 {
+                let exposed = start.elapsed();
                 self.stats
                     .lock()
                     .expect("pipeline stats poisoned")
-                    .exposed_wait += start.elapsed();
-                return result.casted;
+                    .exposed_wait += exposed;
+                return (result.casted, exposed);
             }
             self.ready.insert(result.id, result.casted);
         }
@@ -432,14 +532,80 @@ mod tests {
             jobs_completed: 1,
             casting_time: Duration::from_millis(10),
             exposed_wait: Duration::from_millis(10),
+            ..Default::default()
         };
         assert!(s.hidden_fraction() < 1e-9);
         let s = PipelineStats {
             jobs_completed: 1,
             casting_time: Duration::from_millis(10),
             exposed_wait: Duration::from_millis(5),
+            ..Default::default()
         };
         assert!((s.hidden_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_timed_attributes_exposed_wait_per_ticket() {
+        let mut p = CastingPipeline::new();
+        // Collect immediately: whatever this ticket's wait was, it must
+        // equal the aggregate (only job so far).
+        let t = p.submit(random_indices(2, 11));
+        let (casted, exposed) = p.collect_timed(t);
+        assert_eq!(casted.len(), 2);
+        assert_eq!(p.stats().exposed_wait, exposed);
+        // A job that is already finished when collected reports zero
+        // exposed wait and adds nothing to the aggregate.
+        let t = p.submit(random_indices(1, 12));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !p.is_ready(t) {
+            assert!(Instant::now() < deadline, "worker never finished");
+            std::thread::yield_now();
+        }
+        let before = p.stats().exposed_wait;
+        let (_, exposed) = p.collect_timed(t);
+        assert_eq!(exposed, Duration::ZERO);
+        assert_eq!(p.stats().exposed_wait, before);
+    }
+
+    #[test]
+    fn inflight_cap_blocks_submit_until_the_worker_drains() {
+        // With cap 1, the second submit cannot return before the first
+        // job has been *cast* (not collected!) — deterministic evidence
+        // that the cap back-pressures the submitter instead of queueing.
+        let mut p = CastingPipeline::with_inflight_cap(1, 1);
+        assert_eq!(p.inflight_cap(), 1);
+        let ta = p.submit(random_indices(2, 13));
+        let tb = p.submit(random_indices(2, 14));
+        assert!(p.stats().jobs_completed >= 1, "submit overtook the cap");
+        let _ = p.collect(ta);
+        let _ = p.collect(tb);
+        assert_eq!(p.stats().jobs_completed, 2);
+        assert_eq!(p.stats().max_in_flight, 1);
+    }
+
+    #[test]
+    fn max_in_flight_never_exceeds_the_cap() {
+        let mut p = CastingPipeline::with_inflight_cap(1, 3);
+        let tickets: Vec<_> = (0..12)
+            .map(|i| p.submit(random_indices(1, 300 + i)))
+            .collect();
+        for t in tickets {
+            let _ = p.collect(t);
+        }
+        let stats = p.stats();
+        assert_eq!(stats.jobs_completed, 12);
+        assert!(
+            stats.max_in_flight <= 3,
+            "cap violated: {} in flight",
+            stats.max_in_flight
+        );
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero in-flight cap")]
+    fn zero_inflight_cap_rejected() {
+        CastingPipeline::with_inflight_cap(1, 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 mod histogram;
 mod popularity;
 mod presets;
+mod source;
 mod synthetic;
 pub mod trace;
 mod workload;
@@ -40,5 +41,6 @@ mod workload;
 pub use histogram::{CoalesceStats, LookupHistogram};
 pub use popularity::{CdfSampler, Popularity};
 pub use presets::DatasetPreset;
+pub use source::{BatchSource, SyntheticSource, TraceReplaySource};
 pub use synthetic::{CtrBatch, SyntheticCtr};
 pub use workload::{TableWorkload, WorkloadGenerator};

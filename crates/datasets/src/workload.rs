@@ -95,17 +95,32 @@ impl WorkloadGenerator {
     /// Generates the next mini-batch's index array
     /// (`batch * pooling` lookups, `batch` outputs).
     pub fn next_batch(&mut self, batch: usize) -> IndexArray {
+        let mut out =
+            IndexArray::from_pairs(Vec::new(), Vec::new(), 0).expect("empty index array is valid");
+        self.next_batch_into(batch, &mut out);
+        out
+    }
+
+    /// [`WorkloadGenerator::next_batch`] into a recycled [`IndexArray`],
+    /// reusing its pair buffers — the per-table refill behind a
+    /// `BatchSource` free-list's zero-allocation steady state. Draws the
+    /// same RNG sequence as `next_batch`, so mixing the two forms keeps
+    /// the stream bit-identical.
+    pub fn next_batch_into(&mut self, batch: usize, out: &mut IndexArray) {
         let pooling = self.spec.pooling();
-        let n = batch * pooling;
-        let mut src = Vec::with_capacity(n);
-        let mut dst = Vec::with_capacity(n);
-        for b in 0..batch {
-            for _ in 0..pooling {
-                src.push(self.sampler.sample(&mut self.rng));
-                dst.push(b as u32);
+        let sampler = &self.sampler;
+        let rng = &mut self.rng;
+        out.refill(batch, |src, dst| {
+            src.reserve(batch * pooling);
+            dst.reserve(batch * pooling);
+            for b in 0..batch {
+                for _ in 0..pooling {
+                    src.push(sampler.sample(rng));
+                    dst.push(b as u32);
+                }
             }
-        }
-        IndexArray::from_pairs(src, dst, batch).expect("generated pairs are in range")
+        })
+        .expect("generated pairs are in range");
     }
 
     /// Generates a *multi-hot* mini-batch: each sample draws a uniform
@@ -166,6 +181,17 @@ mod tests {
         let mut b = spec().generator(9);
         assert_eq!(a.next_batch(32), b.next_batch(32));
         assert_eq!(a.next_batch(32), b.next_batch(32));
+    }
+
+    #[test]
+    fn next_batch_into_matches_allocating_form() {
+        let mut a = spec().generator(17);
+        let mut b = spec().generator(17);
+        let mut recycled = IndexArray::from_pairs(Vec::new(), Vec::new(), 0).unwrap();
+        for _ in 0..3 {
+            b.next_batch_into(32, &mut recycled);
+            assert_eq!(a.next_batch(32), recycled);
+        }
     }
 
     #[test]

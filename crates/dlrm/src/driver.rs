@@ -1,0 +1,363 @@
+//! The cross-batch pipelined training driver: depth-D casting lookahead
+//! over a streaming [`BatchSource`].
+//!
+//! [`Trainer::step`] submits batch N's indices at the top of step N, so
+//! casting can only overlap batch N's *own* forward pass — at small
+//! batches the exposed wait dominates and the pipeline's hidden fraction
+//! sits far from the Fig. 9b ideal. The paper's runtime (Section IV-B)
+//! instead keeps the casting unit busy with *future* mini-batches.
+//! [`TrainLoop`] is that runtime's host-side embodiment: it begins up to
+//! `depth` steps ahead of the one it is completing, so batch N+1..N+D's
+//! casting jobs run on the pipeline worker while batch N trains.
+//!
+//! Correctness is structural, not probabilistic: [`Trainer::begin_step`]
+//! touches no model state (casting is a pure function of the index
+//! arrays, which exist before forward starts), and completions run
+//! strictly in submission order — so **any depth produces bit-identical
+//! weights and losses to the serial `step` loop** (property-tested in
+//! `tests/pipelined_training.rs` across both backward modes and all five
+//! optimizers).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::trainer::{InFlightStep, PhaseTimings, StepReport, Trainer};
+use tcast_core::PipelineStats;
+use tcast_datasets::{BatchSource, CtrBatch};
+use tcast_embedding::EmbeddingError;
+
+/// Aggregate result of a [`TrainLoop::run`] stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunSummary {
+    /// Steps completed.
+    pub steps: usize,
+    /// Per-step mini-batch losses, in order.
+    pub losses: Vec<f32>,
+    /// Summed per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// Total time the completed steps blocked waiting for casted arrays
+    /// — the run's exposed casting latency (always zero in baseline
+    /// mode). Lookahead exists to drive this to zero.
+    pub exposed_cast_wait: Duration,
+    /// Casting time spent by the pipeline worker during this run.
+    pub casting_time: Duration,
+}
+
+impl RunSummary {
+    /// Fraction of this run's casting time hidden under training work
+    /// (1.0 = fully hidden, the Fig. 9b ideal; also 1.0 when no casting
+    /// ran, e.g. baseline mode). Delegates to
+    /// [`PipelineStats::hidden_fraction`] so the metric has one
+    /// definition.
+    pub fn hidden_fraction(&self) -> f64 {
+        PipelineStats {
+            casting_time: self.casting_time,
+            exposed_wait: self.exposed_cast_wait,
+            ..Default::default()
+        }
+        .hidden_fraction()
+    }
+}
+
+/// The cross-batch pipelined training driver.
+///
+/// `depth` is the lookahead: how many *future* batches may have casting
+/// jobs in flight while a step completes. Depth 0 is exactly the serial
+/// `step` loop (begin, then immediately complete); depth 1 is classic
+/// double-buffering; deeper queues give the casting worker more slack at
+/// the cost of holding more batches alive. The casting pipeline's own
+/// bounded in-flight cap backstops the queue: a `depth` beyond the cap
+/// blocks in [`Trainer::begin_step`] instead of growing it.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tcast_dlrm::{BackwardMode, DlrmConfig, Trainer, TrainLoop};
+/// use tcast_datasets::{BatchSource, SyntheticCtr, SyntheticSource};
+///
+/// # fn main() -> Result<(), tcast_embedding::EmbeddingError> {
+/// let config = DlrmConfig::tiny();
+/// let mut source =
+///     SyntheticSource::new(SyntheticCtr::new(config.table_workloads(), config.dense_features, 1), 32);
+/// let trainer = Trainer::new(config, BackwardMode::Casted, 42)?;
+/// let mut driver = TrainLoop::new(trainer, 2);
+/// let summary = driver.run(&mut source, 8)?;
+/// assert_eq!(summary.steps, 8);
+/// assert!(summary.hidden_fraction() >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TrainLoop {
+    trainer: Trainer,
+    depth: usize,
+    queue: VecDeque<InFlightStep>,
+}
+
+impl TrainLoop {
+    /// Wraps a trainer into a driver with the given casting lookahead
+    /// depth (0 = serial).
+    pub fn new(trainer: Trainer, depth: usize) -> Self {
+        Self {
+            queue: VecDeque::with_capacity(depth + 1),
+            trainer,
+            depth,
+        }
+    }
+
+    /// The lookahead depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Steps begun but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Immutable access to the wrapped trainer.
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Feeds one batch into the pipeline: begins its casting job and —
+    /// once more than `depth` steps are in flight — completes the oldest
+    /// one, returning its report together with its batch (so the caller
+    /// can recycle the buffers into a [`BatchSource`] free-list).
+    ///
+    /// Completions come back in push order, `depth` pushes behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies in the completed
+    /// step's batch.
+    pub fn push(
+        &mut self,
+        batch: Arc<CtrBatch>,
+    ) -> Result<Option<(StepReport, Arc<CtrBatch>)>, EmbeddingError> {
+        let step = self.trainer.begin_step(batch);
+        self.queue.push_back(step);
+        if self.queue.len() > self.depth {
+            return self.complete_front().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Completes every in-flight step, returning their reports and
+    /// batches in order. Call at the end of a stream (or before
+    /// [`TrainLoop::into_trainer`]) to drain the lookahead queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies; steps after the
+    /// failing one remain in flight.
+    pub fn finish(&mut self) -> Result<Vec<(StepReport, Arc<CtrBatch>)>, EmbeddingError> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while !self.queue.is_empty() {
+            out.push(self.complete_front()?);
+        }
+        Ok(out)
+    }
+
+    fn complete_front(&mut self) -> Result<(StepReport, Arc<CtrBatch>), EmbeddingError> {
+        let step = self.queue.pop_front().expect("queue non-empty");
+        let batch = Arc::clone(step.batch());
+        let report = self.trainer.complete_step(step)?;
+        Ok((report, batch))
+    }
+
+    /// Streams up to `steps` batches from `source` through the pipelined
+    /// loop, recycling every completed batch back into the source's
+    /// free-list, and reports the run's losses, timings and casting
+    /// overlap. Stops early if the source ends (finite trace replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies in any batch.
+    pub fn run(
+        &mut self,
+        source: &mut dyn BatchSource,
+        steps: usize,
+    ) -> Result<RunSummary, EmbeddingError> {
+        let stats_before = self.pipeline_stats_or_default();
+        let mut summary = RunSummary::default();
+        for _ in 0..steps {
+            let Some(batch) = source.next_batch() else {
+                break;
+            };
+            if let Some((report, done)) = self.push(batch)? {
+                Self::record(&mut summary, &report);
+                source.recycle(done);
+            }
+        }
+        for (report, done) in self.finish()? {
+            Self::record(&mut summary, &report);
+            source.recycle(done);
+        }
+        let stats_after = self.pipeline_stats_or_default();
+        summary.casting_time = stats_after.casting_time - stats_before.casting_time;
+        Ok(summary)
+    }
+
+    fn record(summary: &mut RunSummary, report: &StepReport) {
+        summary.steps += 1;
+        summary.losses.push(report.loss);
+        summary.timings += report.timings;
+        summary.exposed_cast_wait += report.exposed_cast_wait;
+    }
+
+    fn pipeline_stats_or_default(&self) -> PipelineStats {
+        self.trainer.pipeline_stats().unwrap_or_default()
+    }
+
+    /// Unwraps the trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if steps are still in flight — [`TrainLoop::finish`] them
+    /// first, so no begun batch is silently dropped untrained.
+    pub fn into_trainer(self) -> Trainer {
+        assert!(
+            self.queue.is_empty(),
+            "{} steps still in flight: call finish() first",
+            self.queue.len()
+        );
+        self.trainer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DlrmConfig;
+    use crate::trainer::BackwardMode;
+    use tcast_datasets::{SyntheticCtr, SyntheticSource};
+
+    fn source(seed: u64, batch: usize) -> SyntheticSource {
+        let cfg = DlrmConfig::tiny();
+        SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, seed),
+            batch,
+        )
+    }
+
+    #[test]
+    fn depth_zero_run_matches_the_plain_step_loop() {
+        let mut serial = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 3).unwrap();
+        let mut stream = SyntheticCtr::new(
+            DlrmConfig::tiny().table_workloads(),
+            DlrmConfig::tiny().dense_features,
+            8,
+        );
+        let serial_losses: Vec<f32> = (0..5)
+            .map(|_| serial.step(&stream.next_batch(16)).unwrap().loss)
+            .collect();
+
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 3).unwrap();
+        let mut driver = TrainLoop::new(trainer, 0);
+        let summary = driver.run(&mut source(8, 16), 5).unwrap();
+        assert_eq!(summary.losses, serial_losses);
+        let pipelined = driver.into_trainer();
+        for i in 0..serial.model().num_tables() {
+            assert_eq!(
+                serial
+                    .model()
+                    .table(i)
+                    .max_abs_diff(pipelined.model().table(i))
+                    .unwrap(),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn push_defers_completion_by_depth() {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 1).unwrap();
+        let mut driver = TrainLoop::new(trainer, 2);
+        let mut src = source(5, 8);
+        assert!(driver.push(src.next_batch().unwrap()).unwrap().is_none());
+        assert!(driver.push(src.next_batch().unwrap()).unwrap().is_none());
+        assert_eq!(driver.in_flight(), 2);
+        // The third push completes the FIRST batch.
+        let first = src_batches(&mut source(5, 8), 1).pop().unwrap();
+        let (report, done) = driver.push(src.next_batch().unwrap()).unwrap().unwrap();
+        assert!(report.loss.is_finite());
+        assert_eq!(*done, *first, "completions must come back in push order");
+        assert_eq!(driver.in_flight(), 2);
+        let rest = driver.finish().unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(driver.in_flight(), 0);
+        assert_eq!(driver.trainer().steps(), 3);
+    }
+
+    fn src_batches(src: &mut SyntheticSource, n: usize) -> Vec<Arc<CtrBatch>> {
+        (0..n).map(|_| src.next_batch().unwrap()).collect()
+    }
+
+    #[test]
+    fn run_recycles_batches_into_the_free_list() {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 2).unwrap();
+        let mut driver = TrainLoop::new(trainer, 2);
+        let mut src = source(9, 16);
+        let summary = driver.run(&mut src, 6).unwrap();
+        assert_eq!(summary.steps, 6);
+        assert_eq!(summary.losses.len(), 6);
+        // Every batch came back: the free-list holds depth+1 or fewer
+        // buffers (some may still be Arc-shared, but none are lost).
+        assert!(src.free_list_len() >= 1);
+        assert!(summary.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn baseline_mode_reports_full_hiding() {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Baseline, 2).unwrap();
+        let mut driver = TrainLoop::new(trainer, 3);
+        let summary = driver.run(&mut source(13, 16), 4).unwrap();
+        assert_eq!(summary.steps, 4);
+        assert_eq!(summary.exposed_cast_wait, Duration::ZERO);
+        assert_eq!(summary.hidden_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still in flight")]
+    fn into_trainer_refuses_to_drop_begun_steps() {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 1).unwrap();
+        let mut driver = TrainLoop::new(trainer, 2);
+        let mut src = source(5, 8);
+        driver.push(src.next_batch().unwrap()).unwrap();
+        let _ = driver.into_trainer();
+    }
+
+    #[test]
+    fn finite_source_ends_the_run_early() {
+        // A trace-replay style finite stream: run() asks for more steps
+        // than the source has and must stop cleanly.
+        struct Finite {
+            inner: SyntheticSource,
+            left: usize,
+        }
+        impl BatchSource for Finite {
+            fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                self.inner.next_batch()
+            }
+            fn recycle(&mut self, batch: Arc<CtrBatch>) {
+                self.inner.recycle(batch);
+            }
+        }
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 4).unwrap();
+        let mut driver = TrainLoop::new(trainer, 2);
+        let mut src = Finite {
+            inner: source(21, 8),
+            left: 3,
+        };
+        let summary = driver.run(&mut src, 10).unwrap();
+        assert_eq!(summary.steps, 3);
+        assert_eq!(driver.in_flight(), 0);
+    }
+}

@@ -38,11 +38,15 @@
 
 pub mod checkpoint;
 mod config;
+mod driver;
 pub mod metrics;
 mod model;
 mod trainer;
 
 pub use config::{DlrmConfig, TableConfig};
+pub use driver::{RunSummary, TrainLoop};
 pub use metrics::{evaluate_ctr, CtrMetrics};
 pub use model::Dlrm;
-pub use trainer::{BackwardMode, EmbeddingOptimizer, Execution, PhaseTimings, StepReport, Trainer};
+pub use trainer::{
+    BackwardMode, EmbeddingOptimizer, Execution, InFlightStep, PhaseTimings, StepReport, Trainer,
+};

@@ -8,12 +8,14 @@ use std::time::{Duration, Instant};
 use crate::config::DlrmConfig;
 use crate::metrics::{evaluate_ctr, CtrMetrics};
 use crate::model::Dlrm;
-use tcast_core::{casted_gather_reduce_into, CastingPipeline, CoalescedScratch};
+use tcast_core::{
+    casted_gather_reduce_into, CastingPipeline, CoalescedScratch, JobTicket, PipelineStats,
+};
 use tcast_datasets::CtrBatch;
 use tcast_embedding::{
-    gradient_coalesce, gradient_expand,
+    gradient_coalesce_into, gradient_expand_into,
     optim::{Adagrad, Adam, Momentum, RmsProp, Sgd, SplittableOptimizer},
-    scatter_apply_parallel, EmbeddingError,
+    scatter_apply_parallel, CoalesceScratch, EmbeddingError, IndexArray,
 };
 use tcast_pool::{Exec, Pool};
 use tcast_tensor::{bce_with_logits, bce_with_logits_backward_into, Matrix};
@@ -44,6 +46,19 @@ pub struct PhaseTimings {
     pub bwd_scatter: Duration,
 }
 
+impl std::ops::AddAssign for PhaseTimings {
+    /// Phase-wise accumulation, so multi-step totals are summed in one
+    /// place (`total += report.timings`) — a new phase field extends
+    /// every accumulator at once.
+    fn add_assign(&mut self, rhs: PhaseTimings) {
+        self.fwd_gather += rhs.fwd_gather;
+        self.fwd_dnn += rhs.fwd_dnn;
+        self.bwd_dnn += rhs.bwd_dnn;
+        self.bwd_embedding += rhs.bwd_embedding;
+        self.bwd_scatter += rhs.bwd_scatter;
+    }
+}
+
 impl PhaseTimings {
     /// Total measured time.
     pub fn total(&self) -> Duration {
@@ -68,6 +83,12 @@ pub struct StepReport {
     pub loss: f32,
     /// Per-phase wall-clock timings.
     pub timings: PhaseTimings,
+    /// How long this step blocked waiting for its casted index arrays
+    /// (a subset of `timings.bwd_embedding`). Always zero in baseline
+    /// mode; zero in casted mode means this step's casting latency was
+    /// fully hidden — the per-step Fig. 9b metric the cross-batch driver
+    /// collapses by looking ahead.
+    pub exposed_cast_wait: Duration,
 }
 
 /// Which optimizer updates the embedding tables.
@@ -156,6 +177,38 @@ struct StepScratch {
     dlogits: Matrix,
     dpooled: Vec<Matrix>,
     coalesced: Vec<CoalescedScratch>,
+    /// Baseline mode's per-table `n x D` expand intermediates — still
+    /// materialized every step (that cost is the paper's subject), but
+    /// recycled instead of re-allocated.
+    expanded: Vec<Matrix>,
+    /// Baseline mode's per-table coalesce outputs + argsort scratch.
+    baseline: Vec<CoalesceScratch>,
+}
+
+/// A training step whose casting has been submitted but whose
+/// forward/backward has not yet run: the handle returned by
+/// [`Trainer::begin_step`] and consumed by [`Trainer::complete_step`].
+///
+/// Holds the batch alive (an `Arc` share, no copy) together with the
+/// casting-pipeline ticket, so a driver can keep several of these in
+/// flight — each one's casting job runs on the pipeline worker while
+/// earlier steps train.
+#[derive(Debug)]
+pub struct InFlightStep {
+    batch: Arc<CtrBatch>,
+    ticket: Option<JobTicket>,
+}
+
+impl InFlightStep {
+    /// The batch this step will train on.
+    pub fn batch(&self) -> &Arc<CtrBatch> {
+        &self.batch
+    }
+
+    /// Whether a casting job is in flight for this step (casted mode).
+    pub fn has_casting_job(&self) -> bool {
+        self.ticket.is_some()
+    }
 }
 
 /// An instrumented DLRM trainer.
@@ -274,6 +327,32 @@ impl Trainer {
         self.mode
     }
 
+    /// Snapshot of the casting pipeline's timing statistics (`None` in
+    /// baseline mode, which has no pipeline). The exposed-wait /
+    /// hidden-fraction numbers here are the paper's Fig. 9b metric for
+    /// this trainer's whole run so far.
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        self.pipeline.as_ref().map(CastingPipeline::stats)
+    }
+
+    /// Replaces the casting pipeline with one bounded to `cap`
+    /// uncompleted jobs: [`Trainer::begin_step`] then blocks (instead of
+    /// queueing) once `cap` casting jobs are in flight. Casted mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics in baseline mode (no pipeline to bound), if training has
+    /// already started (in-flight tickets would be lost), or if
+    /// `cap == 0`.
+    pub fn set_casting_inflight_cap(&mut self, cap: usize) {
+        assert_eq!(self.steps, 0, "set the in-flight cap before training");
+        assert!(
+            self.pipeline.is_some(),
+            "baseline mode has no casting pipeline"
+        );
+        self.pipeline = Some(CastingPipeline::with_inflight_cap(1, cap));
+    }
+
     /// Immutable model access.
     pub fn model(&self) -> &Dlrm {
         &self.model
@@ -291,22 +370,69 @@ impl Trainer {
     /// Section IV-B runtime ships them to the GPU; the backward phase
     /// then blocks only on whatever casting latency was not hidden.
     ///
+    /// This is exactly the depth-0 composition of
+    /// [`Trainer::begin_step`] + [`Trainer::complete_step`]: casting can
+    /// only overlap this batch's own forward pass. The
+    /// [`crate::TrainLoop`] driver widens the overlap window across
+    /// batches while producing a bit-identical trajectory.
+    ///
     /// # Errors
     ///
     /// Returns an error on shape/index inconsistencies in the batch.
     pub fn step(&mut self, batch: &CtrBatch) -> Result<StepReport, EmbeddingError> {
+        let ticket = self.submit_casting(&batch.indices);
+        self.run_step(batch, ticket)
+    }
+
+    /// Begins a training step: submits the batch's index arrays to the
+    /// casting pipeline (casted mode) and returns a handle holding the
+    /// batch share + ticket. No model state is read or written — casting
+    /// depends only on the indices, which is what makes beginning future
+    /// steps ahead of completing the current one trajectory-preserving.
+    ///
+    /// If the pipeline's bounded in-flight cap is reached, this call
+    /// blocks until the casting worker drains a job (backpressure), so a
+    /// runaway lookahead cannot grow the casting queue without bound.
+    ///
+    /// The returned step must be completed by **this** trainer, in the
+    /// order it was begun relative to other in-flight steps.
+    pub fn begin_step(&mut self, batch: Arc<CtrBatch>) -> InFlightStep {
+        let ticket = self.submit_casting(&batch.indices);
+        InFlightStep { batch, ticket }
+    }
+
+    /// Completes a step begun with [`Trainer::begin_step`]: runs
+    /// forward, backward and the optimizer scatter, blocking only on
+    /// whatever casting latency was not hidden (reported per step in
+    /// [`StepReport::exposed_cast_wait`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies in the batch.
+    pub fn complete_step(&mut self, step: InFlightStep) -> Result<StepReport, EmbeddingError> {
+        let InFlightStep { batch, ticket } = step;
+        self.run_step(&batch, ticket)
+    }
+
+    fn submit_casting(&mut self, indices: &Arc<[IndexArray]>) -> Option<JobTicket> {
+        // The batch's index arrays are Arc-shared, so this is a refcount
+        // bump, not a per-table deep clone.
+        self.pipeline
+            .as_mut()
+            .map(|p| p.submit(Arc::clone(indices)))
+    }
+
+    /// The forward/backward/scatter body shared by [`Trainer::step`] and
+    /// [`Trainer::complete_step`].
+    fn run_step(
+        &mut self,
+        batch: &CtrBatch,
+        ticket: Option<JobTicket>,
+    ) -> Result<StepReport, EmbeddingError> {
         let exec = match &self.execution {
             Execution::Serial => Exec::Serial,
             Execution::Pooled(pool) => Exec::pooled(pool.as_ref()),
         };
-
-        // Kick off casting first: its inputs exist before forward starts.
-        // The batch's index arrays are Arc-shared, so this is a refcount
-        // bump, not a per-table deep clone.
-        let ticket = self
-            .pipeline
-            .as_mut()
-            .map(|p| p.submit(Arc::clone(&batch.indices)));
 
         // FWD (Gather).
         let t0 = Instant::now();
@@ -339,27 +465,37 @@ impl Trainer {
 
         // BWD (embedding): baseline expand-coalesce or casted gather-reduce.
         let t0 = Instant::now();
-        let mut baseline_coalesced = Vec::new();
+        let mut exposed_cast_wait = Duration::ZERO;
         match self.mode {
             BackwardMode::Baseline => {
                 // The baseline deliberately pays Algorithm 1's full cost —
-                // materialized n x D expand, sort, accumulate — each step.
-                baseline_coalesced = batch
-                    .indices
-                    .iter()
-                    .zip(self.scratch.dpooled.iter())
-                    .map(|(idx, grads)| {
-                        let expanded = gradient_expand(grads, idx)?;
-                        gradient_coalesce(&expanded, idx)
-                    })
-                    .collect::<Result<_, _>>()?;
+                // materialized n x D expand, sort, accumulate — each step,
+                // but through recycled scratch: steady-state baseline
+                // training no longer re-allocates the expand intermediate.
+                let tables = batch.indices.len();
+                self.scratch.expanded.resize_with(tables, Matrix::default);
+                self.scratch
+                    .baseline
+                    .resize_with(tables, CoalesceScratch::default);
+                for ((idx, grads), (expanded, coalesced)) in
+                    batch.indices.iter().zip(self.scratch.dpooled.iter()).zip(
+                        self.scratch
+                            .expanded
+                            .iter_mut()
+                            .zip(self.scratch.baseline.iter_mut()),
+                    )
+                {
+                    gradient_expand_into(grads, idx, expanded)?;
+                    gradient_coalesce_into(expanded, idx, coalesced)?;
+                }
             }
             BackwardMode::Casted => {
-                let casted = self
+                let (casted, exposed) = self
                     .pipeline
                     .as_mut()
                     .expect("casted mode has a pipeline")
-                    .collect(ticket.expect("ticket issued"));
+                    .collect_timed(ticket.expect("ticket issued"));
+                exposed_cast_wait = exposed;
                 self.scratch
                     .coalesced
                     .resize_with(casted.len(), CoalescedScratch::default);
@@ -382,11 +518,11 @@ impl Trainer {
         let t0 = Instant::now();
         match self.mode {
             BackwardMode::Baseline => {
-                for (i, c) in baseline_coalesced.iter().enumerate() {
+                for (i, c) in self.scratch.baseline.iter().enumerate() {
                     scatter_apply_parallel(
                         self.model.table_mut(i),
-                        c.rows(),
-                        c.grads(),
+                        &c.rows,
+                        &c.grads,
                         self.table_optimizers[i].as_mut(),
                         exec,
                     )?;
@@ -416,6 +552,7 @@ impl Trainer {
                 bwd_embedding,
                 bwd_scatter,
             },
+            exposed_cast_wait,
         })
     }
 

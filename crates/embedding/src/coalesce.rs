@@ -99,6 +99,47 @@ pub fn gradient_coalesce(
     expanded: &Matrix,
     index: &IndexArray,
 ) -> Result<CoalescedGradients, EmbeddingError> {
+    let mut scratch = CoalesceScratch::default();
+    gradient_coalesce_into(expanded, index, &mut scratch)?;
+    let CoalesceScratch { rows, grads, .. } = scratch;
+    CoalescedGradients::new(rows, grads)
+}
+
+/// Reusable buffers for [`gradient_coalesce_into`]: the argsort
+/// permutation plus the coalesced `(rows, grads)` output. Holding one per
+/// table across training steps makes the *baseline* backward's coalesce
+/// stage allocation-free in steady state (mirroring the casted path's
+/// `CoalescedScratch` in `tcast-core`).
+#[derive(Debug, Clone, Default)]
+pub struct CoalesceScratch {
+    /// Touched (unique, ascending) table rows — matches
+    /// [`CoalescedGradients::rows`].
+    pub rows: Vec<u32>,
+    /// One accumulated gradient row per entry of `rows` — matches
+    /// [`CoalescedGradients::grads`].
+    pub grads: Matrix,
+    /// Packed `(src, position)` sort keys (Step A's argsort scratch).
+    keys: Vec<u64>,
+}
+
+/// [`gradient_coalesce`] into caller-owned scratch, reusing every buffer
+/// whose capacity suffices.
+///
+/// The argsort runs as an *unstable* sort over packed `(src, position)`
+/// keys — positions are distinct, so the order is total and exactly
+/// reproduces the stable sort-by-`src` the allocating path uses (std's
+/// stable sort allocates its merge buffer; the packed unstable sort does
+/// not). Results are bit-identical.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `expanded.rows()` differs
+/// from `index.len()`.
+pub fn gradient_coalesce_into(
+    expanded: &Matrix,
+    index: &IndexArray,
+    scratch: &mut CoalesceScratch,
+) -> Result<(), EmbeddingError> {
     if expanded.rows() != index.len() {
         return Err(EmbeddingError::LengthMismatch {
             expected: index.len(),
@@ -107,35 +148,51 @@ pub fn gradient_coalesce(
     }
     let dim = expanded.cols();
 
-    // Step A: argsort the src array (stable).
+    // Step A: argsort the src array (stable via the packed position).
     let src = index.src();
-    let n = src.len();
-    let mut sorted_pos: Vec<u32> = (0..n as u32).collect();
-    sorted_pos.sort_by_key(|&p| src[p as usize]);
+    scratch.keys.clear();
+    scratch.keys.extend(
+        src.iter()
+            .enumerate()
+            .map(|(pos, &s)| ((s as u64) << 32) | pos as u64),
+    );
+    scratch.keys.sort_unstable();
 
-    // Step B: accumulate coalescable gradients.
-    let unique = index.unique_src_count();
-    let mut rows = Vec::with_capacity(unique);
-    let mut grads = Matrix::zeros(unique, dim);
+    // Step B: accumulate coalescable gradients. The unique-src count is
+    // read off the sorted keys (unique_src_count() would clone + re-sort,
+    // an allocation this hot path cannot afford).
+    let unique = if scratch.keys.is_empty() {
+        0
+    } else {
+        1 + scratch
+            .keys
+            .windows(2)
+            .filter(|w| (w[0] >> 32) != (w[1] >> 32))
+            .count()
+    };
+    scratch.rows.clear();
+    scratch.grads.zero_into(unique, dim);
     let mut out_i = usize::MAX; // "i <- -1" in the paper's pseudocode
     let mut prev: Option<u32> = None;
-    for &pos in &sorted_pos {
-        let curr = src[pos as usize];
+    for &key in &scratch.keys {
+        let curr = (key >> 32) as u32;
+        let pos = (key & 0xFFFF_FFFF) as usize;
         if prev != Some(curr) {
             out_i = out_i.wrapping_add(1);
-            rows.push(curr);
-            grads
+            scratch.rows.push(curr);
+            scratch
+                .grads
                 .row_mut(out_i)
-                .copy_from_slice(expanded.row(pos as usize));
+                .copy_from_slice(expanded.row(pos));
         } else {
-            let acc = grads.row_mut(out_i);
-            for (a, &v) in acc.iter_mut().zip(expanded.row(pos as usize).iter()) {
+            let acc = scratch.grads.row_mut(out_i);
+            for (a, &v) in acc.iter_mut().zip(expanded.row(pos).iter()) {
                 *a += v;
             }
         }
         prev = Some(curr);
     }
-    CoalescedGradients::new(rows, grads)
+    Ok(())
 }
 
 /// Baseline two-step backward path: expand then coalesce, returning the
@@ -172,6 +229,41 @@ mod tests {
         assert_eq!(c.grads().row(1), &[1.0]);
         assert_eq!(c.grads().row(2), &[3.0]);
         assert_eq!(c.grads().row(3), &[1.0]);
+    }
+
+    #[test]
+    fn coalesce_into_reuses_dirty_scratch_bit_identically() {
+        let index = fig2_index();
+        let grads = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -0.25]]).unwrap();
+        let expanded = gradient_expand(&grads, &index).unwrap();
+        let fresh = gradient_coalesce(&expanded, &index).unwrap();
+        let mut scratch = CoalesceScratch::default();
+        // Two passes through the SAME scratch: the second starts dirty.
+        for _ in 0..2 {
+            gradient_coalesce_into(&expanded, &index, &mut scratch).unwrap();
+            assert_eq!(scratch.rows.as_slice(), fresh.rows());
+            assert_eq!(scratch.grads.as_slice(), fresh.grads().as_slice());
+        }
+    }
+
+    #[test]
+    fn coalesce_into_unstable_argsort_matches_stable_order_on_ties() {
+        // Heavy duplication: every lookup hits one of two rows, so the
+        // accumulation order (and its float rounding) is only right if
+        // the packed-key sort reproduces the stable order exactly.
+        let n = 64;
+        let src: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let dst: Vec<u32> = (0..n as u32).collect();
+        let index = IndexArray::from_pairs(src, dst, n).unwrap();
+        let mut grads = Matrix::zeros(n, 3);
+        for (i, v) in grads.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32).sin() * 1e3; // magnitudes that expose reorder
+        }
+        let expanded = gradient_expand(&grads, &index).unwrap();
+        let fresh = gradient_coalesce(&expanded, &index).unwrap();
+        let mut scratch = CoalesceScratch::default();
+        gradient_coalesce_into(&expanded, &index, &mut scratch).unwrap();
+        assert_eq!(scratch.grads.as_slice(), fresh.grads().as_slice());
     }
 
     #[test]

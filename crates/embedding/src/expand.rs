@@ -32,6 +32,28 @@ use tcast_tensor::Matrix;
 /// # }
 /// ```
 pub fn gradient_expand(grads: &Matrix, index: &IndexArray) -> Result<Matrix, EmbeddingError> {
+    let mut out = Matrix::default();
+    gradient_expand_into(grads, index, &mut out)?;
+    Ok(out)
+}
+
+/// [`gradient_expand`] into a caller-owned scratch matrix, reusing its
+/// allocation whenever the capacity suffices — the baseline backward's
+/// `n x D` intermediate still gets *materialized* every step (that cost
+/// is the paper's subject), but a steady-state training step no longer
+/// re-allocates it.
+///
+/// Every output row is overwritten, so stale scratch contents never leak.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::LengthMismatch`] if `grads.rows()` does not
+/// equal `index.num_outputs()`.
+pub fn gradient_expand_into(
+    grads: &Matrix,
+    index: &IndexArray,
+    out: &mut Matrix,
+) -> Result<(), EmbeddingError> {
     if grads.rows() != index.num_outputs() {
         return Err(EmbeddingError::LengthMismatch {
             expected: index.num_outputs(),
@@ -39,11 +61,11 @@ pub fn gradient_expand(grads: &Matrix, index: &IndexArray) -> Result<Matrix, Emb
         });
     }
     let dim = grads.cols();
-    let mut out = Matrix::zeros(index.len(), dim);
+    out.zero_into(index.len(), dim);
     for (i, (_, dst)) in index.iter().enumerate() {
         out.row_mut(i).copy_from_slice(grads.row(dst as usize));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -72,6 +94,16 @@ mod tests {
         let grads = Matrix::zeros(8, 4);
         let e = gradient_expand(&grads, &index).unwrap();
         assert_eq!(e.rows(), 80);
+    }
+
+    #[test]
+    fn expand_into_reuses_scratch_and_matches() {
+        let index = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+        let grads = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, -2.0]]).unwrap();
+        // Dirty, over-sized scratch: the refill must fully overwrite.
+        let mut scratch = Matrix::filled(9, 3, f32::NAN);
+        gradient_expand_into(&grads, &index, &mut scratch).unwrap();
+        assert_eq!(scratch, gradient_expand(&grads, &index).unwrap());
     }
 
     #[test]

@@ -148,6 +148,50 @@ impl IndexArray {
         Ok(())
     }
 
+    /// Rewrites this array in place: clears the pair vectors (keeping
+    /// their allocations), hands them to `fill` to push the new pairs,
+    /// then re-validates the construction invariants. This is the buffer
+    /// recycling primitive behind zero-allocation batch prefetch — a
+    /// `BatchSource` free-list refills a returned batch's index arrays
+    /// instead of allocating fresh ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::LengthMismatch`] if `fill` leaves the
+    /// vectors with different lengths, or
+    /// [`EmbeddingError::DstOutOfBounds`] if any pushed `dst` is
+    /// `>= num_outputs`. On error the array is left empty (never with
+    /// invariant-violating contents).
+    pub fn refill(
+        &mut self,
+        num_outputs: usize,
+        fill: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>),
+    ) -> Result<(), EmbeddingError> {
+        self.src.clear();
+        self.dst.clear();
+        self.num_outputs = num_outputs;
+        fill(&mut self.src, &mut self.dst);
+        let validity = if self.src.len() != self.dst.len() {
+            Err(EmbeddingError::LengthMismatch {
+                expected: self.src.len(),
+                found: self.dst.len(),
+            })
+        } else if let Some(&bad) = self.dst.iter().find(|&&d| d as usize >= num_outputs) {
+            Err(EmbeddingError::DstOutOfBounds {
+                dst: bad,
+                outputs: num_outputs,
+            })
+        } else {
+            Ok(())
+        };
+        if validity.is_err() {
+            self.src.clear();
+            self.dst.clear();
+            self.num_outputs = 0;
+        }
+        validity
+    }
+
     /// Sorts the pairs by `src` (stable), returning sorted `(src, dst)`
     /// vectors. This is the `SortByKey` of Algorithm 2 and the
     /// argsort-by-`src` of Algorithm 1.
@@ -253,6 +297,33 @@ mod tests {
         assert_eq!(idx.max_src(), Some(7));
         let empty = IndexArray::from_pairs(vec![], vec![], 0).unwrap();
         assert_eq!(empty.max_src(), None);
+    }
+
+    #[test]
+    fn refill_reuses_buffers_and_revalidates() {
+        let mut idx = IndexArray::from_samples(&[vec![1, 2, 4], vec![0, 2]]).unwrap();
+        idx.refill(3, |src, dst| {
+            src.extend_from_slice(&[9, 8, 7]);
+            dst.extend_from_slice(&[0, 1, 2]);
+        })
+        .unwrap();
+        assert_eq!(
+            idx,
+            IndexArray::from_pairs(vec![9, 8, 7], vec![0, 1, 2], 3).unwrap()
+        );
+        // Invariant violations are rejected and leave the array empty.
+        assert!(matches!(
+            idx.refill(2, |src, dst| {
+                src.push(1);
+                dst.push(5);
+            }),
+            Err(EmbeddingError::DstOutOfBounds { dst: 5, outputs: 2 })
+        ));
+        assert!(idx.is_empty());
+        assert!(matches!(
+            idx.refill(1, |src, _| src.push(0)),
+            Err(EmbeddingError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

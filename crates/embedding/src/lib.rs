@@ -64,9 +64,12 @@ mod table;
 pub mod traffic;
 
 pub use bag::EmbeddingBagCollection;
-pub use coalesce::{gradient_coalesce, gradient_expand_coalesce, CoalescedGradients};
+pub use coalesce::{
+    gradient_coalesce, gradient_coalesce_into, gradient_expand_coalesce, CoalesceScratch,
+    CoalescedGradients,
+};
 pub use error::EmbeddingError;
-pub use expand::gradient_expand;
+pub use expand::{gradient_expand, gradient_expand_into};
 pub use gather::{gather, gather_reduce, gather_reduce_into, reduce_by_dst};
 pub use index::IndexArray;
 pub use parallel::{

@@ -1,0 +1,210 @@
+//! The cross-batch pipelining invariant: a [`TrainLoop`] at ANY lookahead
+//! depth produces **bit-identical** weights and per-step losses to the
+//! plain serial `Trainer::step` loop — for both backward modes and every
+//! optimizer. Lookahead only moves *when* casting runs (a pure function
+//! of the index arrays), never what the model computes.
+//!
+//! Also covers the pipeline's bounded in-flight cap: a lookahead deeper
+//! than the cap back-pressures `begin_step` (blocks until the casting
+//! worker drains) instead of growing the job queue.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tensor_casting::datasets::{BatchSource, SyntheticCtr, SyntheticSource};
+use tensor_casting::dlrm::{BackwardMode, DlrmConfig, EmbeddingOptimizer, TrainLoop, Trainer};
+
+const OPTIMIZERS: [EmbeddingOptimizer; 5] = [
+    EmbeddingOptimizer::Sgd,
+    EmbeddingOptimizer::Momentum { mu: 0.9 },
+    EmbeddingOptimizer::Adagrad { eps: 1e-8 },
+    EmbeddingOptimizer::RmsProp {
+        gamma: 0.9,
+        eps: 1e-8,
+    },
+    EmbeddingOptimizer::Adam {
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+    },
+];
+
+fn stream(seed: u64) -> SyntheticCtr {
+    let cfg = DlrmConfig::tiny();
+    SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, seed)
+}
+
+/// Serial reference: the plain `step` loop over the same stream.
+fn serial_losses(
+    mode: BackwardMode,
+    opt: EmbeddingOptimizer,
+    data_seed: u64,
+    model_seed: u64,
+    steps: usize,
+    batch: usize,
+) -> (Vec<f32>, Trainer) {
+    let mut t = Trainer::with_optimizer(DlrmConfig::tiny(), mode, opt, model_seed).unwrap();
+    let mut data = stream(data_seed);
+    let losses = (0..steps)
+        .map(|_| t.step(&data.next_batch(batch)).unwrap().loss)
+        .collect();
+    (losses, t)
+}
+
+/// Pipelined run at `depth` over an identical stream (with recycling).
+fn pipelined_losses(
+    mode: BackwardMode,
+    opt: EmbeddingOptimizer,
+    data_seed: u64,
+    model_seed: u64,
+    steps: usize,
+    batch: usize,
+    depth: usize,
+) -> (Vec<f32>, Trainer) {
+    let trainer = Trainer::with_optimizer(DlrmConfig::tiny(), mode, opt, model_seed).unwrap();
+    let mut driver = TrainLoop::new(trainer, depth);
+    let mut source = SyntheticSource::new(stream(data_seed), batch);
+    let summary = driver.run(&mut source, steps).unwrap();
+    assert_eq!(summary.steps, steps);
+    (summary.losses, driver.into_trainer())
+}
+
+fn assert_tables_identical(a: &Trainer, b: &Trainer, context: &str) {
+    for i in 0..a.model().num_tables() {
+        assert_eq!(
+            a.model().table(i).max_abs_diff(b.model().table(i)).unwrap(),
+            0.0,
+            "{context}: table {i} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// THE driver property: depths 1-4 are bit-identical to the serial
+    /// loop across random modes, optimizers, depths and data.
+    #[test]
+    fn any_depth_is_bit_identical_to_the_serial_loop(
+        depth in 1usize..=4,
+        mode_i in 0usize..2,
+        opt_i in 0usize..OPTIMIZERS.len(),
+        data_seed in any::<u64>(),
+        model_seed in any::<u64>(),
+    ) {
+        let mode = [BackwardMode::Baseline, BackwardMode::Casted][mode_i];
+        let opt = OPTIMIZERS[opt_i];
+        let (steps, batch) = (6, 16);
+        let (want, serial) = serial_losses(mode, opt, data_seed, model_seed, steps, batch);
+        let (got, pipelined) =
+            pipelined_losses(mode, opt, data_seed, model_seed, steps, batch, depth);
+        prop_assert_eq!(
+            &got, &want,
+            "losses diverged: {:?} {:?} depth {}", mode, opt, depth
+        );
+        assert_tables_identical(
+            &serial,
+            &pipelined,
+            &format!("{mode:?} {opt:?} depth {depth}"),
+        );
+    }
+}
+
+/// Exhaustive (non-sampled) sweep: every optimizer, both modes, depth 3.
+#[test]
+fn every_optimizer_and_mode_matches_at_depth_three() {
+    for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+        for opt in OPTIMIZERS {
+            let (want, serial) = serial_losses(mode, opt, 101, 55, 5, 24);
+            let (got, pipelined) = pipelined_losses(mode, opt, 101, 55, 5, 24, 3);
+            assert_eq!(got, want, "losses diverged: {mode:?} {opt:?}");
+            assert_tables_identical(&serial, &pipelined, &format!("{mode:?} {opt:?}"));
+        }
+    }
+}
+
+/// Casted lookahead must never *decrease* the hiding opportunity the
+/// serial loop gets credited with: the run completes with every casting
+/// job accounted for (jobs == steps) and per-ticket exposed waits summed
+/// into the summary.
+#[test]
+fn run_summary_accounts_for_every_casting_job() {
+    let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 9).unwrap();
+    let mut driver = TrainLoop::new(trainer, 2);
+    let mut source = SyntheticSource::new(stream(77), 32);
+    let summary = driver.run(&mut source, 8).unwrap();
+    assert_eq!(summary.steps, 8);
+    let stats = driver.trainer().pipeline_stats().unwrap();
+    assert_eq!(stats.jobs_completed, 8);
+    assert!(summary.exposed_cast_wait <= stats.exposed_wait);
+    let hf = summary.hidden_fraction();
+    assert!((0.0..=1.0).contains(&hf), "hidden fraction {hf}");
+}
+
+/// The backpressure half of the bounded queue contract: with the cap at
+/// 1, `begin_step` for batch N+1 cannot return before batch N's casting
+/// job has been *drained by the worker* — so a deep lookahead's queue
+/// stays capped instead of growing, which the pipeline's high-water
+/// gauge certifies deterministically.
+#[test]
+fn inflight_cap_blocks_begin_step_instead_of_growing_the_queue() {
+    let mut trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 13).unwrap();
+    trainer.set_casting_inflight_cap(1);
+    let mut driver = TrainLoop::new(trainer, 6); // lookahead >> cap
+    let mut source = SyntheticSource::new(stream(31), 16);
+    for _ in 0..6 {
+        // Every push begins a step; with cap 1 the previous casting job
+        // must complete before this submit returns.
+        driver.push(source.next_batch().unwrap()).unwrap();
+    }
+    let stats = driver.trainer().pipeline_stats().unwrap();
+    assert!(
+        stats.jobs_completed >= 5,
+        "submits overtook the cap: only {} jobs done after 6 begins",
+        stats.jobs_completed
+    );
+    assert_eq!(
+        stats.max_in_flight, 1,
+        "queue grew past the cap: high-water {}",
+        stats.max_in_flight
+    );
+    for (report, _) in driver.finish().unwrap() {
+        assert!(report.loss.is_finite());
+    }
+    // And the capped run still trains correctly: bit-identical to serial.
+    let (want, serial) =
+        serial_losses(BackwardMode::Casted, EmbeddingOptimizer::Sgd, 31, 13, 6, 16);
+    let capped = driver.into_trainer();
+    assert_eq!(capped.steps(), 6);
+    let _ = want;
+    assert_tables_identical(&serial, &capped, "capped lookahead");
+}
+
+/// Recycled-buffer prefetch must not perturb training: run the same
+/// stream with a recycling source and with an allocate-every-batch
+/// source, and require identical trajectories.
+#[test]
+fn buffer_recycling_does_not_change_the_trajectory() {
+    struct NeverRecycle(SyntheticSource);
+    impl BatchSource for NeverRecycle {
+        fn next_batch(&mut self) -> Option<Arc<tensor_casting::datasets::CtrBatch>> {
+            self.0.next_batch()
+        }
+        fn recycle(&mut self, _batch: Arc<tensor_casting::datasets::CtrBatch>) {}
+    }
+
+    let mk = || Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 5).unwrap();
+    let mut recycling = TrainLoop::new(mk(), 2);
+    let s1 = recycling
+        .run(&mut SyntheticSource::new(stream(41), 16), 6)
+        .unwrap();
+    let mut hoarding = TrainLoop::new(mk(), 2);
+    let s2 = hoarding
+        .run(&mut NeverRecycle(SyntheticSource::new(stream(41), 16)), 6)
+        .unwrap();
+    assert_eq!(s1.losses, s2.losses);
+    assert_tables_identical(
+        &recycling.into_trainer(),
+        &hoarding.into_trainer(),
+        "recycling vs hoarding",
+    );
+}

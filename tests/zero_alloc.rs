@@ -19,9 +19,9 @@ use tensor_casting::core::{
     casted_gather_reduce_into, tensor_casting, CastingPipeline, CoalescedScratch,
 };
 use tensor_casting::embedding::{
-    gather_reduce_into,
+    gather_reduce_into, gradient_coalesce_into, gradient_expand_into,
     optim::{Adagrad, Adam, Sgd, SparseOptimizer},
-    scatter_apply_dense, EmbeddingTable, IndexArray,
+    scatter_apply_dense, CoalesceScratch, EmbeddingTable, IndexArray,
 };
 use tensor_casting::tensor::{
     bce_with_logits, bce_with_logits_backward_into, Activation, Exec, FeatureInteraction, Matrix,
@@ -120,6 +120,55 @@ fn steady_state_hot_path_performs_zero_allocations() {
         allocations() - before,
         0,
         "embedding gather/casted-backward/scatter steady state must not allocate"
+    );
+
+    // ---- Baseline expand-coalesce through recycled scratch ------------
+    // The baseline backward still materializes its n x D expand and runs
+    // Algorithm 1's argsort + accumulate every step (that cost is the
+    // paper's subject) — but via `_into` forms its steady state touches
+    // only recycled buffers. The argsort is an unstable sort over packed
+    // (src, pos) keys, so not even the stable sort's merge buffer is
+    // allocated.
+    let mut base_table = EmbeddingTable::seeded(500, dim, 9);
+    let mut base_sgd = Sgd::new(0.01);
+    let mut expanded = Matrix::default();
+    let mut base_coalesced = CoalesceScratch::default();
+
+    let baseline_step = |expanded: &mut Matrix,
+                         coalesced: &mut CoalesceScratch,
+                         table: &mut EmbeddingTable,
+                         sgd: &mut Sgd| {
+        gradient_expand_into(&upstream, &index, expanded).unwrap();
+        gradient_coalesce_into(expanded, &index, coalesced).unwrap();
+        scatter_apply_dense(table, &coalesced.rows, &coalesced.grads, sgd).unwrap();
+    };
+
+    baseline_step(
+        &mut expanded,
+        &mut base_coalesced,
+        &mut base_table,
+        &mut base_sgd,
+    );
+    baseline_step(
+        &mut expanded,
+        &mut base_coalesced,
+        &mut base_table,
+        &mut base_sgd,
+    );
+
+    let before = allocations();
+    for _ in 0..10 {
+        baseline_step(
+            &mut expanded,
+            &mut base_coalesced,
+            &mut base_table,
+            &mut base_sgd,
+        );
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "baseline expand/coalesce/scatter steady state must not allocate"
     );
 
     // ---- Stateful-optimizer scatter (dense RowState) ------------------
