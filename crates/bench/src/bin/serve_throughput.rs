@@ -1,0 +1,299 @@
+//! Serving throughput and tail latency under the batching policies: the
+//! `tcast-serve` subsystem's perf-trajectory anchor.
+//!
+//! Sweeps policy x fused-batch-size x SLA over a seeded hot-query
+//! workload against an MLP-heavy serving model (inference cost is
+//! dominated by the dense stack — the DeepRecSys regime), appending
+//! machine-readable rows to `BENCH_serve.json` (override with `--json
+//! PATH` or `TCAST_BENCH_JSON`). Each row carries policy, batch cap,
+//! SLA, achieved QPS, p50/p95/p99 latency, SLA-violation rate, mean
+//! fused batch, casting-cache hit rate and host core count.
+//!
+//! ```text
+//! serve_throughput [--queries N] [--catalog C] [--threads T] [--json PATH]
+//! ```
+//!
+//! `FAST=1` shrinks the run for CI smoke jobs.
+//!
+//! The headline metric is the **fused-batch QPS ratio**: on full-size
+//! runs, batched serving (B >= 32) must reach >= 2x the QPS of batch-1
+//! serving at the same model config on a >= 2-core host. Fusion wins
+//! twice: it amortizes the MLP weight traffic every batch-1 query
+//! re-streams, and it is what makes the GEMMs wide enough to dispatch
+//! onto the `tcast-pool` workers at all (a batch-1 GEMM runs serially
+//! on any machine). On a 1-core host only the amortization term
+//! remains, so the gate there is a strict-win floor (>= 1.1x); FAST
+//! smoke runs report the ratio without gating.
+
+use std::path::PathBuf;
+
+use tcast_bench::{banner, fast_mode, json};
+use tcast_dlrm::{Dlrm, DlrmConfig, Execution, TableConfig};
+use tcast_serve::{
+    serve, AdaptiveBatcher, ArrivalProcess, BatchPolicy, CandidateCount, QueryModel, ServeConfig,
+    ServeEngine, ServeReport,
+};
+
+#[derive(Clone)]
+struct Args {
+    queries: usize,
+    catalog: usize,
+    threads: usize,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let fast = fast_mode();
+    let mut args = Args {
+        queries: if fast { 192 } else { 2048 },
+        catalog: if fast { 64 } else { 512 },
+        threads: tcast_pool::default_parallelism(),
+        json: json::sink_from_env().unwrap_or_else(|| PathBuf::from("BENCH_serve.json")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--queries" => args.queries = value("--queries").parse().expect("--queries: integer"),
+            "--catalog" => args.catalog = value("--catalog").parse().expect("--catalog: integer"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
+            "--json" => args.json = PathBuf::from(value("--json")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// The serving model: four Zipf tables at the paper's default dimension
+/// plus *wide* MLP stacks (~2.7 MB of weights). Inference cost sits in
+/// the dense stack, so a batch-1 query re-streams every weight matrix
+/// for a single candidate sample — the regime where fusing queries pays.
+fn serve_model_config() -> DlrmConfig {
+    DlrmConfig {
+        dense_features: 13,
+        embedding_dim: 64,
+        tables: vec![
+            TableConfig {
+                rows: 60_000,
+                pooling: 6,
+                zipf_exponent: 1.05,
+            };
+            4
+        ],
+        bottom_mlp: vec![1024, 512, 64],
+        top_mlp: vec![512, 128, 1],
+        interaction: tcast_tensor::InteractionKind::Dot,
+    }
+}
+
+fn workload(args: &Args, seed: u64) -> QueryModel {
+    let cfg = serve_model_config();
+    QueryModel::new(
+        &cfg.table_workloads(),
+        cfg.dense_features,
+        args.catalog,
+        CandidateCount::Fixed(1),
+        1.1,
+        seed,
+    )
+}
+
+/// One throughput-oriented run: closed-loop clients keep the queue fed
+/// (so the policy's batch cap, not the arrival rate, decides fusion).
+fn run_policy(
+    args: &Args,
+    model: &Dlrm,
+    execution: &Execution,
+    policy: BatchPolicy,
+    sla_ns: u64,
+) -> ServeReport {
+    let mut engine = ServeEngine::new(model, 1024, execution.clone());
+    let clients = match &policy {
+        BatchPolicy::Fixed { batch } => (batch * 4).max(8),
+        _ => 64,
+    };
+    let mut wl = workload(args, 17);
+    serve(
+        &mut engine,
+        model,
+        &mut wl,
+        &ServeConfig {
+            queries: args.queries,
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients,
+                think_ns: 0,
+            },
+            policy,
+            sla_ns,
+            seed: 23,
+        },
+    )
+    .expect("serving must succeed")
+}
+
+fn emit(args: &Args, policy: &str, batch_cap: usize, sla_ns: u64, r: &ServeReport) {
+    println!(
+        "  {policy:<9} B<={batch_cap:<3} sla {:>6} us  {:>9.1} qps  (p50 {:>7.0} us, p95 {:>7.0} us, \
+         p99 {:>7.0} us, viol {:>5.1}%, mean batch {:>5.1}, cache hit {:>5.1}%)",
+        sla_ns / 1000,
+        r.qps(),
+        r.latency.p50_ns() as f64 / 1e3,
+        r.latency.p95_ns() as f64 / 1e3,
+        r.latency.p99_ns() as f64 / 1e3,
+        100.0 * r.sla_violation_rate(),
+        r.mean_batch(),
+        100.0 * r.cache_hit_rate,
+    );
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "serve_throughput")
+        .str_field("policy", policy)
+        .u64_field("batch_cap", batch_cap as u64)
+        .u64_field("sla_ns", sla_ns)
+        .u64_field("queries", r.queries)
+        .u64_field("samples", r.samples)
+        .u64_field("batches", r.batches)
+        .u64_field("cores", tcast_pool::default_parallelism() as u64)
+        .u64_field("threads", args.threads as u64)
+        .f64_field("qps", r.qps())
+        .f64_field("p50_us", r.latency.p50_ns() as f64 / 1e3)
+        .f64_field("p95_us", r.latency.p95_ns() as f64 / 1e3)
+        .f64_field("p99_us", r.latency.p99_ns() as f64 / 1e3)
+        .f64_field("mean_service_us", r.service.mean_ns() / 1e3)
+        .f64_field("sla_violation_rate", r.sla_violation_rate())
+        .f64_field("mean_batch", r.mean_batch())
+        .f64_field("cache_hit_rate", r.cache_hit_rate)
+        .u64_field("max_queue_depth", r.max_queue_depth as u64);
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[serve_throughput] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "serve_throughput",
+        "SLA-aware batched inference serving: policy x batch x SLA sweep",
+    );
+    let cfg = serve_model_config();
+    println!(
+        "model: {} tables x {} rows, dim {}, bottom {:?}, top {:?}; {} queries, catalog {}, \
+         host cores {}, sink {}",
+        cfg.tables.len(),
+        cfg.tables[0].rows,
+        cfg.embedding_dim,
+        cfg.bottom_mlp,
+        cfg.top_mlp,
+        args.queries,
+        args.catalog,
+        tcast_pool::default_parallelism(),
+        args.json.display()
+    );
+    let model = Dlrm::new(cfg, 91).expect("valid config");
+    // Pooled execution: fused batches are what *unlock* the pool — a
+    // batch-1 GEMM is below the pooled-dispatch row threshold and runs
+    // serially no matter how many workers exist, while a fused batch
+    // spreads its GEMMs across them. On a 1-core host the pool degrades
+    // to the serial schedule (bit-identical scores either way) and only
+    // the weight-traffic amortization remains.
+    let execution = if args.threads > 1 {
+        Execution::Pooled(std::sync::Arc::new(tcast_pool::Pool::new(args.threads)))
+    } else {
+        Execution::Serial
+    };
+    let sla_ns = 20_000_000u64; // 20 ms, generous for the fixed sweep
+
+    // --- Fixed-size sweep: the fused-batch amortization curve. --------
+    println!("\nfixed-size batching (closed-loop, queue always fed):");
+    let batches: &[usize] = if fast_mode() {
+        &[1, 32]
+    } else {
+        &[1, 8, 32, 64]
+    };
+    let mut by_batch = Vec::new();
+    for &b in batches {
+        let r = run_policy(
+            &args,
+            &model,
+            &execution,
+            BatchPolicy::Fixed { batch: b },
+            sla_ns,
+        );
+        emit(&args, "fixed", b, sla_ns, &r);
+        by_batch.push((b, r));
+    }
+
+    // --- Deadline batching. -------------------------------------------
+    println!("\ndeadline batching:");
+    let r = run_policy(
+        &args,
+        &model,
+        &execution,
+        BatchPolicy::Deadline {
+            max_batch: 32,
+            max_wait_ns: 2_000_000,
+        },
+        sla_ns,
+    );
+    emit(&args, "deadline", 32, sla_ns, &r);
+
+    // --- Adaptive batching across SLA targets. ------------------------
+    println!("\nadaptive batching (hill-climbing toward the SLA):");
+    let slas: &[u64] = if fast_mode() {
+        &[10_000_000]
+    } else {
+        &[2_000_000, 10_000_000, 50_000_000]
+    };
+    for &sla in slas {
+        let r = run_policy(
+            &args,
+            &model,
+            &execution,
+            BatchPolicy::Adaptive(AdaptiveBatcher::new(sla, 64, sla / 4)),
+            sla,
+        );
+        emit(&args, "adaptive", 64, sla, &r);
+    }
+
+    // --- The headline ratio + full-size gate. -------------------------
+    let qps_of = |target: usize| {
+        by_batch
+            .iter()
+            .find(|(b, _)| *b == target)
+            .map(|(_, r)| r.qps())
+            .expect("swept batch size")
+    };
+    let ratio = qps_of(32) / qps_of(1);
+    let cores = tcast_pool::default_parallelism();
+    println!(
+        "\nfused batch QPS ratio (B=32 vs B=1): {ratio:.2}x \
+         ({:.1} qps vs {:.1} qps, {} threads on {} core(s))",
+        qps_of(32),
+        qps_of(1),
+        args.threads,
+        cores
+    );
+    // Full-size gate. On >= 2 cores the fused batch must reach 2x: it
+    // both amortizes the weight traffic and is what lets the GEMMs use
+    // the pool at all. A 1-core host only sees the amortization term
+    // (how much depends on its cache/bandwidth balance), so the gate
+    // there is a floor: fusing must still be a strict win.
+    let target = if cores >= 2 && args.threads >= 2 {
+        2.0
+    } else {
+        1.10
+    };
+    if !fast_mode() && ratio < target {
+        eprintln!(
+            "[serve_throughput] WARNING: batched serving reached only {ratio:.2}x the \
+             batch-1 QPS (target >= {target}x at {} threads on {cores} core(s))",
+            args.threads
+        );
+        std::process::exit(1);
+    }
+}

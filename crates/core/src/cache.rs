@@ -1,12 +1,13 @@
 //! Memoization of casted index arrays.
 //!
-//! Evaluation loops and multi-epoch training revisit identical index
-//! arrays (the same validation batches every epoch; hot batches in
-//! cached data loaders). Since Algorithm 2 is a pure function of the
-//! index array, its output can be cached and the casting cost paid once.
-//! The cache is keyed by a 64-bit FNV-1a hash of the full `(src, dst,
-//! num_outputs)` content and verified by equality on hit, so hash
-//! collisions cannot return a wrong casted array.
+//! Evaluation loops, multi-epoch training, and — since the serving
+//! subsystem — hot inference queries revisit identical index arrays (the
+//! same validation batches every epoch; the same popular query's
+//! candidate set thousands of times per second). Since Algorithm 2 is a
+//! pure function of the index array, its output can be cached and the
+//! casting cost paid once. The cache is keyed by a 64-bit FNV-1a hash of
+//! the full `(src, dst, num_outputs)` content and verified by equality on
+//! hit, so hash collisions cannot return a wrong casted array.
 
 use std::collections::HashMap;
 
@@ -14,7 +15,14 @@ use crate::casted_index::CastedIndexArray;
 use crate::casting::tensor_casting;
 use tcast_embedding::IndexArray;
 
-/// An LRU-less bounded memo table for casted index arrays.
+/// A bounded LRU memo table for casted index arrays.
+///
+/// Eviction is true least-recently-used: every hit refreshes the entry's
+/// recency stamp, and a miss on a full cache evicts exactly the entry
+/// whose last use is oldest — so a working set of hot entries (the serve
+/// engine's repeated queries) survives an arbitrary stream of cold
+/// entries passing through, which the old evict-everything policy did
+/// not guarantee.
 ///
 /// ```
 /// use tcast_core::CastingCache;
@@ -27,14 +35,26 @@ use tcast_embedding::IndexArray;
 /// assert_eq!(first, again);
 /// assert_eq!(cache.hits(), 1);
 /// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.evictions(), 0);
 /// ```
 #[derive(Debug)]
 pub struct CastingCache {
     capacity: usize,
-    entries: HashMap<u64, Vec<(IndexArray, CastedIndexArray)>>,
+    entries: HashMap<u64, Vec<Entry>>,
     len: usize,
+    /// Monotonic use counter; each access stamps its entry, so the entry
+    /// with the smallest stamp is the least recently used.
+    clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    index: IndexArray,
+    casted: CastedIndexArray,
+    last_used: u64,
 }
 
 impl CastingCache {
@@ -49,8 +69,10 @@ impl CastingCache {
             capacity,
             entries: HashMap::new(),
             len: 0,
+            clock: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -74,31 +96,77 @@ impl CastingCache {
         self.misses
     }
 
+    /// Entries evicted so far (always `misses - len` once full).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate over all accesses so far (0.0 before any access).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
     /// Returns the casted array for `index`, computing and caching it on
-    /// first sight. When the cache is full, a miss evicts everything
-    /// (epoch boundaries naturally refill it; simpler and O(1) amortized
-    /// versus tracking recency).
+    /// first sight. When the cache is full, a miss evicts the least
+    /// recently used entry.
     pub fn get_or_cast(&mut self, index: &IndexArray) -> &CastedIndexArray {
         let key = hash_index(index);
+        self.clock += 1;
+        let stamp = self.clock;
         // Split-borrow gymnastics: check for a hit first.
         let hit_pos = self
             .entries
             .get(&key)
-            .and_then(|bucket| bucket.iter().position(|(idx, _)| idx == index));
+            .and_then(|bucket| bucket.iter().position(|e| e.index == *index));
         if let Some(pos) = hit_pos {
             self.hits += 1;
-            return &self.entries.get(&key).expect("bucket exists")[pos].1;
+            let entry = &mut self.entries.get_mut(&key).expect("bucket exists")[pos];
+            entry.last_used = stamp;
+            return &entry.casted;
         }
         self.misses += 1;
         if self.len >= self.capacity {
-            self.entries.clear();
-            self.len = 0;
+            self.evict_lru();
         }
         let casted = tensor_casting(index);
         let bucket = self.entries.entry(key).or_default();
-        bucket.push((index.clone(), casted));
+        bucket.push(Entry {
+            index: index.clone(),
+            casted,
+            last_used: stamp,
+        });
         self.len += 1;
-        &bucket.last().expect("just pushed").1
+        &bucket.last().expect("just pushed").casted
+    }
+
+    /// Removes the entry with the oldest `last_used` stamp. O(len) scan:
+    /// eviction happens at most once per miss, and misses already pay an
+    /// O(n log n) casting transform, so recency bookkeeping stays free on
+    /// the hit path where it matters.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .flat_map(|(&key, bucket)| bucket.iter().map(move |e| (key, e.last_used)))
+            .min_by_key(|&(_, stamp)| stamp);
+        let Some((key, stamp)) = victim else {
+            return;
+        };
+        let bucket = self.entries.get_mut(&key).expect("victim bucket exists");
+        let pos = bucket
+            .iter()
+            .position(|e| e.last_used == stamp)
+            .expect("victim entry exists");
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.entries.remove(&key);
+        }
+        self.len -= 1;
+        self.evictions += 1;
     }
 }
 
@@ -155,6 +223,7 @@ mod tests {
             cache.get_or_cast(&index);
         }
         assert_eq!(cache.hits(), 5);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
@@ -163,8 +232,47 @@ mod tests {
         for s in 0..10 {
             cache.get_or_cast(&idx(s));
         }
-        assert!(cache.len() <= 3);
+        assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 10);
+        assert_eq!(cache.evictions(), 7);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut cache = CastingCache::new(3);
+        cache.get_or_cast(&idx(0));
+        cache.get_or_cast(&idx(10));
+        cache.get_or_cast(&idx(20));
+        // Refresh 0's recency: 10 is now the oldest.
+        cache.get_or_cast(&idx(0));
+        // A fourth entry must evict 10, not 0.
+        cache.get_or_cast(&idx(30));
+        assert_eq!(cache.evictions(), 1);
+        let hits_before = cache.hits();
+        cache.get_or_cast(&idx(0)); // still cached
+        cache.get_or_cast(&idx(20)); // still cached
+        cache.get_or_cast(&idx(30)); // still cached
+        assert_eq!(cache.hits(), hits_before + 3);
+        cache.get_or_cast(&idx(10)); // evicted: must miss
+        assert_eq!(cache.hits(), hits_before + 3);
+        assert_eq!(cache.misses(), 5);
+    }
+
+    #[test]
+    fn hot_working_set_survives_a_cold_stream() {
+        // The serving scenario the LRU upgrade exists for: a hot query
+        // revisited between every cold query must never be evicted. The
+        // old evict-everything policy flushed it on each overflow.
+        let mut cache = CastingCache::new(4);
+        let hot = idx(1000);
+        cache.get_or_cast(&hot);
+        for s in 0..20 {
+            cache.get_or_cast(&idx(s * 7));
+            let misses_before = cache.misses();
+            cache.get_or_cast(&hot);
+            assert_eq!(cache.misses(), misses_before, "hot entry evicted at {s}");
+        }
+        assert_eq!(cache.hits(), 20);
     }
 
     #[test]
@@ -175,6 +283,7 @@ mod tests {
         cache.get_or_cast(&a);
         cache.get_or_cast(&b);
         assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -58,6 +58,7 @@
 //! ```
 
 mod cache;
+mod casted_forward;
 mod casted_index;
 mod casting;
 mod equivalence;
@@ -67,6 +68,7 @@ mod parallel_casting;
 mod runtime;
 
 pub use cache::CastingCache;
+pub use casted_forward::{casted_embedding_forward, casted_embedding_forward_into};
 pub use casted_index::CastedIndexArray;
 pub use casting::{tensor_casting, tensor_casting_counting};
 pub use equivalence::verify_equivalence;

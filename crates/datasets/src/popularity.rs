@@ -27,6 +27,18 @@ pub enum Popularity {
 }
 
 impl Popularity {
+    /// Truncated Zipf at `exponent`, degrading to [`Popularity::Uniform`]
+    /// when `exponent <= 0` — the "0 means no skew" convention every
+    /// config knob in the workspace uses (embedding-table lookup skew,
+    /// serving hot-query skew).
+    pub fn zipf_or_uniform(rows: usize, exponent: f64) -> Popularity {
+        if exponent <= 0.0 {
+            Popularity::Uniform { rows }
+        } else {
+            Popularity::Zipf { rows, exponent }
+        }
+    }
+
     /// Table cardinality.
     pub fn rows(&self) -> usize {
         match *self {
@@ -148,6 +160,25 @@ impl CdfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zipf_or_uniform_honors_the_zero_convention() {
+        assert_eq!(
+            Popularity::zipf_or_uniform(10, 0.0),
+            Popularity::Uniform { rows: 10 }
+        );
+        assert_eq!(
+            Popularity::zipf_or_uniform(10, -1.0),
+            Popularity::Uniform { rows: 10 }
+        );
+        assert_eq!(
+            Popularity::zipf_or_uniform(10, 1.05),
+            Popularity::Zipf {
+                rows: 10,
+                exponent: 1.05
+            }
+        );
+    }
 
     #[test]
     fn uniform_rank_probability_is_flat() {

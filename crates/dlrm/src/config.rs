@@ -24,15 +24,10 @@ pub struct TableConfig {
 impl TableConfig {
     /// The dataset workload model for this table.
     pub fn workload(&self) -> TableWorkload {
-        let pop = if self.zipf_exponent <= 0.0 {
-            Popularity::Uniform { rows: self.rows }
-        } else {
-            Popularity::Zipf {
-                rows: self.rows,
-                exponent: self.zipf_exponent,
-            }
-        };
-        TableWorkload::new(pop, self.pooling)
+        TableWorkload::new(
+            Popularity::zipf_or_uniform(self.rows, self.zipf_exponent),
+            self.pooling,
+        )
     }
 }
 

@@ -46,7 +46,7 @@ mod trainer;
 pub use config::{DlrmConfig, TableConfig};
 pub use driver::{RunSummary, TrainLoop};
 pub use metrics::{evaluate_ctr, CtrMetrics};
-pub use model::Dlrm;
+pub use model::{Dlrm, InferenceScratch};
 pub use trainer::{
     BackwardMode, EmbeddingOptimizer, Execution, InFlightStep, PhaseTimings, StepReport, Trainer,
 };

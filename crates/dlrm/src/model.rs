@@ -5,7 +5,7 @@ use tcast_embedding::{
     gather_reduce, gather_reduce_into, EmbeddingError, EmbeddingTable, IndexArray,
 };
 use tcast_pool::Exec;
-use tcast_tensor::{Activation, FeatureInteraction, Matrix, Mlp, ShapeError};
+use tcast_tensor::{Activation, FeatureInteraction, Matrix, Mlp, MlpInferenceScratch, ShapeError};
 
 /// A DLRM model instance: bottom MLP, embedding tables, feature
 /// interaction, top MLP.
@@ -34,6 +34,34 @@ struct DenseScratch {
     dz: Matrix,
     ddense: Matrix,
     dinput_sink: Matrix,
+}
+
+/// Caller-owned reusable buffers for the `&self` inference path
+/// ([`Dlrm::predict_into`] / [`Dlrm::dense_infer_into`]).
+///
+/// Unlike the training scratch (which lives inside the model because
+/// backward consumes cached forward state), inference touches no model
+/// state at all — so the buffers live with the *caller*, and any number
+/// of serving engines can score one shared frozen model, each through
+/// its own scratch.
+#[derive(Debug, Default)]
+pub struct InferenceScratch {
+    pooled: Vec<Matrix>,
+    bottom_out: Matrix,
+    interaction_out: Matrix,
+    bottom_mlp: MlpInferenceScratch,
+    top_mlp: MlpInferenceScratch,
+}
+
+impl InferenceScratch {
+    /// The per-table pooled-embedding buffers [`Dlrm::dense_infer_into`]
+    /// consumes. [`Dlrm::predict_into`] fills them via the plain
+    /// gather-reduce; a serving engine writes them directly (e.g. through
+    /// the casted forward fast path) before calling
+    /// [`Dlrm::dense_infer_into`].
+    pub fn pooled_mut(&mut self) -> &mut Vec<Matrix> {
+        &mut self.pooled
+    }
 }
 
 impl Dlrm {
@@ -275,11 +303,65 @@ impl Dlrm {
         dense: &Matrix,
         indices: &[IndexArray],
     ) -> Result<Matrix, EmbeddingError> {
-        let pooled = self.embedding_forward(indices)?;
-        let bottom_out = self.bottom.forward_inference(dense)?;
-        let mut interaction = FeatureInteraction::new(self.config.interaction);
-        let z = interaction.forward(&bottom_out, &pooled)?;
-        Ok(self.top.forward_inference(&z)?)
+        let mut scratch = InferenceScratch::default();
+        let mut logits = Matrix::default();
+        self.predict_into(dense, indices, &mut scratch, &mut logits, Exec::Serial)?;
+        Ok(logits)
+    }
+
+    /// [`Dlrm::predict`] through caller-owned scratch: the
+    /// zero-allocation `&self` serving form. Embedding pooling runs the
+    /// plain per-table gather-reduce; the dense stack runs
+    /// [`Dlrm::dense_infer_into`]. Bit-identical to [`Dlrm::predict`] in
+    /// both [`Exec`] modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index mismatches.
+    pub fn predict_into(
+        &self,
+        dense: &Matrix,
+        indices: &[IndexArray],
+        scratch: &mut InferenceScratch,
+        logits: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), EmbeddingError> {
+        self.embedding_forward_into(indices, &mut scratch.pooled, exec)?;
+        self.dense_infer_into(dense, scratch, logits, exec)
+            .map_err(EmbeddingError::from)
+    }
+
+    /// The dense half of inference — bottom MLP, interaction, top MLP —
+    /// over pooled embeddings already written into `scratch`'s
+    /// [`InferenceScratch::pooled_mut`] buffers (one `batch x dim` matrix
+    /// per table). `&self`: no model state is read back or written, so a
+    /// frozen model can serve many engines concurrently. Bit-identical to
+    /// the training forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on dimension mismatches (including
+    /// pooled buffers that disagree with the batch).
+    pub fn dense_infer_into(
+        &self,
+        dense: &Matrix,
+        scratch: &mut InferenceScratch,
+        logits: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        let InferenceScratch {
+            pooled,
+            bottom_out,
+            interaction_out,
+            bottom_mlp,
+            top_mlp,
+        } = scratch;
+        self.bottom
+            .forward_inference_into(dense, bottom_mlp, bottom_out, exec)?;
+        self.interaction
+            .forward_inference_into(bottom_out, pooled, interaction_out)?;
+        self.top
+            .forward_inference_into(interaction_out, top_mlp, logits, exec)
     }
 }
 
@@ -345,6 +427,41 @@ mod tests {
         let train_logits = m.dense_forward(&b.dense, &pooled).unwrap();
         let infer_logits = m.predict(&b.dense, &b.indices).unwrap();
         assert!(train_logits.max_abs_diff(&infer_logits).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn predict_into_is_bit_identical_to_predict() {
+        let m = model();
+        let b = batch(12);
+        let alloc = m.predict(&b.dense, &b.indices).unwrap();
+        let mut scratch = InferenceScratch::default();
+        let mut logits = Matrix::default();
+        // Twice: the second pass runs through recycled buffers.
+        for _ in 0..2 {
+            m.predict_into(
+                &b.dense,
+                &b.indices,
+                &mut scratch,
+                &mut logits,
+                Exec::Serial,
+            )
+            .unwrap();
+            assert_eq!(logits.as_slice(), alloc.as_slice());
+        }
+    }
+
+    #[test]
+    fn predict_into_matches_training_forward_bit_exactly() {
+        // The serving path and the training forward share every kernel
+        // (same GEMM, same interaction op order), so their logits are
+        // bit-identical — the foundation of the checkpoint -> serve
+        // equivalence test.
+        let mut m = model();
+        let b = batch(8);
+        let pooled = m.embedding_forward(&b.indices).unwrap();
+        let train = m.dense_forward(&b.dense, &pooled).unwrap();
+        let infer = m.predict(&b.dense, &b.indices).unwrap();
+        assert_eq!(train.as_slice(), infer.as_slice());
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Serving telemetry: latency distribution, throughput, queue shape and
+//! SLA accounting.
+//!
+//! Tail latency is the serving-side figure of merit (DeepRecSys' whole
+//! scheduling problem is "meet the p99 SLA"), so the histogram exists to
+//! answer percentile queries cheaply: values land in logarithmic buckets
+//! (4 sub-buckets per power of two, <= 19% relative width) with no
+//! allocation on the record path, and percentiles read back the bucket
+//! upper bound — an overestimate by at most one bucket width, which is
+//! the conservative direction for SLA reporting.
+
+/// Sub-buckets per power of two (resolution/space trade-off).
+const SUBS: usize = 4;
+/// Bucket count: 64 octaves x SUBS covers the whole u64 range.
+const BUCKETS: usize = 64 * SUBS;
+
+/// A log-bucketed histogram of nanosecond values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value_ns: u64) -> usize {
+        let v = value_ns.max(1);
+        let octave = 63 - v.leading_zeros() as usize;
+        if octave < 2 {
+            // Values 1..4 get exact buckets.
+            return v as usize - 1;
+        }
+        // Top two bits below the leading bit select the sub-bucket.
+        let sub = ((v >> (octave - 2)) & 0b11) as usize;
+        octave * SUBS + sub
+    }
+
+    /// Inclusive upper bound of a bucket (the value a percentile reports).
+    fn bucket_upper(bucket: usize) -> u64 {
+        if bucket < 2 * SUBS {
+            // Octaves 0-1 use the exact buckets 0..3; 3..8 are unused.
+            return (bucket as u64 + 1).min(3);
+        }
+        let octave = bucket / SUBS;
+        let sub = (bucket % SUBS) as u64;
+        // The bucket holds [2^o + sub*2^(o-2), 2^o + (sub+1)*2^(o-2)).
+        (1u64 << octave) + (sub + 1) * (1u64 << (octave - 2)) - 1
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value_ns: u64) {
+        self.buckets[Self::bucket_of(value_ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value_ns);
+        self.min = self.min.min(value_ns);
+        self.max = self.max.max(value_ns);
+    }
+
+    /// Recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound, exact for
+    /// the extremes: `q = 1.0` reports the true max. Returns 0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the q-quantile among `count` sorted samples (1-based,
+        // ceil): the smallest rank whose cumulative share is >= q.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th percentile (bucket-resolution).
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile (bucket-resolution).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Recorded values above `threshold_ns` — SLA-violation counting via
+    /// buckets would round; this needs exactness, so the caller counts
+    /// violations at record time. Provided here for bucket-level
+    /// estimates in reports.
+    pub fn estimated_above(&self, threshold_ns: u64) -> u64 {
+        let cut = Self::bucket_of(threshold_ns);
+        self.buckets[cut + 1..].iter().sum()
+    }
+}
+
+/// Aggregate result of one serving run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Queries scored.
+    pub queries: u64,
+    /// Fused batches executed.
+    pub batches: u64,
+    /// Samples (candidate items) scored.
+    pub samples: u64,
+    /// End-to-end per-query latency (arrival to batch completion).
+    pub latency: LatencyHistogram,
+    /// Per-batch engine service time.
+    pub service: LatencyHistogram,
+    /// Simulated clock span of the run.
+    pub span_ns: u64,
+    /// The SLA the run was accounted against.
+    pub sla_ns: u64,
+    /// Queries whose end-to-end latency exceeded the SLA (exact count).
+    pub sla_violations: u64,
+    /// Deepest the admission queue got.
+    pub max_queue_depth: usize,
+    /// Casting-cache hit rate across the engine's per-table caches.
+    pub cache_hit_rate: f64,
+}
+
+impl ServeReport {
+    /// Served queries per second of simulated time.
+    pub fn qps(&self) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / (self.span_ns as f64 / 1e9)
+    }
+
+    /// Mean queries per fused batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / self.batches as f64
+    }
+
+    /// Fraction of queries that violated the SLA.
+    pub fn sla_violation_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.sla_violations as f64 / self.queries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 97);
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p95, p99) = (h.p50_ns(), h.p95_ns(), h.p99_ns());
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max_ns());
+        assert!(h.min_ns() == 97);
+        // Bucket overestimate is bounded by one sub-bucket (< 25%).
+        assert!((p50 as f64) >= 0.5 * 1000.0 * 97.0 / 2.0);
+        assert!((p50 as f64) < 1.25 * 500.0 * 97.0 + 97.0);
+    }
+
+    #[test]
+    fn exact_extremes() {
+        let mut h = LatencyHistogram::new();
+        for v in [5, 10, 20, 40, 80u64] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_ns(1.0), 80);
+        assert_eq!(h.max_ns(), 80);
+        assert_eq!(h.min_ns(), 5);
+        assert!((h.mean_ns() - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p99_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn single_value_reports_itself_everywhere() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile_ns(q);
+            // Within one bucket of the value, never below the min.
+            assert!(v >= 12_345 || q < 1.0, "q={q} -> {v}");
+            assert!(v <= 12_345 + 12_345 / 4 + 1, "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_ns(0.34), 2);
+        assert_eq!(h.p50_ns(), 2);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_monotonic() {
+        let mut last = 0;
+        for b in 0..BUCKETS - SUBS {
+            let u = LatencyHistogram::bucket_upper(b);
+            assert!(u >= last, "bucket {b}: {u} < {last}");
+            last = u;
+        }
+    }
+
+    #[test]
+    fn every_value_lands_at_or_below_its_bucket_upper() {
+        for shift in 0..40 {
+            for off in [0u64, 1, 3, 7] {
+                let v = (1u64 << shift) + off;
+                let b = LatencyHistogram::bucket_of(v);
+                assert!(
+                    LatencyHistogram::bucket_upper(b) >= v,
+                    "value {v} above its bucket bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_rates() {
+        let mut r = ServeReport {
+            queries: 100,
+            batches: 25,
+            span_ns: 1_000_000_000,
+            sla_violations: 3,
+            ..Default::default()
+        };
+        r.sla_ns = 1_000_000;
+        assert!((r.qps() - 100.0).abs() < 1e-9);
+        assert!((r.mean_batch() - 4.0).abs() < 1e-9);
+        assert!((r.sla_violation_rate() - 0.03).abs() < 1e-9);
+        assert_eq!(ServeReport::default().qps(), 0.0);
+    }
+}

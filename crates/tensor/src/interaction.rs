@@ -200,6 +200,72 @@ impl FeatureInteraction {
         Ok(())
     }
 
+    /// Inference-only forward pass writing into `out`: no input caching
+    /// (`&self`), no buffer copies — the zero-allocation serving form.
+    /// Bit-identical to [`FeatureInteraction::forward`] and
+    /// [`FeatureInteraction::forward_into`] (same per-row op order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if any operand disagrees on `batch`/`dim`.
+    pub fn forward_inference_into(
+        &self,
+        dense: &Matrix,
+        embeddings: &[Matrix],
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        for e in embeddings {
+            if e.rows() != dense.rows() {
+                return Err(ShapeError::new(
+                    "interaction_batch",
+                    dense.shape(),
+                    e.shape(),
+                ));
+            }
+            if self.kind == InteractionKind::Dot && e.cols() != dense.cols() {
+                return Err(ShapeError::new("interaction_dim", dense.shape(), e.shape()));
+            }
+        }
+        // Virtual input list [dense, emb_0, ..], without materializing it.
+        let m = embeddings.len() + 1;
+        let input = |i: usize| if i == 0 { dense } else { &embeddings[i - 1] };
+        let batch = dense.rows();
+        match self.kind {
+            InteractionKind::Concat => {
+                let total: usize = (0..m).map(|i| input(i).cols()).sum();
+                out.zero_into(batch, total);
+                for b in 0..batch {
+                    let row = out.row_mut(b);
+                    let mut offset = 0;
+                    for i in 0..m {
+                        let part = input(i);
+                        row[offset..offset + part.cols()].copy_from_slice(part.row(b));
+                        offset += part.cols();
+                    }
+                }
+            }
+            InteractionKind::Dot => {
+                let dim = dense.cols();
+                let pairs = m * (m - 1) / 2;
+                out.zero_into(batch, dim + pairs);
+                for b in 0..batch {
+                    let row = out.row_mut(b);
+                    row[..dim].copy_from_slice(dense.row(b));
+                    let mut p = dim;
+                    for i in 0..m {
+                        for j in (i + 1)..m {
+                            let vi = input(i).row(b);
+                            let vj = input(j).row(b);
+                            row[p] = vi.iter().zip(vj.iter()).map(|(a, c)| a * c).sum();
+                            p += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// [`FeatureInteraction::backward`] writing the dense gradient into
     /// `ddense` and the per-table gradients into `dpooled` (resized and
     /// reused). Consumes the cache of the last
@@ -392,6 +458,26 @@ mod tests {
     fn output_dims() {
         assert_eq!(interaction_output_dim(InteractionKind::Concat, 3, 8), 32);
         assert_eq!(interaction_output_dim(InteractionKind::Dot, 3, 8), 8 + 6);
+    }
+
+    #[test]
+    fn inference_into_is_bit_identical_to_forward() {
+        for kind in [InteractionKind::Dot, InteractionKind::Concat] {
+            let dense = mk(4, 6, 0.0);
+            let e0 = mk(4, 6, 3.0);
+            let e1 = mk(4, 6, 9.0);
+            let mut op = FeatureInteraction::new(kind);
+            let expect = op.forward(&dense, &[e0.clone(), e1.clone()]).unwrap();
+            let frozen = FeatureInteraction::new(kind);
+            let mut out = Matrix::default();
+            // Twice: the second pass reuses the sized buffer.
+            for _ in 0..2 {
+                frozen
+                    .forward_inference_into(&dense, &[e0.clone(), e1.clone()], &mut out)
+                    .unwrap();
+                assert_eq!(out.as_slice(), expect.as_slice(), "{kind:?}");
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use loss::{
     mse_with_grad,
 };
 pub use matrix::Matrix;
-pub use mlp::{Activation, Mlp};
+pub use mlp::{Activation, Mlp, MlpInferenceScratch};
 pub use ops::{relu, relu_backward, relu_backward_in_place, relu_into, sigmoid, sigmoid_backward};
 pub use parallel::{matmul_parallel, matmul_parallel_in};
 pub use tcast_pool::{Exec, Pool};

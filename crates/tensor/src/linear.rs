@@ -140,6 +140,27 @@ impl Linear {
         Ok(y)
     }
 
+    /// [`Linear::forward_inference`] writing into `out` (reusing its
+    /// allocation), with the GEMM pooled when `exec` provides a pool —
+    /// the zero-allocation serving form. Unlike [`Linear::forward_into`]
+    /// it takes `&self` and caches nothing, so a frozen model can be
+    /// scored from scratch buffers the *caller* owns (the serve engine
+    /// shares one model between scoring and checkpointing this way).
+    /// Bit-identical to both forward forms.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `x.cols() != in_dim`.
+    pub fn forward_inference_into(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        matmul_exec(x, &self.weight, out, exec)?;
+        out.add_row_vector(&self.bias)
+    }
+
     /// Backward pass. Given `dy = dL/dy`, computes and caches
     /// `dW = x^T dy`, `db = sum_rows(dy)`, and returns `dx = dy W^T`.
     ///

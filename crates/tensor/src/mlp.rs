@@ -16,6 +16,17 @@ pub enum Activation {
     Identity,
 }
 
+/// Caller-owned reusable buffers for [`Mlp::forward_inference_into`]:
+/// one pre-activation buffer shared by every layer plus one
+/// post-activation buffer per hidden layer (sized lazily on first use).
+/// Keeping these outside the [`Mlp`] lets a `&self` model serve many
+/// engines, each with its own scratch.
+#[derive(Debug, Default)]
+pub struct MlpInferenceScratch {
+    pre: Matrix,
+    act: Vec<Matrix>,
+}
+
 /// A stack of [`Linear`] layers with a shared hidden activation.
 ///
 /// The final layer is always linear (no activation): DLRM applies the
@@ -171,6 +182,47 @@ impl Mlp {
         layers[hidden].forward_into(input, out, exec)
     }
 
+    /// Inference-only forward pass writing into `out` through
+    /// caller-owned scratch — the zero-allocation serving form. Takes
+    /// `&self` and mutates no model state (unlike [`Mlp::forward_into`],
+    /// which caches pre-activations for backprop), so one frozen model
+    /// can be scored concurrently with checkpointing, and the serve
+    /// engine's scratch lives with the engine, not the model.
+    /// Bit-identical to [`Mlp::forward`], [`Mlp::forward_into`] and
+    /// [`Mlp::forward_inference`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on input-dimension mismatch.
+    pub fn forward_inference_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut MlpInferenceScratch,
+        out: &mut Matrix,
+        exec: Exec<'_>,
+    ) -> Result<(), ShapeError> {
+        let n = self.layers.len();
+        let hidden = n - 1;
+        scratch.act.resize_with(hidden, Matrix::default);
+        for i in 0..hidden {
+            // Split so the previous layer's (immutable) activation and
+            // this layer's (mutable) buffer never alias.
+            let (before, at) = scratch.act.split_at_mut(i);
+            let input = if i == 0 { x } else { &before[i - 1] };
+            self.layers[i].forward_inference_into(input, &mut scratch.pre, exec)?;
+            match self.activation {
+                Activation::Relu => relu_into(&scratch.pre, &mut at[0]),
+                Activation::Identity => at[0].copy_from(&scratch.pre),
+            }
+        }
+        let input = if hidden == 0 {
+            x
+        } else {
+            &scratch.act[hidden - 1]
+        };
+        self.layers[hidden].forward_inference_into(input, out, exec)
+    }
+
     /// Inference-only forward pass (no caching, `&self`).
     ///
     /// # Errors
@@ -318,6 +370,38 @@ mod tests {
         let y1 = mlp.forward(&x).unwrap();
         let y2 = mlp.forward_inference(&x).unwrap();
         assert!(y1.max_abs_diff(&y2).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn inference_into_is_bit_identical_to_every_forward_form() {
+        let mut mlp = Mlp::new(6, &[12, 7, 1], Activation::Relu, 31).unwrap();
+        let mut x = Matrix::zeros(5, 6);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 * 0.29).cos();
+        }
+        let trained = mlp.forward(&x).unwrap();
+        let alloc = mlp.forward_inference(&x).unwrap();
+        let mut scratch = MlpInferenceScratch::default();
+        let mut out = Matrix::default();
+        // Twice: the second pass runs entirely through recycled buffers.
+        for _ in 0..2 {
+            mlp.forward_inference_into(&x, &mut scratch, &mut out, Exec::Serial)
+                .unwrap();
+            assert_eq!(out.as_slice(), trained.as_slice());
+            assert_eq!(out.as_slice(), alloc.as_slice());
+        }
+    }
+
+    #[test]
+    fn inference_into_handles_single_layer_stacks() {
+        let mlp = Mlp::new(4, &[2], Activation::Relu, 3).unwrap();
+        let x = Matrix::from_rows(&[&[0.1, -0.4, 0.7, 0.2]]).unwrap();
+        let mut scratch = MlpInferenceScratch::default();
+        let mut out = Matrix::default();
+        mlp.forward_inference_into(&x, &mut scratch, &mut out, Exec::Serial)
+            .unwrap();
+        let expect = mlp.forward_inference(&x).unwrap();
+        assert_eq!(out.as_slice(), expect.as_slice());
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   speedups, utilization, energy.
 //! * [`dlrm`] (`tcast-dlrm`) — end-to-end DLRM training on the real
 //!   kernels with switchable baseline/casted backward.
+//! * [`serve`] (`tcast-serve`) — SLA-aware batched inference serving:
+//!   query workload models, admission-queue batching policies, the
+//!   zero-alloc fused scoring engine with a casting-cache hot path, and
+//!   the online-training mode.
 //!
 //! See `examples/` for runnable entry points and `crates/bench/src/bin/`
 //! for the per-figure reproduction harness.
@@ -52,5 +56,6 @@ pub use tcast_dlrm as dlrm;
 pub use tcast_dram as dram;
 pub use tcast_embedding as embedding;
 pub use tcast_nmp as nmp;
+pub use tcast_serve as serve;
 pub use tcast_system as system;
 pub use tcast_tensor as tensor;

@@ -1,0 +1,136 @@
+//! `evaluate_ctr`'s rank-based ROC-AUC against a brute-force O(n^2)
+//! pairwise reference, including tie-heavy and single-class inputs.
+//!
+//! AUC is the probability a random positive outranks a random negative,
+//! ties counted half: `sum over (pos, neg) pairs of [s_p > s_n] + 0.5 *
+//! [s_p == s_n], / (P * N)`. The production implementation computes it
+//! in O(n log n) via midranks (Mann-Whitney U); this suite pins the two
+//! definitions together over adversarial score distributions — heavy
+//! ties are exactly where midrank bookkeeping goes wrong.
+
+use proptest::prelude::*;
+use tensor_casting::dlrm::evaluate_ctr;
+use tensor_casting::tensor::{Matrix, SplitMix64};
+
+/// The O(n^2) definition, straight from the probability statement.
+fn pairwise_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    let pos: Vec<f32> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| y)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f32> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| !y)
+        .map(|(&s, _)| s)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            acc += if p > n {
+                1.0
+            } else if p == n {
+                0.5
+            } else {
+                0.0
+            };
+        }
+    }
+    Some(acc / (pos.len() as f64 * neg.len() as f64))
+}
+
+fn run_case(scores: Vec<f32>, labels: Vec<bool>) -> (Option<f64>, Option<f64>) {
+    let n = scores.len();
+    let logits = Matrix::from_vec(n, 1, scores.clone()).unwrap();
+    let label_m = Matrix::from_vec(
+        n,
+        1,
+        labels.iter().map(|&y| if y { 1.0 } else { 0.0 }).collect(),
+    )
+    .unwrap();
+    let fast = evaluate_ctr(&logits, &label_m).auc;
+    let slow = pairwise_auc(&scores, &labels);
+    (fast, slow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Continuous scores (ties unlikely): the definitions agree.
+    #[test]
+    fn auc_matches_pairwise_reference_on_continuous_scores(
+        seed in 1u64..10_000,
+        n in 2usize..120,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let scores: Vec<f32> = (0..n).map(|_| rng.next_range(-4.0, 4.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.5).collect();
+        let (fast, slow) = run_case(scores, labels);
+        prop_assert_eq!(fast.is_some(), slow.is_some());
+        if let (Some(a), Some(b)) = (fast, slow) {
+            prop_assert!((a - b).abs() < 1e-9, "fast {} vs reference {}", a, b);
+        }
+    }
+
+    /// Quantized scores: many exact ties, the midrank stress case.
+    #[test]
+    fn auc_matches_pairwise_reference_under_heavy_ties(
+        seed in 1u64..10_000,
+        n in 2usize..100,
+        levels in 1u64..6,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        // Scores drawn from `levels` distinct values only.
+        let scores: Vec<f32> = (0..n).map(|_| rng.next_below(levels) as f32).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.4) .collect();
+        let (fast, slow) = run_case(scores, labels);
+        prop_assert_eq!(fast.is_some(), slow.is_some());
+        if let (Some(a), Some(b)) = (fast, slow) {
+            prop_assert!((a - b).abs() < 1e-9, "fast {} vs reference {}", a, b);
+        }
+    }
+
+    /// Single-class batches have no defined AUC in either formulation.
+    #[test]
+    fn single_class_has_no_auc_in_either_definition(
+        seed in 1u64..1000,
+        n in 1usize..40,
+        positive in any::<bool>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let scores: Vec<f32> = (0..n).map(|_| rng.next_range(-2.0, 2.0)).collect();
+        let labels = vec![positive; n];
+        let (fast, slow) = run_case(scores, labels);
+        prop_assert_eq!(fast, None);
+        prop_assert_eq!(slow, None);
+    }
+}
+
+#[test]
+fn all_tied_scores_give_exactly_half() {
+    let (fast, slow) = run_case(
+        vec![1.5; 10],
+        vec![
+            true, false, true, false, true, false, true, false, true, false,
+        ],
+    );
+    assert_eq!(fast, Some(0.5));
+    assert_eq!(slow, Some(0.5));
+}
+
+#[test]
+fn two_sample_edge_cases() {
+    // One positive above one negative: AUC 1.
+    assert_eq!(run_case(vec![2.0, -1.0], vec![true, false]).0, Some(1.0));
+    // Below: AUC 0.
+    assert_eq!(run_case(vec![-2.0, 1.0], vec![true, false]).0, Some(0.0));
+    // Tied: AUC 0.5 from the half-credit rule.
+    let (fast, slow) = run_case(vec![3.0, 3.0], vec![true, false]);
+    assert_eq!(fast, Some(0.5));
+    assert_eq!(slow, Some(0.5));
+}

@@ -1,0 +1,248 @@
+//! The serving subsystem's cross-crate invariants:
+//!
+//! 1. **Fusion is bit-transparent** — a fused batch of queries scores
+//!    bit-identically to scoring each query alone, across batch sizes
+//!    and both `Execution` modes (the serving analogue of the paper's
+//!    functional-equivalence validation).
+//! 2. **Checkpoint -> serve round-trips** — a model restored from a
+//!    checkpoint serves bit-identical scores to the original.
+//! 3. **Online training is offline training** — interleaving serving
+//!    with casted update steps leaves the update trajectory bit-identical
+//!    to the offline `Trainer` fed the same batch stream.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tensor_casting::datasets::{SyntheticCtr, SyntheticSource};
+use tensor_casting::dlrm::{
+    checkpoint::{load_checkpoint, save_checkpoint},
+    BackwardMode, Dlrm, DlrmConfig, Execution, Trainer,
+};
+use tensor_casting::serve::{
+    serve_online, ArrivalProcess, BatchPolicy, CandidateCount, OnlineConfig, Query, QueryModel,
+    ServeConfig, ServeEngine,
+};
+
+fn workload(seed: u64, catalog: usize, max_candidates: usize) -> QueryModel {
+    let cfg = DlrmConfig::tiny();
+    QueryModel::new(
+        &cfg.table_workloads(),
+        cfg.dense_features,
+        catalog,
+        CandidateCount::Uniform {
+            min: 1,
+            max: max_candidates,
+        },
+        1.0,
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Invariant 1, the acceptance-criteria property: for any fused batch
+    /// size and either execution schedule, per-query demuxed scores are
+    /// bit-identical to scoring that query alone on a cold engine.
+    #[test]
+    fn fused_batches_score_bit_identically_to_per_query(
+        seed in 1u64..1000,
+        num_queries in 1usize..12,
+        pooled_exec in any::<bool>(),
+    ) {
+        let model = Dlrm::new(DlrmConfig::tiny(), 7).unwrap();
+        let execution = if pooled_exec {
+            Execution::Pooled(Arc::new(tensor_casting::tensor::Pool::new(3)))
+        } else {
+            Execution::Serial
+        };
+        let mut wl = workload(seed, 8, 5);
+        let queries: Vec<Arc<Query>> = (0..num_queries).map(|_| wl.draw()).collect();
+
+        let mut fused_engine = ServeEngine::new(&model, 64, execution.clone());
+        let fused = fused_engine.score(&model, &queries).unwrap();
+        prop_assert_eq!(fused.num_queries(), num_queries);
+        let fused_scores: Vec<Vec<f32>> =
+            (0..num_queries).map(|i| fused.scores(i).to_vec()).collect();
+
+        for (i, q) in queries.iter().enumerate() {
+            // A cold, separate engine: no shared cache state, batch of 1.
+            let mut solo_engine = ServeEngine::new(&model, 64, execution.clone());
+            let solo = solo_engine.score(&model, std::iter::once(q)).unwrap();
+            prop_assert_eq!(
+                solo.scores(0),
+                fused_scores[i].as_slice(),
+                "query {} diverged (fused batch of {})",
+                i,
+                num_queries
+            );
+        }
+    }
+
+    /// Serial and pooled execution serve bit-identical fused logits.
+    #[test]
+    fn execution_modes_serve_bit_identically(seed in 1u64..500, n in 1usize..10) {
+        let model = Dlrm::new(DlrmConfig::tiny(), 9).unwrap();
+        let mut wl = workload(seed, 6, 4);
+        let queries: Vec<Arc<Query>> = (0..n).map(|_| wl.draw()).collect();
+        let mut serial = ServeEngine::new(&model, 64, Execution::Serial);
+        let pool = Arc::new(tensor_casting::tensor::Pool::new(4));
+        let mut pooled = ServeEngine::new(&model, 64, Execution::Pooled(pool));
+        let a = serial.score(&model, &queries).unwrap().fused_logits().as_slice().to_vec();
+        let b = pooled.score(&model, &queries).unwrap();
+        prop_assert_eq!(b.fused_logits().as_slice(), a.as_slice());
+    }
+}
+
+/// Invariant 2: train, checkpoint, restore into a fresh model — the
+/// serve engine's scores over the restored model are bit-identical to
+/// the original's.
+#[test]
+fn checkpoint_restore_serves_bit_identical_scores() {
+    let cfg = DlrmConfig::tiny();
+    let mut trainer = Trainer::new(cfg.clone(), BackwardMode::Casted, 31).unwrap();
+    let mut data = SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 5);
+    for _ in 0..5 {
+        trainer.step(&data.next_batch(32)).unwrap();
+    }
+
+    let mut buf = Vec::new();
+    save_checkpoint(&mut buf, trainer.model()).unwrap();
+    // A fresh model from a different seed: every parameter differs until
+    // the checkpoint overwrites it.
+    let mut restored = Dlrm::new(cfg, 999_999).unwrap();
+    load_checkpoint(&mut buf.as_slice(), &mut restored).unwrap();
+
+    let mut wl = workload(77, 10, 6);
+    let queries: Vec<Arc<Query>> = (0..20).map(|_| wl.draw()).collect();
+    let mut engine_orig = ServeEngine::with_defaults(trainer.model());
+    let mut engine_restored = ServeEngine::with_defaults(&restored);
+    for chunk in queries.chunks(7) {
+        let a = engine_orig
+            .score(trainer.model(), chunk)
+            .unwrap()
+            .fused_logits()
+            .as_slice()
+            .to_vec();
+        let b = engine_restored.score(&restored, chunk).unwrap();
+        assert_eq!(
+            b.fused_logits().as_slice(),
+            a.as_slice(),
+            "restored model must serve bit-identical scores"
+        );
+    }
+}
+
+/// Invariant 3: the online loop's update trajectory — losses and final
+/// weights — is bit-identical to an offline trainer consuming the same
+/// synthetic batch stream, for both execution schedules.
+#[test]
+fn online_updates_are_bit_identical_to_offline_training() {
+    let cfg = DlrmConfig::tiny();
+    let mk_source = || {
+        SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 13),
+            24,
+        )
+    };
+    for execution in [
+        Execution::Serial,
+        Execution::Pooled(Arc::new(tensor_casting::tensor::Pool::new(3))),
+    ] {
+        // Online: serve 60 queries, one update step every 2 fused batches.
+        let mut online_trainer = Trainer::with_execution(
+            cfg.clone(),
+            BackwardMode::Casted,
+            tensor_casting::dlrm::EmbeddingOptimizer::Sgd,
+            execution.clone(),
+            55,
+        )
+        .unwrap();
+        let mut source = mk_source();
+        let mut engine = ServeEngine::new(online_trainer.model(), 64, execution.clone());
+        let (report, online) = serve_online(
+            &mut engine,
+            &mut online_trainer,
+            &mut source,
+            &mut workload(3, 8, 4),
+            &ServeConfig {
+                queries: 60,
+                arrivals: ArrivalProcess::Poisson { mean_qps: 20_000.0 },
+                policy: BatchPolicy::Fixed { batch: 5 },
+                sla_ns: 100_000_000,
+                seed: 4,
+            },
+            OnlineConfig { update_every: 2 },
+        )
+        .unwrap();
+        assert_eq!(report.queries, 60);
+        assert!(online.updates > 0);
+
+        // Offline: the same number of steps over the same stream.
+        let mut offline_trainer = Trainer::with_execution(
+            cfg.clone(),
+            BackwardMode::Casted,
+            tensor_casting::dlrm::EmbeddingOptimizer::Sgd,
+            execution.clone(),
+            55,
+        )
+        .unwrap();
+        let mut offline_source = mk_source();
+        let mut offline_losses = Vec::new();
+        for _ in 0..online.updates {
+            let batch = tensor_casting::datasets::BatchSource::next_batch(&mut offline_source)
+                .expect("endless");
+            offline_losses.push(offline_trainer.step(&batch).unwrap().loss);
+        }
+        assert_eq!(
+            online.losses, offline_losses,
+            "online losses diverged from offline"
+        );
+        for i in 0..offline_trainer.model().num_tables() {
+            assert_eq!(
+                offline_trainer
+                    .model()
+                    .table(i)
+                    .max_abs_diff(online_trainer.model().table(i))
+                    .unwrap(),
+                0.0,
+                "table {i} diverged between online and offline training"
+            );
+        }
+    }
+}
+
+/// The staleness ledger is internally consistent: every served batch has
+/// a staleness entry, and with `update_every = k` staleness never
+/// reaches k.
+#[test]
+fn staleness_accounting_is_consistent() {
+    let cfg = DlrmConfig::tiny();
+    let mut trainer = Trainer::new(cfg.clone(), BackwardMode::Casted, 2).unwrap();
+    let mut source = SyntheticSource::new(
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 8),
+        16,
+    );
+    let mut engine = ServeEngine::with_defaults(trainer.model());
+    let (report, online) = serve_online(
+        &mut engine,
+        &mut trainer,
+        &mut source,
+        &mut workload(6, 6, 3),
+        &ServeConfig {
+            queries: 45,
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 6,
+                think_ns: 500,
+            },
+            policy: BatchPolicy::Fixed { batch: 3 },
+            sla_ns: 100_000_000,
+            seed: 12,
+        },
+        OnlineConfig { update_every: 3 },
+    )
+    .unwrap();
+    assert_eq!(online.staleness_batches.len() as u64, report.batches);
+    assert!(online.max_staleness() < 3);
+    assert_eq!(online.updates as usize, online.losses.len());
+    assert_eq!(trainer.steps(), online.updates);
+}

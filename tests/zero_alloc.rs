@@ -302,4 +302,39 @@ fn steady_state_hot_path_performs_zero_allocations() {
         0,
         "feature-interaction steady state must not allocate"
     );
+
+    // ---- Serve engine: warm-cache fused scoring -----------------------
+    // Once the catalog's casting transforms are memoized and the fused
+    // buffers are sized, scoring a batch of hot queries allocates
+    // nothing: offsets/dense/pooled/logits recycle, cache hits return
+    // borrowed casted arrays, and the dense stack runs through the
+    // caller-owned inference scratch. (A cache *miss* allocates its
+    // memoized array once — that is the cache's point.)
+    let serve_cfg = tensor_casting::dlrm::DlrmConfig::tiny();
+    let serve_model = tensor_casting::dlrm::Dlrm::new(serve_cfg.clone(), 31).unwrap();
+    let mut serve_workload = tensor_casting::serve::QueryModel::new(
+        &serve_cfg.table_workloads(),
+        serve_cfg.dense_features,
+        6,
+        tensor_casting::serve::CandidateCount::Fixed(3),
+        1.0,
+        41,
+    );
+    let serve_queries: Vec<_> = (0..8).map(|_| serve_workload.draw()).collect();
+    let mut engine = tensor_casting::serve::ServeEngine::with_defaults(&serve_model);
+
+    // Warm-up: miss-cast every catalog entry, size the fused buffers.
+    engine.score(&serve_model, &serve_queries).unwrap();
+    engine.score(&serve_model, &serve_queries).unwrap();
+
+    let before = allocations();
+    for _ in 0..10 {
+        let scored = engine.score(&serve_model, &serve_queries).unwrap();
+        assert_eq!(scored.num_queries(), 8);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm-cache fused serving steady state must not allocate"
+    );
 }
