@@ -28,10 +28,11 @@
 use std::path::PathBuf;
 
 use tcast_bench::{banner, fast_mode, json};
-use tcast_dlrm::{Dlrm, DlrmConfig, Execution, TableConfig};
+use tcast_datasets::{PrefetchSource, SyntheticCtr, SyntheticSource};
+use tcast_dlrm::{BackwardMode, Dlrm, DlrmConfig, Execution, TableConfig, Trainer};
 use tcast_serve::{
-    serve, AdaptiveBatcher, ArrivalProcess, BatchPolicy, CandidateCount, QueryModel, ServeConfig,
-    ServeEngine, ServeReport,
+    serve, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy, CandidateCount,
+    OnlineConfig, OnlineReport, QueryModel, ServeConfig, ServeEngine, ServeReport,
 };
 
 #[derive(Clone)]
@@ -89,6 +90,29 @@ fn serve_model_config() -> DlrmConfig {
     }
 }
 
+/// The online-training model: the same four Zipf tables but a lean
+/// dense stack, so casted update steps are embedding-bound and cheap
+/// enough to interleave with serving at full batch size. (The wide-MLP
+/// serving model above exists to show fused-batch amortization; an
+/// online section on it would spend the whole run inside GEMMs.)
+fn online_model_config() -> DlrmConfig {
+    DlrmConfig {
+        dense_features: 13,
+        embedding_dim: 64,
+        tables: vec![
+            TableConfig {
+                rows: 60_000,
+                pooling: 6,
+                zipf_exponent: 1.05,
+            };
+            4
+        ],
+        bottom_mlp: vec![64, 64],
+        top_mlp: vec![64, 32, 1],
+        interaction: tcast_tensor::InteractionKind::Dot,
+    }
+}
+
 fn workload(args: &Args, seed: u64) -> QueryModel {
     let cfg = serve_model_config();
     QueryModel::new(
@@ -132,6 +156,117 @@ fn run_policy(
         },
     )
     .expect("serving must succeed")
+}
+
+/// The online section's fused-batch size and update cadence, shared by
+/// the run and its JSON row so the emitted provenance cannot drift from
+/// the configuration that produced it.
+const ONLINE_BATCH: usize = 32;
+const ONLINE_UPDATE_EVERY: usize = 4;
+
+/// One online-training run: casted update steps interleaved with fused
+/// serving, the training batches drawn from a live `SyntheticSource` —
+/// inline (generation paid inside the update slot) or wrapped in a
+/// `PrefetchSource` (a producer thread generates ahead, overlapping
+/// both serving and update slots).
+fn run_online(
+    args: &Args,
+    execution: &Execution,
+    train_batch: usize,
+    prefetch: bool,
+    sla_ns: u64,
+) -> (ServeReport, OnlineReport) {
+    let cfg = online_model_config();
+    let mut trainer = Trainer::with_execution(
+        cfg.clone(),
+        BackwardMode::Casted,
+        tcast_dlrm::EmbeddingOptimizer::Sgd,
+        execution.clone(),
+        91,
+    )
+    .expect("valid online config");
+    let inner = SyntheticSource::new(
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 29),
+        train_batch,
+    );
+    let mut wl = QueryModel::new(
+        &cfg.table_workloads(),
+        cfg.dense_features,
+        args.catalog,
+        CandidateCount::Fixed(1),
+        1.1,
+        17,
+    );
+    let mut engine = ServeEngine::new(trainer.model(), 1024, execution.clone());
+    let serve_cfg = ServeConfig {
+        queries: args.queries,
+        arrivals: ArrivalProcess::ClosedLoop {
+            clients: 64,
+            think_ns: 0,
+        },
+        policy: BatchPolicy::Fixed {
+            batch: ONLINE_BATCH,
+        },
+        sla_ns,
+        seed: 23,
+    };
+    let online = OnlineConfig {
+        update_every: ONLINE_UPDATE_EVERY,
+    };
+    let mut inline;
+    let mut prefetched;
+    let source: &mut dyn tcast_datasets::BatchSource = if prefetch {
+        prefetched = PrefetchSource::new(inner, 2);
+        &mut prefetched
+    } else {
+        inline = inner;
+        &mut inline
+    };
+    serve_online(
+        &mut engine,
+        &mut trainer,
+        source,
+        &mut wl,
+        &serve_cfg,
+        online,
+    )
+    .expect("online serving must succeed")
+}
+
+fn emit_online(args: &Args, prefetch: bool, sla_ns: u64, r: &ServeReport, o: &OnlineReport) {
+    let per_update = |total_ns: u64| total_ns as f64 / o.updates.max(1) as f64 / 1e3;
+    println!(
+        "  online    prefetch {:<3}  {:>9.1} qps  ({} updates, generation {:>8.1} us/update, \
+         train {:>8.1} us/update, staleness mean {:.2})",
+        if prefetch { "on" } else { "off" },
+        r.qps(),
+        o.updates,
+        per_update(o.gen_ns),
+        per_update(o.train_ns),
+        o.mean_staleness(),
+    );
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "serve_online")
+        .str_field("policy", "fixed")
+        .str_field("prefetch", if prefetch { "on" } else { "off" })
+        .u64_field("batch_cap", ONLINE_BATCH as u64)
+        .u64_field("sla_ns", sla_ns)
+        .u64_field("queries", r.queries)
+        .u64_field("updates", o.updates)
+        .u64_field("cores", tcast_pool::default_parallelism() as u64)
+        .u64_field("threads", args.threads as u64)
+        .f64_field("qps", r.qps())
+        .f64_field("p99_us", r.latency.p99_ns() as f64 / 1e3)
+        .f64_field("gen_us_per_update", per_update(o.gen_ns))
+        .f64_field("train_us_per_update", per_update(o.train_ns))
+        .f64_field("mean_staleness", o.mean_staleness())
+        .f64_field("sla_violation_rate", r.sla_violation_rate());
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[serve_throughput] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
 }
 
 fn emit(args: &Args, policy: &str, batch_cap: usize, sla_ns: u64, r: &ServeReport) {
@@ -259,6 +394,29 @@ fn main() {
         );
         emit(&args, "adaptive", 64, sla, &r);
     }
+
+    // --- Online training: update-slot generation, inline vs prefetch. -
+    // One casted update step every 4 fused batches, training batches
+    // from a live synthetic source. Inline, the update slot pays batch
+    // generation before it can even start the step; a `PrefetchSource`
+    // producer generates ahead during the serving batches, so the slot
+    // finds its batch already waiting and `gen_us_per_update` collapses
+    // toward zero.
+    let train_batch = if fast_mode() { 512 } else { 2048 };
+    println!(
+        "\nonline training (lean-MLP model, casted update every {ONLINE_UPDATE_EVERY} fused \
+         batches, train batch {train_batch}):"
+    );
+    let (r_off, o_off) = run_online(&args, &execution, train_batch, false, sla_ns);
+    emit_online(&args, false, sla_ns, &r_off, &o_off);
+    let (r_on, o_on) = run_online(&args, &execution, train_batch, true, sla_ns);
+    emit_online(&args, true, sla_ns, &r_on, &o_on);
+    let per_update = |o: &OnlineReport| o.gen_ns as f64 / o.updates.max(1) as f64 / 1e3;
+    println!(
+        "update-slot generation: inline {:.1} us/update -> prefetched {:.1} us/update",
+        per_update(&o_off),
+        per_update(&o_on),
+    );
 
     // --- The headline ratio + full-size gate. -------------------------
     let qps_of = |target: usize| {

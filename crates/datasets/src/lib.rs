@@ -32,6 +32,7 @@
 
 mod histogram;
 mod popularity;
+mod prefetch;
 mod presets;
 mod source;
 mod synthetic;
@@ -40,6 +41,7 @@ mod workload;
 
 pub use histogram::{CoalesceStats, LookupHistogram};
 pub use popularity::{CdfSampler, Popularity};
+pub use prefetch::{PrefetchSource, PrefetchStats};
 pub use presets::DatasetPreset;
 pub use source::{BatchSource, SyntheticSource, TraceReplaySource};
 pub use synthetic::{CtrBatch, SyntheticCtr};

@@ -1,0 +1,498 @@
+//! Background-prefetched batch generation: a [`PrefetchSource`] wraps
+//! any [`BatchSource`] with a producer thread so batch *generation*
+//! overlaps the consumer's work — the data-side counterpart of the
+//! casting pipeline's Section IV-B overlap.
+//!
+//! The cross-batch `TrainLoop` driver hides *casting* behind training,
+//! but generation itself (dense draws, Zipf index sampling, planted
+//! labels) was still paid inline: the training loop blocks in
+//! `next_batch`, and the online serving loop pays it inside its update
+//! slot. `PrefetchSource` moves that work onto a dedicated producer
+//! thread feeding a bounded ready-queue:
+//!
+//! * **Same stream, any interleaving.** One producer fills a FIFO
+//!   queue, so the delivered checkout order is exactly the wrapped
+//!   source's order — bit-identical regardless of how producer and
+//!   consumer interleave (and recycling never changes a source's
+//!   stream, by the [`BatchSource`] contract).
+//! * **Bounded queue = backpressure.** The producer blocks once
+//!   `capacity` batches are ready (mirroring the casting pipeline's
+//!   in-flight cap), so a fast producer cannot buffer unboundedly.
+//! * **Free-list recycling across the thread boundary.** Batches given
+//!   back via [`BatchSource::recycle`] park in a shared free-list the
+//!   producer drains into the wrapped source before each generation, so
+//!   the steady state refills recycled buffers instead of allocating:
+//!   once `capacity + 2` buffers circulate, the free-list can never be
+//!   empty at production time (buffers only move between the ready
+//!   queue, the consumer, and the free-list), and every later batch is
+//!   an in-place refill (enforced in `tests/zero_alloc.rs`).
+//!
+//! Dropping a `PrefetchSource` (or calling
+//! [`PrefetchSource::into_inner`]) signals shutdown and joins the
+//! producer; a producer blocked on a full queue wakes immediately, and
+//! one that is mid-generation finishes its batch first.
+
+use crate::source::BatchSource;
+use crate::synthetic::CtrBatch;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Counters a [`PrefetchSource`] keeps about its producer/consumer
+/// hand-off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Batches the producer thread generated.
+    pub produced: u64,
+    /// Batches handed to the consumer.
+    pub delivered: u64,
+    /// High-water mark of the ready-queue — never exceeds the capacity
+    /// (the producer blocks instead of overfilling).
+    pub max_ready: usize,
+    /// Total time the producer spent blocked on a full ready-queue
+    /// (backpressure; the consumer is the bottleneck).
+    pub producer_wait: Duration,
+    /// Total time the consumer spent blocked on an empty ready-queue —
+    /// the *exposed* generation latency, the prefetch analogue of the
+    /// casting pipeline's exposed wait. Zero means generation was fully
+    /// hidden behind the consumer's own work.
+    pub consumer_wait: Duration,
+}
+
+struct State {
+    ready: VecDeque<Arc<CtrBatch>>,
+    free: Vec<Arc<CtrBatch>>,
+    /// The wrapped source returned `None`: the stream is over.
+    exhausted: bool,
+    /// Consumer-side shutdown request (drop / `into_inner`).
+    shutdown: bool,
+    /// The producer thread has exited (set on every exit path,
+    /// including a panic in the wrapped source, so a waiting consumer
+    /// can never deadlock on a dead producer).
+    producer_done: bool,
+    stats: PrefetchStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals the consumer: a batch arrived / the stream ended.
+    produced: Condvar,
+    /// Signals the producer: queue space opened / shutdown requested.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poisoning: the state is plain
+    /// bookkeeping (queues and counters mutated under the lock only),
+    /// so a panicking peer leaves it consistent — and the shutdown path
+    /// must still work after one side has died.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Ensures `producer_done` is published and sleepers woken on *every*
+/// producer exit — normal return, shutdown, or a panic unwinding out of
+/// the wrapped source.
+struct ProducerExitGuard(Arc<Shared>);
+
+impl Drop for ProducerExitGuard {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.producer_done = true;
+        self.0.produced.notify_all();
+        self.0.space.notify_all();
+    }
+}
+
+/// A [`BatchSource`] adapter running the wrapped source on a background
+/// producer thread behind a bounded ready-queue.
+///
+/// ```
+/// use tcast_datasets::{BatchSource, PrefetchSource, SyntheticCtr, SyntheticSource, TableWorkload, Popularity};
+///
+/// let tables = vec![TableWorkload::new(Popularity::Uniform { rows: 50 }, 2)];
+/// let inner = SyntheticSource::new(SyntheticCtr::new(tables, 4, 1), 16);
+/// let mut source = PrefetchSource::new(inner, 2); // generation runs ahead
+/// for _ in 0..5 {
+///     let batch = source.next_batch().expect("synthetic streams are endless");
+///     // ... train on `batch` while the producer generates the next ...
+///     source.recycle(batch);
+/// }
+/// assert_eq!(source.stats().delivered, 5);
+/// ```
+pub struct PrefetchSource<S: BatchSource + Send + 'static> {
+    shared: Arc<Shared>,
+    producer: Option<JoinHandle<S>>,
+}
+
+impl<S: BatchSource + Send + 'static> PrefetchSource<S> {
+    /// Wraps `source`, spawning the producer thread with a ready-queue
+    /// bound of `capacity` batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(source: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "need a nonzero prefetch capacity");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                ready: VecDeque::with_capacity(capacity),
+                free: Vec::with_capacity(capacity + 2),
+                exhausted: false,
+                shutdown: false,
+                producer_done: false,
+                stats: PrefetchStats::default(),
+            }),
+            produced: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let producer = std::thread::Builder::new()
+            .name("tcast-prefetch".to_string())
+            .spawn(move || Self::produce(source, &worker_shared))
+            .expect("spawn prefetch producer");
+        Self {
+            shared,
+            producer: Some(producer),
+        }
+    }
+
+    /// The producer loop: wait for queue space, drain recycled buffers
+    /// into the wrapped source, generate one batch (lock *not* held —
+    /// this is the work being overlapped), publish it. Returns the
+    /// wrapped source so [`PrefetchSource::into_inner`] can hand it
+    /// back.
+    fn produce(mut source: S, shared: &Arc<Shared>) -> S {
+        let _guard = ProducerExitGuard(Arc::clone(shared));
+        // Prime the wrapped source's free pool with empty shells (its
+        // `*_into` refill path sizes them on first use). With
+        // `capacity + 2` buffers circulating from the start, a consumer
+        // holding at most one batch can never catch the pool empty —
+        // even when its recycle races the producer's drain — so the
+        // warm steady state provably needs no fresh batch allocation.
+        // Consumers that hold more batches at once self-stabilize: each
+        // miss adds one buffer to the pool, permanently.
+        for _ in 0..shared.capacity + 2 {
+            source.recycle(Arc::new(CtrBatch::default()));
+        }
+        let mut recycled: Vec<Arc<CtrBatch>> = Vec::new();
+        loop {
+            {
+                let mut st = shared.lock();
+                while st.ready.len() >= shared.capacity && !st.shutdown {
+                    let t0 = Instant::now();
+                    st = shared.space.wait(st).unwrap_or_else(|e| e.into_inner());
+                    st.stats.producer_wait += t0.elapsed();
+                }
+                if st.shutdown {
+                    return source;
+                }
+                recycled.append(&mut st.free);
+            }
+            for batch in recycled.drain(..) {
+                source.recycle(batch);
+            }
+            let next = source.next_batch();
+            let mut st = shared.lock();
+            match next {
+                Some(batch) => {
+                    st.ready.push_back(batch);
+                    st.stats.produced += 1;
+                    st.stats.max_ready = st.stats.max_ready.max(st.ready.len());
+                    shared.produced.notify_one();
+                }
+                None => {
+                    st.exhausted = true;
+                    shared.produced.notify_all();
+                    return source;
+                }
+            }
+            if st.shutdown {
+                return source;
+            }
+        }
+    }
+
+    /// The ready-queue bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Batches generated and waiting to be checked out.
+    pub fn ready_len(&self) -> usize {
+        self.shared.lock().ready.len()
+    }
+
+    /// Snapshot of the hand-off counters.
+    pub fn stats(&self) -> PrefetchStats {
+        self.shared.lock().stats
+    }
+
+    /// Shuts the producer down and returns the wrapped source (with its
+    /// own free-list intact). Batches still in the ready-queue or the
+    /// shared free-list are dropped — a source must produce the same
+    /// stream without them, per the [`BatchSource`] contract.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the producer thread (i.e. from the
+    /// wrapped source's `next_batch`/`recycle`).
+    pub fn into_inner(mut self) -> S {
+        self.request_shutdown();
+        let handle = self.producer.take().expect("producer not yet joined");
+        match handle.join() {
+            Ok(source) => source,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        let mut st = self.shared.lock();
+        st.shutdown = true;
+        self.shared.space.notify_all();
+        self.shared.produced.notify_all();
+    }
+}
+
+impl<S: BatchSource + Send + 'static> BatchSource for PrefetchSource<S> {
+    /// Pops the oldest prefetched batch, blocking until the producer
+    /// delivers one (the blocked time is recorded as
+    /// [`PrefetchStats::consumer_wait`] — the exposed generation
+    /// latency). Returns `None` once the wrapped stream is exhausted
+    /// and the queue drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer thread died without ending the stream
+    /// (the wrapped source panicked mid-generation).
+    fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(batch) = st.ready.pop_front() {
+                st.stats.delivered += 1;
+                self.shared.space.notify_one();
+                return Some(batch);
+            }
+            if st.exhausted {
+                return None;
+            }
+            assert!(
+                !st.producer_done,
+                "prefetch producer died without exhausting the stream"
+            );
+            let t0 = Instant::now();
+            st = self
+                .shared
+                .produced
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+            st.stats.consumer_wait += t0.elapsed();
+        }
+    }
+
+    /// Parks the batch in the shared free-list; the producer drains it
+    /// into the wrapped source before its next generation.
+    fn recycle(&mut self, batch: Arc<CtrBatch>) {
+        let mut st = self.shared.lock();
+        st.free.push(batch);
+        self.shared.space.notify_one();
+    }
+}
+
+impl<S: BatchSource + Send + 'static> Drop for PrefetchSource<S> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.producer.take() {
+            self.request_shutdown();
+            // Swallow a producer panic: propagating from drop would
+            // abort. `into_inner` is the propagating path.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: BatchSource + Send + 'static> std::fmt::Debug for PrefetchSource<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock();
+        f.debug_struct("PrefetchSource")
+            .field("capacity", &self.shared.capacity)
+            .field("ready", &st.ready.len())
+            .field("free", &st.free.len())
+            .field("exhausted", &st.exhausted)
+            .field("stats", &st.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use crate::source::{SyntheticSource, TraceReplaySource};
+    use crate::synthetic::SyntheticCtr;
+    use crate::workload::TableWorkload;
+
+    fn ctr(seed: u64) -> SyntheticCtr {
+        let tables = vec![
+            TableWorkload::new(
+                Popularity::Zipf {
+                    rows: 300,
+                    exponent: 1.0,
+                },
+                3,
+            ),
+            TableWorkload::new(Popularity::Uniform { rows: 100 }, 2),
+        ];
+        SyntheticCtr::new(tables, 4, seed)
+    }
+
+    fn trace(seed: u64, batches: usize, batch: usize) -> TraceReplaySource {
+        let w = TableWorkload::new(
+            Popularity::Zipf {
+                rows: 200,
+                exponent: 1.0,
+            },
+            3,
+        );
+        let mut g = w.generator(seed);
+        let t: Vec<_> = (0..batches).map(|_| g.next_batch(batch)).collect();
+        TraceReplaySource::new(vec![t], 4, seed).unwrap()
+    }
+
+    #[test]
+    fn prefetched_stream_is_bit_identical_to_inline() {
+        let mut inline = SyntheticSource::new(ctr(11), 16);
+        let mut prefetched = PrefetchSource::new(SyntheticSource::new(ctr(11), 16), 3);
+        for step in 0..12 {
+            let want = inline.next_batch().unwrap();
+            let got = prefetched.next_batch().unwrap();
+            assert_eq!(*got, *want, "diverged at step {step}");
+            inline.recycle(want);
+            prefetched.recycle(got);
+        }
+        let stats = prefetched.stats();
+        assert_eq!(stats.delivered, 12);
+        assert!(stats.produced >= 12);
+        assert!(
+            stats.max_ready <= 3,
+            "queue overfilled: {}",
+            stats.max_ready
+        );
+    }
+
+    #[test]
+    fn prefetched_stream_is_identical_without_recycling() {
+        // Recycling is an optimization, never a correctness requirement
+        // — hoarding every batch must not change the stream.
+        let mut inline = SyntheticSource::new(ctr(5), 8);
+        let mut prefetched = PrefetchSource::new(SyntheticSource::new(ctr(5), 8), 2);
+        let mut hoard = Vec::new();
+        for step in 0..8 {
+            let want = inline.next_batch().unwrap();
+            let got = prefetched.next_batch().unwrap();
+            assert_eq!(*got, *want, "diverged at step {step}");
+            hoard.push(got);
+        }
+    }
+
+    #[test]
+    fn finite_trace_replay_exhausts_cleanly() {
+        let mut plain = trace(7, 4, 8);
+        let mut prefetched = PrefetchSource::new(trace(7, 4, 8), 2);
+        for step in 0..4 {
+            let want = plain.next_batch().unwrap();
+            let got = prefetched.next_batch().expect("trace not exhausted");
+            assert_eq!(*got, *want, "diverged at step {step}");
+            prefetched.recycle(got);
+        }
+        assert!(prefetched.next_batch().is_none(), "trace must end");
+        assert!(prefetched.next_batch().is_none(), "None must be sticky");
+    }
+
+    #[test]
+    fn producer_respects_the_capacity_bound() {
+        let prefetched = PrefetchSource::new(SyntheticSource::new(ctr(3), 8), 2);
+        // Never consume: the producer fills the queue to capacity and
+        // parks *before* generating a third batch.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while prefetched.ready_len() < 2 {
+            assert!(Instant::now() < deadline, "producer never filled the queue");
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = prefetched.stats();
+        assert_eq!(stats.produced, 2, "producer overran the bounded queue");
+        assert_eq!(stats.max_ready, 2);
+    }
+
+    #[test]
+    fn into_inner_returns_the_wrapped_source() {
+        let mut prefetched = PrefetchSource::new(SyntheticSource::new(ctr(9), 16), 2);
+        let first = prefetched.next_batch().unwrap();
+        prefetched.recycle(first);
+        // The wrapped source keeps working after unwrapping. Its stream
+        // position reflects every batch the producer generated — some
+        // were dropped with the ready-queue, which is fine: the stream,
+        // not the buffers, is the contract.
+        let mut inner = prefetched.into_inner();
+        assert!(inner.next_batch().is_some());
+    }
+
+    #[test]
+    fn consumer_wait_is_recorded_when_the_producer_is_slow() {
+        struct Slow(SyntheticSource);
+        impl BatchSource for Slow {
+            fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+                std::thread::sleep(Duration::from_millis(2));
+                self.0.next_batch()
+            }
+            fn recycle(&mut self, batch: Arc<CtrBatch>) {
+                self.0.recycle(batch);
+            }
+        }
+        let mut prefetched = PrefetchSource::new(Slow(SyntheticSource::new(ctr(13), 8)), 1);
+        for _ in 0..3 {
+            let b = prefetched.next_batch().unwrap();
+            prefetched.recycle(b);
+        }
+        assert!(prefetched.stats().consumer_wait > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "producer died")]
+    fn panicking_source_fails_the_consumer_instead_of_deadlocking() {
+        struct Bomb;
+        impl BatchSource for Bomb {
+            fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+                panic!("synthetic source failure");
+            }
+            fn recycle(&mut self, _batch: Arc<CtrBatch>) {}
+        }
+        let mut prefetched = PrefetchSource::new(Bomb, 2);
+        let _ = prefetched.next_batch();
+    }
+
+    #[test]
+    fn steady_state_circulates_a_bounded_buffer_pool() {
+        // The allocation-free claim, certified structurally: with the
+        // consumer recycling every batch, the wrapped source's free-list
+        // plus the circulating buffers stop growing — every refill after
+        // warm-up reuses a recycled CtrBatch. (The counting-allocator
+        // enforcement lives in tests/zero_alloc.rs.)
+        let mut prefetched = PrefetchSource::new(SyntheticSource::new(ctr(21), 16), 2);
+        for _ in 0..40 {
+            let b = prefetched.next_batch().unwrap();
+            prefetched.recycle(b);
+        }
+        let inner = prefetched.into_inner();
+        // Capacity 2 in the queue + 1 at the consumer + free-list slack.
+        assert!(
+            inner.free_list_len() <= 2 + 2,
+            "buffer pool grew without bound: {} buffers parked",
+            inner.free_list_len()
+        );
+    }
+}

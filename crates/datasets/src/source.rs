@@ -20,6 +20,7 @@
 
 use crate::synthetic::{CtrBatch, SyntheticCtr};
 use crate::trace::{read_trace, TraceError};
+use std::collections::VecDeque;
 use std::io::Read;
 use std::sync::Arc;
 use tcast_embedding::IndexArray;
@@ -53,7 +54,11 @@ pub trait BatchSource {
 pub struct SyntheticSource {
     generator: SyntheticCtr,
     batch: usize,
-    free: Vec<Arc<CtrBatch>>,
+    /// FIFO, so recycled buffers rotate round-robin: every buffer in a
+    /// steady pool gets refilled (and thus capacity-sized) within one
+    /// rotation, instead of a LIFO hot buffer shadowing cold ones that
+    /// would then pay their first sizing mid-run.
+    free: VecDeque<Arc<CtrBatch>>,
 }
 
 impl SyntheticSource {
@@ -67,7 +72,7 @@ impl SyntheticSource {
         Self {
             generator,
             batch,
-            free: Vec::new(),
+            free: VecDeque::new(),
         }
     }
 
@@ -86,7 +91,7 @@ impl BatchSource for SyntheticSource {
     fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
         let mut arc = self
             .free
-            .pop()
+            .pop_front()
             .unwrap_or_else(|| Arc::new(CtrBatch::default()));
         match Arc::get_mut(&mut arc) {
             Some(buf) => self.generator.next_batch_into(self.batch, buf),
@@ -95,7 +100,7 @@ impl BatchSource for SyntheticSource {
             // the share drops — and produce a fresh one; the stream is
             // the same either way.
             None => {
-                self.free.push(arc);
+                self.free.push_back(arc);
                 arc = Arc::new(self.generator.next_batch(self.batch));
             }
         }
@@ -103,7 +108,7 @@ impl BatchSource for SyntheticSource {
     }
 
     fn recycle(&mut self, batch: Arc<CtrBatch>) {
-        self.free.push(batch);
+        self.free.push_back(batch);
     }
 }
 
@@ -121,7 +126,7 @@ pub struct TraceReplaySource {
     rng: SplitMix64,
     cursor: usize,
     cycle: bool,
-    free: Vec<Arc<CtrBatch>>,
+    free: VecDeque<Arc<CtrBatch>>,
 }
 
 impl TraceReplaySource {
@@ -171,7 +176,7 @@ impl TraceReplaySource {
             rng: SplitMix64::new(seed),
             cursor: 0,
             cycle: false,
-            free: Vec::new(),
+            free: VecDeque::new(),
         })
     }
 
@@ -221,7 +226,7 @@ impl BatchSource for TraceReplaySource {
         let batch = indices[0].num_outputs();
         let mut arc = self
             .free
-            .pop()
+            .pop_front()
             .unwrap_or_else(|| Arc::new(CtrBatch::default()));
         let rng = &mut self.rng;
         let fill = |buf: &mut CtrBatch| {
@@ -240,7 +245,7 @@ impl BatchSource for TraceReplaySource {
             // Park the still-shared buffer for later reuse, as in
             // [`SyntheticSource::next_batch`].
             None => {
-                self.free.push(arc);
+                self.free.push_back(arc);
                 let mut fresh = CtrBatch::default();
                 fill(&mut fresh);
                 arc = Arc::new(fresh);
@@ -250,7 +255,7 @@ impl BatchSource for TraceReplaySource {
     }
 
     fn recycle(&mut self, batch: Arc<CtrBatch>) {
-        self.free.push(batch);
+        self.free.push_back(batch);
     }
 }
 

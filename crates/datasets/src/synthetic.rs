@@ -7,7 +7,7 @@
 //! model trained on this stream can (and in tests, must) beat the
 //! all-zeros predictor.
 
-use crate::workload::TableWorkload;
+use crate::workload::{TableWorkload, WorkloadGenerator};
 use std::sync::Arc;
 use tcast_embedding::IndexArray;
 use tcast_tensor::{Matrix, SplitMix64};
@@ -60,6 +60,18 @@ pub struct SyntheticCtr {
     /// Per-batch table seeds, drawn before the generators run; buffered
     /// here so the steady-state refill path performs no allocation.
     table_seed_scratch: Vec<u64>,
+    /// One cached generator per table, reseeded each batch. A
+    /// [`WorkloadGenerator`] owns the table's popularity sampler, whose
+    /// construction is O(rows) (a `powf` per row for Zipf CDFs) —
+    /// rebuilding it per batch per table used to dominate generation
+    /// cost *and* allocate, breaking the free-list's allocation-free
+    /// steady state. Reseeding draws the identical stream.
+    generators: Vec<WorkloadGenerator>,
+    /// Per-sample planted logits and per-sample affinity accumulators,
+    /// buffered so the refill path stays allocation-free.
+    logit_scratch: Vec<f32>,
+    affinity_scratch: Vec<f32>,
+    count_scratch: Vec<u32>,
 }
 
 impl SyntheticCtr {
@@ -69,6 +81,7 @@ impl SyntheticCtr {
         let mut rng = SplitMix64::new(seed);
         let dense_weights = (0..dense_dim).map(|_| rng.next_range(-1.0, 1.0)).collect();
         let row_affinity_seeds = (0..tables.len()).map(|_| rng.next_u64()).collect();
+        let generators = tables.iter().map(|t| t.generator(0)).collect();
         Self {
             tables,
             dense_dim,
@@ -76,6 +89,10 @@ impl SyntheticCtr {
             row_affinity_seeds,
             rng,
             table_seed_scratch: Vec::new(),
+            generators,
+            logit_scratch: Vec::new(),
+            affinity_scratch: Vec::new(),
+            count_scratch: Vec::new(),
         }
     }
 
@@ -87,15 +104,6 @@ impl SyntheticCtr {
     /// Dense feature dimensionality.
     pub fn dense_dim(&self) -> usize {
         self.dense_dim
-    }
-
-    /// Hidden affinity of a table row in the planted model (deterministic
-    /// hash of `(table, row)` mapped into `[-0.5, 0.5]`).
-    fn affinity(&self, table: usize, row: u32) -> f32 {
-        let mut h = SplitMix64::new(
-            self.row_affinity_seeds[table] ^ (row as u64).wrapping_mul(0x9E3779B97F4A7C15),
-        );
-        h.next_range(-0.5, 0.5)
     }
 
     /// Generates the next mini-batch.
@@ -126,13 +134,14 @@ impl SyntheticCtr {
         }
         let recyclable = match Arc::get_mut(&mut out.indices) {
             Some(arrays) if arrays.len() == self.tables.len() => {
-                for ((t, &s), index) in self
-                    .tables
-                    .iter()
+                for ((g, &s), index) in self
+                    .generators
+                    .iter_mut()
                     .zip(self.table_seed_scratch.iter())
                     .zip(arrays.iter_mut())
                 {
-                    t.generator(s).next_batch_into(batch, index);
+                    g.reseed(s);
+                    g.next_batch_into(batch, index);
                 }
                 true
             }
@@ -140,40 +149,67 @@ impl SyntheticCtr {
         };
         if !recyclable {
             let indices: Vec<IndexArray> = self
-                .tables
-                .iter()
+                .generators
+                .iter_mut()
                 .zip(self.table_seed_scratch.iter())
-                .map(|(t, &s)| t.generator(s).next_batch(batch))
+                .map(|(g, &s)| {
+                    g.reseed(s);
+                    g.next_batch(batch)
+                })
                 .collect();
             out.indices = indices.into();
         }
         // Planted logit: dense part + mean affinity of looked-up rows.
+        // Accumulated in one pass over each table's pairs (rather than
+        // rescanning the whole index array per sample, which made
+        // generation O(batch^2 x pooling) and too slow to ever hide
+        // behind training at benchmark batch sizes). Per sample, the
+        // additions happen in exactly the old order — dense dot first,
+        // then each table's pairs in index order, tables in order — and
+        // the label RNG draws once per sample in sample order, so the
+        // stream is bit-identical to the quadratic form.
         out.labels.zero_into(batch, 1);
+        self.logit_scratch.clear();
         for b in 0..batch {
-            let mut logit: f32 = out
-                .dense
-                .row(b)
-                .iter()
-                .zip(self.dense_weights.iter())
-                .map(|(x, w)| x * w)
-                .sum();
-            for (t, index) in out.indices.iter().enumerate() {
-                let mut acc = 0.0;
-                let mut cnt = 0;
-                for (src, dst) in index.iter() {
-                    if dst as usize == b {
-                        acc += self.affinity(t, src);
-                        cnt += 1;
-                    }
-                }
-                if cnt > 0 {
-                    logit += acc / cnt as f32;
+            self.logit_scratch.push(
+                out.dense
+                    .row(b)
+                    .iter()
+                    .zip(self.dense_weights.iter())
+                    .map(|(x, w)| x * w)
+                    .sum(),
+            );
+        }
+        for (t, index) in out.indices.iter().enumerate() {
+            self.affinity_scratch.clear();
+            self.affinity_scratch.resize(batch, 0.0);
+            self.count_scratch.clear();
+            self.count_scratch.resize(batch, 0);
+            let table_seed = self.row_affinity_seeds[t];
+            for (src, dst) in index.iter() {
+                self.affinity_scratch[dst as usize] += affinity_of(table_seed, src);
+                self.count_scratch[dst as usize] += 1;
+            }
+            for b in 0..batch {
+                if self.count_scratch[b] > 0 {
+                    self.logit_scratch[b] +=
+                        self.affinity_scratch[b] / self.count_scratch[b] as f32;
                 }
             }
-            let p = 1.0 / (1.0 + (-2.0 * logit).exp());
+        }
+        for b in 0..batch {
+            let p = 1.0 / (1.0 + (-2.0 * self.logit_scratch[b]).exp());
             out.labels.row_mut(b)[0] = if self.rng.next_f32() < p { 1.0 } else { 0.0 };
         }
     }
+}
+
+/// The planted model's hidden per-row affinity: a deterministic hash of
+/// `(table seed, row)` mapped into `[-0.5, 0.5]`. Free-standing so the
+/// refill path can call it while holding its scratch borrows.
+fn affinity_of(table_seed: u64, row: u32) -> f32 {
+    let mut h = SplitMix64::new(table_seed ^ (row as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    h.next_range(-0.5, 0.5)
 }
 
 #[cfg(test)]
@@ -241,6 +277,40 @@ mod tests {
         b.next_batch_into(16, &mut buf);
         assert_eq!(buf, a.next_batch(16));
         drop(hold);
+    }
+
+    #[test]
+    fn single_pass_logits_match_the_per_sample_scan() {
+        // The planted logit used to be computed by rescanning every
+        // table's pairs once per sample (O(batch^2 x pooling)); the
+        // single-pass accumulator must reproduce that formula bit for
+        // bit — per sample: dense dot, then each table's matching pairs
+        // in index order.
+        let mut g = gen();
+        let b = g.next_batch(48);
+        for s in 0..48 {
+            let mut logit: f32 = b
+                .dense
+                .row(s)
+                .iter()
+                .zip(g.dense_weights.iter())
+                .map(|(x, w)| x * w)
+                .sum();
+            for (t, index) in b.indices.iter().enumerate() {
+                let mut acc = 0.0;
+                let mut cnt = 0;
+                for (src, dst) in index.iter() {
+                    if dst as usize == s {
+                        acc += affinity_of(g.row_affinity_seeds[t], src);
+                        cnt += 1;
+                    }
+                }
+                if cnt > 0 {
+                    logit += acc / cnt as f32;
+                }
+            }
+            assert_eq!(g.logit_scratch[s], logit, "sample {s} diverged");
+        }
     }
 
     #[test]

@@ -17,10 +17,21 @@
 //! weights and losses to the serial `step` loop** (property-tested in
 //! `tests/pipelined_training.rs` across both backward modes and all five
 //! optimizers).
+//!
+//! The lookahead depth itself can be *closed-loop*: a
+//! [`DepthController`] under [`DepthPolicy::Adaptive`] reads each
+//! completed step's [`StepReport::exposed_cast_wait`] and hill-climbs
+//! the depth between configured bounds — additive increase while
+//! casting latency stays exposed, multiplicative decrease once it has
+//! been hidden for long enough (the AIMD shape DeepRecSys uses for
+//! SLA-driven batch sizing, applied to the paper's Fig. 9b metric).
+//! Because depth only decides *when* casting jobs are submitted, the
+//! adaptation is observation-only: any depth trajectory trains
+//! bit-identically.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::trainer::{InFlightStep, PhaseTimings, StepReport, Trainer};
 use tcast_core::PipelineStats;
@@ -42,6 +53,17 @@ pub struct RunSummary {
     pub exposed_cast_wait: Duration,
     /// Casting time spent by the pipeline worker during this run.
     pub casting_time: Duration,
+    /// Total time [`TrainLoop::run`] blocked in the source's
+    /// `next_batch` — the run's exposed batch-*generation* latency.
+    /// With an inline source this is the full generation cost; wrapping
+    /// the source in a `PrefetchSource` moves generation onto a
+    /// producer thread and collapses this to the residual the producer
+    /// could not stay ahead of.
+    pub batch_wait: Duration,
+    /// Lookahead depth in effect as each step completed — the
+    /// [`DepthController`] trajectory (constant under
+    /// [`DepthPolicy::Fixed`]).
+    pub depths: Vec<usize>,
 }
 
 impl RunSummary {
@@ -58,6 +80,189 @@ impl RunSummary {
         }
         .hidden_fraction()
     }
+
+    /// Mean lookahead depth over the run (0.0 for an empty run).
+    pub fn mean_depth(&self) -> f64 {
+        if self.depths.is_empty() {
+            return 0.0;
+        }
+        self.depths.iter().sum::<usize>() as f64 / self.depths.len() as f64
+    }
+
+    /// Depth in effect when the last step completed.
+    pub fn final_depth(&self) -> usize {
+        self.depths.last().copied().unwrap_or(0)
+    }
+}
+
+/// How a [`TrainLoop`] chooses its lookahead depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepthPolicy {
+    /// A constant depth — exactly the PR-3 driver behaviour
+    /// ([`TrainLoop::new`] is `with_policy(.., Fixed(depth))`).
+    Fixed(usize),
+    /// Closed-loop AIMD between bounds, driven by measured exposed
+    /// casting waits.
+    Adaptive(AdaptiveDepth),
+}
+
+impl DepthPolicy {
+    /// The largest depth this policy can ever select (sizes the
+    /// in-flight queue).
+    fn max_depth(&self) -> usize {
+        match *self {
+            DepthPolicy::Fixed(depth) => depth,
+            DepthPolicy::Adaptive(a) => a.max,
+        }
+    }
+}
+
+/// Knobs of the adaptive depth controller.
+///
+/// The controller aggregates [`StepReport::exposed_cast_wait`] over
+/// `window`-step observation windows. A window whose mean exposed wait
+/// exceeds `target_exposed_ns` is a *congestion* signal — casting is
+/// not hidden, so the lookahead additively deepens by one. After
+/// `decrease_after` consecutive hidden windows the depth halves
+/// (multiplicative decrease) to shed the batches a deeper-than-needed
+/// queue keeps alive; if the shallower depth re-exposes casting within
+/// its first window, the controller climbs back and pins a floor just
+/// above the depth that failed. Each failed trial therefore ratchets
+/// the floor upward — successive halvings probe the knee from *below*
+/// until the floor reaches the shallowest depth that hides casting,
+/// rather than oscillating around it (or locking in a
+/// deeper-than-necessary depth, as pinning the pre-trial depth would).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveDepth {
+    /// Smallest depth the controller may select (and the initial one —
+    /// adaptation is observation-driven, so runs start shallow and
+    /// climb only when measurements say to).
+    pub min: usize,
+    /// Largest depth the controller may select. Keep at or below the
+    /// casting pipeline's in-flight cap; a deeper queue would only
+    /// block in `begin_step`.
+    pub max: usize,
+    /// Steps per observation window.
+    pub window: usize,
+    /// Mean per-step exposed casting wait (nanoseconds) below which a
+    /// window counts as hidden.
+    pub target_exposed_ns: u64,
+    /// Consecutive hidden windows before the controller tries a
+    /// shallower depth.
+    pub decrease_after: usize,
+}
+
+impl AdaptiveDepth {
+    /// An adaptive policy between `min` and `max` with the default
+    /// cadence: 4-step windows, a 1 us per-step hidden threshold, and a
+    /// decrease trial after 4 consecutive hidden windows.
+    pub fn new(min: usize, max: usize) -> Self {
+        Self {
+            min,
+            max,
+            window: 4,
+            target_exposed_ns: 1_000,
+            decrease_after: 4,
+        }
+    }
+}
+
+/// The closed-loop lookahead controller (see [`AdaptiveDepth`] for the
+/// decision rule). Deterministic by construction: decisions are a pure
+/// function of the observed wait sequence — no clocks, no randomness —
+/// so identical measurements reproduce the identical depth trajectory
+/// (property-tested in `tests/pipelined_training.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthController {
+    policy: DepthPolicy,
+    depth: usize,
+    window_wait: Duration,
+    window_steps: usize,
+    hidden_streak: usize,
+    /// Depth below which a past decrease trial re-exposed casting; the
+    /// controller never descends below it again.
+    floor: usize,
+    /// The previous decision was a decrease trial (so a congested next
+    /// window pins the floor).
+    trialing: bool,
+}
+
+impl DepthController {
+    /// Builds a controller; the initial depth is the fixed depth or the
+    /// adaptive minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate adaptive policy (`min > max` or a zero
+    /// window).
+    pub fn new(policy: DepthPolicy) -> Self {
+        let depth = match policy {
+            DepthPolicy::Fixed(depth) => depth,
+            DepthPolicy::Adaptive(a) => {
+                assert!(a.min <= a.max, "adaptive depth bounds inverted");
+                assert!(a.window > 0, "adaptive window must be positive");
+                a.min
+            }
+        };
+        Self {
+            policy,
+            depth,
+            window_wait: Duration::ZERO,
+            window_steps: 0,
+            hidden_streak: 0,
+            floor: match policy {
+                DepthPolicy::Fixed(d) => d,
+                DepthPolicy::Adaptive(a) => a.min,
+            },
+            trialing: false,
+        }
+    }
+
+    /// The policy this controller runs.
+    pub fn policy(&self) -> DepthPolicy {
+        self.policy
+    }
+
+    /// The depth currently in effect.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Feeds one completed step's exposed casting wait; returns the
+    /// depth to use from now on (unchanged until a window boundary).
+    pub fn observe(&mut self, exposed_cast_wait: Duration) -> usize {
+        let DepthPolicy::Adaptive(a) = self.policy else {
+            return self.depth;
+        };
+        self.window_wait += exposed_cast_wait;
+        self.window_steps += 1;
+        if self.window_steps < a.window {
+            return self.depth;
+        }
+        let mean_ns = self.window_wait.as_nanos() as u64 / a.window as u64;
+        self.window_wait = Duration::ZERO;
+        self.window_steps = 0;
+        if mean_ns > a.target_exposed_ns {
+            // Congestion: casting is exposed at this depth. If we just
+            // stepped down, the shallower depth is proven too shallow —
+            // pin the floor where we climb back to.
+            if self.trialing {
+                self.floor = (self.depth + 1).min(a.max);
+            }
+            self.depth = (self.depth + 1).min(a.max);
+            self.hidden_streak = 0;
+        } else {
+            self.hidden_streak += 1;
+            if self.hidden_streak >= a.decrease_after && self.depth > self.floor {
+                self.depth = (self.depth / 2).max(self.floor).max(a.min);
+                self.hidden_streak = 0;
+                self.trialing = true;
+                return self.depth;
+            }
+        }
+        self.trialing = false;
+        self.depth
+    }
 }
 
 /// The cross-batch pipelined training driver.
@@ -69,6 +274,12 @@ impl RunSummary {
 /// the cost of holding more batches alive. The casting pipeline's own
 /// bounded in-flight cap backstops the queue: a `depth` beyond the cap
 /// blocks in [`Trainer::begin_step`] instead of growing it.
+///
+/// The depth is either pinned ([`TrainLoop::new`] /
+/// [`DepthPolicy::Fixed`]) or driven at run time by the
+/// [`DepthController`] ([`TrainLoop::with_policy`] with
+/// [`DepthPolicy::Adaptive`]), which adapts it to the measured exposed
+/// casting wait.
 ///
 /// # Example
 ///
@@ -92,24 +303,38 @@ impl RunSummary {
 #[derive(Debug)]
 pub struct TrainLoop {
     trainer: Trainer,
-    depth: usize,
+    controller: DepthController,
     queue: VecDeque<InFlightStep>,
 }
 
 impl TrainLoop {
     /// Wraps a trainer into a driver with the given casting lookahead
-    /// depth (0 = serial).
+    /// depth (0 = serial) — a [`DepthPolicy::Fixed`] driver.
     pub fn new(trainer: Trainer, depth: usize) -> Self {
+        Self::with_policy(trainer, DepthPolicy::Fixed(depth))
+    }
+
+    /// Wraps a trainer into a driver whose lookahead depth follows
+    /// `policy`. Under [`DepthPolicy::Adaptive`] every completed step's
+    /// [`StepReport::exposed_cast_wait`] feeds the [`DepthController`],
+    /// which retunes the depth at window boundaries — observation-only,
+    /// so the trajectory stays bit-identical to any fixed depth.
+    pub fn with_policy(trainer: Trainer, policy: DepthPolicy) -> Self {
         Self {
-            queue: VecDeque::with_capacity(depth + 1),
+            queue: VecDeque::with_capacity(policy.max_depth() + 1),
             trainer,
-            depth,
+            controller: DepthController::new(policy),
         }
     }
 
-    /// The lookahead depth.
+    /// The lookahead depth currently in effect.
     pub fn depth(&self) -> usize {
-        self.depth
+        self.controller.depth()
+    }
+
+    /// The depth controller (its policy and current depth).
+    pub fn controller(&self) -> &DepthController {
+        &self.controller
     }
 
     /// Steps begun but not yet completed.
@@ -127,7 +352,12 @@ impl TrainLoop {
     /// one, returning its report together with its batch (so the caller
     /// can recycle the buffers into a [`BatchSource`] free-list).
     ///
-    /// Completions come back in push order, `depth` pushes behind.
+    /// Completions come back in push order, `depth` pushes behind. An
+    /// adaptive policy may lower the depth mid-stream, leaving more
+    /// than `depth + 1` steps in flight; each push still completes at
+    /// most one step, so the queue drains by one per push — use
+    /// [`TrainLoop::complete_excess`] (as [`TrainLoop::run`] does) to
+    /// drain immediately.
     ///
     /// # Errors
     ///
@@ -139,10 +369,27 @@ impl TrainLoop {
     ) -> Result<Option<(StepReport, Arc<CtrBatch>)>, EmbeddingError> {
         let step = self.trainer.begin_step(batch);
         self.queue.push_back(step);
-        if self.queue.len() > self.depth {
+        if self.queue.len() > self.controller.depth() {
             return self.complete_front().map(Some);
         }
         Ok(None)
+    }
+
+    /// Completes in-flight steps until no more than the current depth
+    /// remain — the drain a mid-stream depth *decrease* calls for.
+    /// Returns the completed reports and batches in order (usually
+    /// empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape/index inconsistencies; steps after the
+    /// failing one remain in flight.
+    pub fn complete_excess(&mut self) -> Result<Vec<(StepReport, Arc<CtrBatch>)>, EmbeddingError> {
+        let mut out = Vec::new();
+        while self.queue.len() > self.controller.depth() {
+            out.push(self.complete_front()?);
+        }
+        Ok(out)
     }
 
     /// Completes every in-flight step, returning their reports and
@@ -165,6 +412,9 @@ impl TrainLoop {
         let step = self.queue.pop_front().expect("queue non-empty");
         let batch = Arc::clone(step.batch());
         let report = self.trainer.complete_step(step)?;
+        // Close the control loop: every completed step's measured
+        // exposed wait feeds the controller (a no-op under Fixed).
+        self.controller.observe(report.exposed_cast_wait);
         Ok((report, batch))
     }
 
@@ -184,16 +434,25 @@ impl TrainLoop {
         let stats_before = self.pipeline_stats_or_default();
         let mut summary = RunSummary::default();
         for _ in 0..steps {
-            let Some(batch) = source.next_batch() else {
+            let t0 = Instant::now();
+            let next = source.next_batch();
+            summary.batch_wait += t0.elapsed();
+            let Some(batch) = next else {
                 break;
             };
             if let Some((report, done)) = self.push(batch)? {
-                Self::record(&mut summary, &report);
+                self.record(&mut summary, &report);
+                source.recycle(done);
+            }
+            // An adaptive depth decrease leaves excess steps in flight;
+            // complete them now so the queue tracks the new depth.
+            for (report, done) in self.complete_excess()? {
+                self.record(&mut summary, &report);
                 source.recycle(done);
             }
         }
         for (report, done) in self.finish()? {
-            Self::record(&mut summary, &report);
+            self.record(&mut summary, &report);
             source.recycle(done);
         }
         let stats_after = self.pipeline_stats_or_default();
@@ -201,11 +460,12 @@ impl TrainLoop {
         Ok(summary)
     }
 
-    fn record(summary: &mut RunSummary, report: &StepReport) {
+    fn record(&self, summary: &mut RunSummary, report: &StepReport) {
         summary.steps += 1;
         summary.losses.push(report.loss);
         summary.timings += report.timings;
         summary.exposed_cast_wait += report.exposed_cast_wait;
+        summary.depths.push(self.controller.depth());
     }
 
     fn pipeline_stats_or_default(&self) -> PipelineStats {
@@ -318,6 +578,110 @@ mod tests {
         assert_eq!(summary.steps, 4);
         assert_eq!(summary.exposed_cast_wait, Duration::ZERO);
         assert_eq!(summary.hidden_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fixed_policy_reports_a_constant_depth_trajectory() {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 7).unwrap();
+        let mut driver = TrainLoop::with_policy(trainer, DepthPolicy::Fixed(2));
+        let summary = driver.run(&mut source(3, 8), 5).unwrap();
+        assert_eq!(summary.depths, vec![2; 5]);
+        assert_eq!(summary.mean_depth(), 2.0);
+        assert_eq!(summary.final_depth(), 2);
+    }
+
+    #[test]
+    fn controller_climbs_on_exposed_waits_and_respects_bounds() {
+        let mut c = DepthController::new(DepthPolicy::Adaptive(AdaptiveDepth {
+            min: 1,
+            max: 3,
+            window: 2,
+            target_exposed_ns: 1_000,
+            decrease_after: 2,
+        }));
+        assert_eq!(c.depth(), 1);
+        let exposed = Duration::from_micros(50);
+        // Every window congested: +1 per window, clamped at max.
+        for _ in 0..10 {
+            c.observe(exposed);
+        }
+        assert_eq!(c.depth(), 3, "additive increase must stop at max");
+        // Fully hidden: after `decrease_after` windows the depth halves,
+        // never below min.
+        for _ in 0..40 {
+            c.observe(Duration::ZERO);
+        }
+        assert_eq!(c.depth(), 1, "multiplicative decrease must stop at min");
+    }
+
+    #[test]
+    fn controller_pins_a_floor_after_a_failed_decrease_trial() {
+        let a = AdaptiveDepth {
+            min: 0,
+            max: 8,
+            window: 1,
+            target_exposed_ns: 1_000,
+            decrease_after: 2,
+        };
+        let mut c = DepthController::new(DepthPolicy::Adaptive(a));
+        let exposed = Duration::from_micros(100);
+        // Simulate a knee at depth 2: exposed below 2, hidden at >= 2.
+        let mut trace = Vec::new();
+        for _ in 0..40 {
+            let wait = if c.depth() >= 2 {
+                Duration::ZERO
+            } else {
+                exposed
+            };
+            trace.push(c.observe(wait));
+        }
+        // The tail must sit at the knee: a decrease trial to 1 exposes
+        // casting, the controller climbs back and pins floor = 2.
+        assert!(
+            trace[20..].iter().all(|&d| d == 2),
+            "controller failed to converge on the knee: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_depth_decrease_drains_the_queue_mid_run() {
+        // A policy that *starts* deep and collapses once hidden: the
+        // drain path (complete_excess) must keep in_flight <= depth and
+        // the run bit-identical to serial.
+        let a = AdaptiveDepth {
+            min: 0,
+            max: 4,
+            window: 1,
+            target_exposed_ns: u64::MAX, // every window counts as hidden
+            decrease_after: 1,
+        };
+        let mk = || Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 3).unwrap();
+        let mut adaptive = TrainLoop::with_policy(mk(), DepthPolicy::Adaptive(a));
+        let summary = adaptive.run(&mut source(8, 16), 8).unwrap();
+        assert_eq!(summary.steps, 8);
+        assert_eq!(adaptive.in_flight(), 0);
+        let mut serial = TrainLoop::new(mk(), 0);
+        let serial_summary = serial.run(&mut source(8, 16), 8).unwrap();
+        assert_eq!(summary.losses, serial_summary.losses);
+        // With every window hidden the depth can only fall; it must end
+        // at min and never exceed max.
+        assert!(summary.depths.iter().all(|&d| d <= 4));
+        assert_eq!(summary.final_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_adaptive_bounds_rejected() {
+        DepthController::new(DepthPolicy::Adaptive(AdaptiveDepth::new(5, 2)));
+    }
+
+    #[test]
+    fn run_measures_generation_wait() {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 2).unwrap();
+        let mut driver = TrainLoop::new(trainer, 1);
+        let summary = driver.run(&mut source(4, 32), 4).unwrap();
+        // Inline generation always costs *something* measurable.
+        assert!(summary.batch_wait > Duration::ZERO);
     }
 
     #[test]

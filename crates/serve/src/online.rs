@@ -23,6 +23,15 @@
 //! `tests/serving.rs`). What serving adds is *staleness*: queries are
 //! scored by a model some number of update steps old, tracked per batch
 //! in [`OnlineReport`].
+//!
+//! The update slot pays two costs, both accounted on the simulated
+//! clock: *generating* the training batch ([`OnlineReport::gen_ns`])
+//! and the step itself ([`OnlineReport::train_ns`]). Passing a
+//! `tcast_datasets::PrefetchSource` as the batch source moves
+//! generation onto a background producer thread that overlaps serving
+//! *and* update slots, collapsing `gen_ns` to the residual the
+//! producer could not stay ahead of — with an update trajectory still
+//! bit-identical (prefetching reorders nothing).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -71,6 +80,14 @@ pub struct OnlineReport {
     pub losses: Vec<f32>,
     /// Wall time spent inside update steps (also on the simulated clock).
     pub train_ns: u64,
+    /// Wall time the update slot spent blocked in the batch source's
+    /// `next_batch` — the *generation* cost paid inside the serving
+    /// loop (also on the simulated clock). With an inline source this
+    /// is the full cost of generating each training batch; wrapping the
+    /// source in a `PrefetchSource` moves generation onto a background
+    /// producer that overlaps both serving and update slots, collapsing
+    /// this to ~0 (`serve_throughput` records both).
+    pub gen_ns: u64,
     /// Per-batch model staleness, in *update steps behind*: how many
     /// serving batches were scored at each staleness level is what the
     /// histogram of this vector shows; entry `i` is the staleness of
@@ -139,9 +156,13 @@ pub fn serve_online(
             report.staleness_batches.push(batches_since_update);
             batches_since_update += 1;
             if batches_since_update >= online.update_every as u64 {
+                let t0 = Instant::now();
                 let batch = source.next_batch().ok_or_else(|| {
                     EmbeddingError::InvalidIndex("training batch source ended".to_string())
                 })?;
+                let gen = t0.elapsed().as_nanos() as u64;
+                loop_.advance_clock(gen);
+                report.gen_ns += gen;
                 let t0 = Instant::now();
                 let step = trainer.step(&batch)?;
                 let spent = t0.elapsed().as_nanos() as u64;
@@ -503,5 +524,62 @@ mod tests {
         assert_eq!(online.staleness_batches.len(), 10);
         assert!(online.max_staleness() <= 1, "update_every 2 -> 0/1 stale");
         assert!(online.train_ns > 0);
+        assert!(online.gen_ns > 0, "inline generation must be measurable");
+    }
+
+    #[test]
+    fn prefetched_batch_source_preserves_the_update_trajectory() {
+        // The whole point of wiring PrefetchSource into serve_online:
+        // generation moves off the update slot, the trajectory does not
+        // move at all.
+        use tcast_datasets::PrefetchSource;
+        let cfg = DlrmConfig::tiny();
+        let run = |prefetch: bool| {
+            let mut trainer = Trainer::new(cfg.clone(), BackwardMode::Casted, 17).unwrap();
+            let inner = SyntheticSource::new(
+                SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 2),
+                16,
+            );
+            let mut engine = ServeEngine::with_defaults(trainer.model());
+            let serve_cfg = config(BatchPolicy::Fixed { batch: 4 }, 40);
+            let online_cfg = OnlineConfig { update_every: 2 };
+            let mut inline;
+            let mut prefetched;
+            let source: &mut dyn BatchSource = if prefetch {
+                prefetched = PrefetchSource::new(inner, 2);
+                &mut prefetched
+            } else {
+                inline = inner;
+                &mut inline
+            };
+            let (_, online) = serve_online(
+                &mut engine,
+                &mut trainer,
+                source,
+                &mut workload(13),
+                &serve_cfg,
+                online_cfg,
+            )
+            .unwrap();
+            (online.losses, table_bits(&trainer))
+        };
+        let (inline_losses, inline_tables) = run(false);
+        let (prefetched_losses, prefetched_tables) = run(true);
+        assert_eq!(prefetched_losses, inline_losses);
+        assert_eq!(prefetched_tables, inline_tables);
+    }
+
+    fn table_bits(trainer: &Trainer) -> Vec<Vec<u32>> {
+        (0..trainer.model().num_tables())
+            .map(|i| {
+                trainer
+                    .model()
+                    .table(i)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect()
     }
 }

@@ -12,8 +12,10 @@
 //! ```
 
 use std::time::Duration;
-use tensor_casting::datasets::{SyntheticCtr, SyntheticSource};
-use tensor_casting::dlrm::{BackwardMode, DlrmConfig, PhaseTimings, TrainLoop, Trainer};
+use tensor_casting::datasets::{PrefetchSource, SyntheticCtr, SyntheticSource};
+use tensor_casting::dlrm::{
+    AdaptiveDepth, BackwardMode, DepthPolicy, DlrmConfig, PhaseTimings, TrainLoop, Trainer,
+};
 
 const STEPS: usize = 30;
 const BATCH: usize = 256;
@@ -108,6 +110,67 @@ fn lookahead_collapse() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The closed control loop + background generation: the same
+/// casting-bound run, but the lookahead depth is chosen at run time by
+/// the AIMD `DepthController` from measured exposed waits, and batch
+/// generation moves onto a `PrefetchSource` producer thread. Both are
+/// observation-only — the trajectory matches the inline fixed-depth run
+/// bit for bit.
+fn adaptive_prefetched_run() -> Result<(), Box<dyn std::error::Error>> {
+    const BATCH: usize = 128;
+    const STEPS: usize = 120;
+    println!("\n== adaptive lookahead + prefetched generation (batch {BATCH}, {STEPS} steps) ==");
+    let mut config = DlrmConfig::rm1_scaled(20_000);
+    config.embedding_dim = 8;
+    config.bottom_mlp = vec![8];
+    config.top_mlp = vec![8, 1];
+    let mk_source = || {
+        SyntheticSource::new(
+            SyntheticCtr::new(config.table_workloads(), config.dense_features, 7),
+            BATCH,
+        )
+    };
+    let mk_trainer = || -> Result<Trainer, Box<dyn std::error::Error>> {
+        let mut t = Trainer::new(config.clone(), BackwardMode::Casted, 99)?;
+        t.set_learning_rate(0.02);
+        Ok(t)
+    };
+
+    // Reference: fixed depth 2, inline generation.
+    let mut fixed = TrainLoop::new(mk_trainer()?, 2);
+    let mut inline_source = mk_source();
+    let fixed_summary = fixed.run(&mut inline_source, STEPS)?;
+
+    // Adaptive depth over a prefetched source.
+    let policy = DepthPolicy::Adaptive(AdaptiveDepth::new(0, 8));
+    let mut adaptive = TrainLoop::with_policy(mk_trainer()?, policy);
+    let mut prefetched_source = PrefetchSource::new(mk_source(), 3);
+    let summary = adaptive.run(&mut prefetched_source, STEPS)?;
+    let stats = prefetched_source.stats();
+
+    println!(
+        "  fixed depth 2, inline gen:     {:.1}% hidden, gen wait {:>9.2?} total",
+        100.0 * fixed_summary.hidden_fraction(),
+        fixed_summary.batch_wait,
+    );
+    println!(
+        "  adaptive (mean depth {:.1}, final {}), prefetched gen: {:.1}% hidden, \
+         gen wait {:>9.2?} total (producer made {} batches, queue high-water {})",
+        summary.mean_depth(),
+        summary.final_depth(),
+        100.0 * summary.hidden_fraction(),
+        summary.batch_wait,
+        stats.produced,
+        stats.max_ready,
+    );
+    assert_eq!(
+        summary.losses, fixed_summary.losses,
+        "adaptive depth + prefetch must be bit-identical to the fixed inline run"
+    );
+    println!("  identical per-step losses ✓ (adaptation and prefetch are observation-only)");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "training RM1 (10 tables x 80 gathers, 20k rows/table) for {STEPS} steps @ batch {BATCH}\n"
@@ -157,5 +220,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t_base.as_secs_f64() / t_cast.as_secs_f64()
     );
 
-    lookahead_collapse()
+    lookahead_collapse()?;
+    adaptive_prefetched_run()
 }

@@ -1,11 +1,20 @@
 //! Stress tests for the casting pipeline and the parallel kernels under
 //! sustained, randomized multi-iteration load — failure-injection style
-//! coverage for the concurrency machinery.
+//! coverage for the concurrency machinery. Includes the drop/shutdown
+//! ordering contract: dropping a `TrainLoop` or a `PrefetchSource`
+//! mid-stream must join its worker threads without deadlock or panic,
+//! whichever side of the hand-off is slow at that moment.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tensor_casting::core::{
     casted_gather_reduce, casted_gather_reduce_parallel, fused_casted_backward, tensor_casting,
     tensor_casting_parallel, CastingPipeline,
 };
+use tensor_casting::datasets::{
+    BatchSource, CtrBatch, PrefetchSource, SyntheticCtr, SyntheticSource,
+};
+use tensor_casting::dlrm::{BackwardMode, DlrmConfig, TrainLoop, Trainer};
 use tensor_casting::embedding::{
     gather_reduce, gather_reduce_parallel, gradient_coalesce_parallel, gradient_expand,
     gradient_expand_coalesce, optim::Sgd, scatter_apply, EmbeddingTable, IndexArray, ShardedTable,
@@ -116,6 +125,113 @@ fn parallel_matmul_stress() {
         let serial = a.matmul(&b).unwrap();
         let par = matmul_parallel(&a, &b, 1 + rng.next_below(8) as usize).unwrap();
         assert!(serial.max_abs_diff(&par).unwrap() < 1e-4);
+    }
+}
+
+fn stress_source(seed: u64, batch: usize) -> SyntheticSource {
+    let cfg = DlrmConfig::tiny();
+    SyntheticSource::new(
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, seed),
+        batch,
+    )
+}
+
+/// A wrapped source whose generation is artificially slow — the
+/// producer is mid-`next_batch` for most of its life.
+struct SlowSource {
+    inner: SyntheticSource,
+    delay: Duration,
+}
+
+impl BatchSource for SlowSource {
+    fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+        std::thread::sleep(self.delay);
+        self.inner.next_batch()
+    }
+    fn recycle(&mut self, batch: Arc<CtrBatch>) {
+        self.inner.recycle(batch);
+    }
+}
+
+#[test]
+fn dropping_a_prefetch_source_with_a_slow_producer_joins_promptly() {
+    // Drop while the producer is almost certainly inside its (slow)
+    // generation: shutdown must let it finish that batch and exit —
+    // no deadlock, no panic, and no unbounded wait.
+    let mut source = PrefetchSource::new(
+        SlowSource {
+            inner: stress_source(5, 8),
+            delay: Duration::from_millis(20),
+        },
+        2,
+    );
+    let first = source.next_batch().expect("endless");
+    source.recycle(first);
+    let t0 = Instant::now();
+    drop(source); // producer is mid-generation for ~20ms
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drop took {:?} — producer failed to observe shutdown",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn dropping_a_prefetch_source_with_a_slow_consumer_wakes_the_parked_producer() {
+    // The opposite ordering: the consumer never drains, so the producer
+    // fills the bounded queue and parks in its space wait. Drop must
+    // wake it out of the condvar and join.
+    let source = PrefetchSource::new(stress_source(7, 8), 1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while source.ready_len() < 1 {
+        assert!(Instant::now() < deadline, "producer never filled the queue");
+        std::thread::yield_now();
+    }
+    let t0 = Instant::now();
+    drop(source); // producer is parked on the full queue
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drop took {:?} — parked producer was never woken",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn dropping_a_train_loop_with_steps_in_flight_joins_the_casting_worker() {
+    // Begin several casting jobs and drop the driver without completing
+    // them: the trainer's pipeline worker must be joined cleanly even
+    // with uncollected results in its channel (slow-consumer shape —
+    // the worker outruns the trainer).
+    let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 3).unwrap();
+    let mut driver = TrainLoop::new(trainer, 4);
+    let mut source = stress_source(11, 64);
+    for _ in 0..4 {
+        let fired = driver.push(source.next_batch().unwrap()).unwrap();
+        assert!(fired.is_none(), "depth 4 must defer the first completions");
+    }
+    assert_eq!(driver.in_flight(), 4);
+    drop(driver); // 4 casting jobs submitted, none collected
+}
+
+#[test]
+fn dropping_a_train_loop_over_a_prefetched_source_mid_stream_is_clean() {
+    // Both shutdown orders compose: the TrainLoop (casting worker +
+    // in-flight steps) and the PrefetchSource (producer thread) are
+    // dropped mid-stream, in both drop orders, across several rounds.
+    for round in 0..4u64 {
+        let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, round).unwrap();
+        let mut driver = TrainLoop::new(trainer, 3);
+        let mut source = PrefetchSource::new(stress_source(round + 20, 16), 2);
+        for _ in 0..3 {
+            driver.push(source.next_batch().expect("endless")).unwrap();
+        }
+        if round % 2 == 0 {
+            drop(driver); // steps in flight first, then the producer
+            drop(source);
+        } else {
+            drop(source); // producer first, then the in-flight steps
+            drop(driver);
+        }
     }
 }
 

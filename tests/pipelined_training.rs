@@ -7,11 +7,25 @@
 //! Also covers the pipeline's bounded in-flight cap: a lookahead deeper
 //! than the cap back-pressures `begin_step` (blocks until the casting
 //! worker drains) instead of growing the job queue.
+//!
+//! This file also carries the *prefetch* half of the invariant — a
+//! `PrefetchSource`-wrapped stream (generation on a producer thread,
+//! arbitrary producer/consumer interleaving, cross-thread buffer
+//! recycling) trains bit-identically to the unwrapped source — and the
+//! `DepthController` contract: trajectories are a deterministic pure
+//! function of the observed waits, bounded by the configured min/max,
+//! with the `Fixed` policy reproducing the pinned-depth driver exactly.
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use tensor_casting::datasets::{BatchSource, SyntheticCtr, SyntheticSource};
-use tensor_casting::dlrm::{BackwardMode, DlrmConfig, EmbeddingOptimizer, TrainLoop, Trainer};
+use std::time::Duration;
+use tensor_casting::datasets::{
+    BatchSource, PrefetchSource, SyntheticCtr, SyntheticSource, TraceReplaySource,
+};
+use tensor_casting::dlrm::{
+    AdaptiveDepth, BackwardMode, DepthController, DepthPolicy, DlrmConfig, EmbeddingOptimizer,
+    TrainLoop, Trainer,
+};
 
 const OPTIMIZERS: [EmbeddingOptimizer; 5] = [
     EmbeddingOptimizer::Sgd,
@@ -177,6 +191,272 @@ fn inflight_cap_blocks_begin_step_instead_of_growing_the_queue() {
     assert_eq!(capped.steps(), 6);
     let _ = want;
     assert_tables_identical(&serial, &capped, "capped lookahead");
+}
+
+/// A `TrainLoop` over a `PrefetchSource`-wrapped stream at `depth`,
+/// same seeds as the unwrapped runs.
+fn prefetched_losses(
+    mode: BackwardMode,
+    opt: EmbeddingOptimizer,
+    data_seed: u64,
+    model_seed: u64,
+    steps: usize,
+    batch: usize,
+    depth: usize,
+) -> (Vec<f32>, Trainer) {
+    let trainer = Trainer::with_optimizer(DlrmConfig::tiny(), mode, opt, model_seed).unwrap();
+    let mut driver = TrainLoop::new(trainer, depth);
+    let mut source = PrefetchSource::new(SyntheticSource::new(stream(data_seed), batch), 2);
+    let summary = driver.run(&mut source, steps).unwrap();
+    assert_eq!(summary.steps, steps);
+    (summary.losses, driver.into_trainer())
+}
+
+fn trace_source(data_seed: u64, steps: usize, batch: usize) -> TraceReplaySource {
+    let cfg = DlrmConfig::tiny();
+    let per_table: Vec<Vec<tensor_casting::embedding::IndexArray>> = cfg
+        .table_workloads()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut g = w.generator(data_seed + i as u64);
+            (0..steps).map(|_| g.next_batch(batch)).collect()
+        })
+        .collect();
+    TraceReplaySource::new(per_table, cfg.dense_features, data_seed).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The prefetch half of the invariant, sampled: a background
+    /// producer thread generating ahead (arbitrary interleaving,
+    /// cross-thread recycling) changes nothing — bit-identical weights
+    /// and losses to the unwrapped source at any depth, either mode,
+    /// every optimizer.
+    #[test]
+    fn prefetched_synthetic_stream_trains_bit_identically(
+        depth in 0usize..=4,
+        mode_i in 0usize..2,
+        opt_i in 0usize..OPTIMIZERS.len(),
+        data_seed in any::<u64>(),
+        model_seed in any::<u64>(),
+    ) {
+        let mode = [BackwardMode::Baseline, BackwardMode::Casted][mode_i];
+        let opt = OPTIMIZERS[opt_i];
+        let (steps, batch) = (6, 16);
+        let (want, unwrapped) =
+            pipelined_losses(mode, opt, data_seed, model_seed, steps, batch, depth);
+        let (got, prefetched) =
+            prefetched_losses(mode, opt, data_seed, model_seed, steps, batch, depth);
+        prop_assert_eq!(
+            &got, &want,
+            "prefetched losses diverged: {:?} {:?} depth {}", mode, opt, depth
+        );
+        assert_tables_identical(
+            &unwrapped,
+            &prefetched,
+            &format!("prefetched {mode:?} {opt:?} depth {depth}"),
+        );
+    }
+}
+
+/// Exhaustive sweep of the prefetch invariant over BOTH source kinds:
+/// every optimizer, both modes, depths {0, 1, 2, 4} — synthetic and
+/// trace-replay streams wrapped in a `PrefetchSource` match the
+/// unwrapped source exactly.
+#[test]
+fn prefetched_sources_match_unwrapped_at_every_depth_mode_and_optimizer() {
+    let (steps, batch) = (5, 16);
+    for depth in [0usize, 1, 2, 4] {
+        for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+            for opt in OPTIMIZERS {
+                let context = format!("{mode:?} {opt:?} depth {depth}");
+                // Synthetic: prefetched vs unwrapped.
+                let (want, unwrapped) = pipelined_losses(mode, opt, 71, 33, steps, batch, depth);
+                let (got, prefetched) = prefetched_losses(mode, opt, 71, 33, steps, batch, depth);
+                assert_eq!(got, want, "synthetic losses diverged: {context}");
+                assert_tables_identical(&unwrapped, &prefetched, &context);
+
+                // Trace replay: prefetched vs unwrapped over the same
+                // recorded lookups.
+                let mk = || Trainer::with_optimizer(DlrmConfig::tiny(), mode, opt, 33).unwrap();
+                let mut plain_driver = TrainLoop::new(mk(), depth);
+                let plain = plain_driver
+                    .run(&mut trace_source(91, steps, batch), steps)
+                    .unwrap();
+                let mut pf_driver = TrainLoop::new(mk(), depth);
+                let pf = pf_driver
+                    .run(
+                        &mut PrefetchSource::new(trace_source(91, steps, batch), 2),
+                        steps,
+                    )
+                    .unwrap();
+                assert_eq!(pf.steps, steps, "trace ended early: {context}");
+                assert_eq!(pf.losses, plain.losses, "trace losses diverged: {context}");
+                assert_tables_identical(
+                    &plain_driver.into_trainer(),
+                    &pf_driver.into_trainer(),
+                    &format!("trace {context}"),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `DepthController` trajectory determinism: the depth sequence is
+    /// a pure function of the policy and the observed waits — two
+    /// controllers fed the same measurements agree step for step, and
+    /// never leave [min, max].
+    #[test]
+    fn depth_controller_trajectories_are_deterministic_and_bounded(
+        min in 0usize..3,
+        span in 0usize..6,
+        window in 1usize..5,
+        target_us in 0u64..50,
+        decrease_after in 1usize..4,
+        wait_seed in any::<u64>(),
+    ) {
+        let policy = DepthPolicy::Adaptive(AdaptiveDepth {
+            min,
+            max: min + span,
+            window,
+            target_exposed_ns: target_us * 1_000,
+            decrease_after,
+        });
+        let mut a = DepthController::new(policy);
+        let mut b = DepthController::new(policy);
+        // A deterministic, bursty wait sequence (SplitMix-style hash of
+        // the seed): stretches of exposure and stretches of silence.
+        let mut s = wait_seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        for step in 0..200 {
+            let wait = if next() % 4 == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(next() % 200_000)
+            };
+            let da = a.observe(wait);
+            let db = b.observe(wait);
+            prop_assert_eq!(da, db, "trajectories diverged at step {}", step);
+            prop_assert!(
+                (min..=min + span).contains(&da),
+                "depth {} left [{}, {}] at step {}", da, min, min + span, step
+            );
+        }
+    }
+}
+
+/// The `Fixed` policy is exactly the pinned-depth driver: same depth
+/// every step, same losses, same weights, and `observe` never moves it.
+#[test]
+fn fixed_policy_reproduces_the_pinned_depth_driver() {
+    for depth in [0usize, 2, 3] {
+        let mk = || Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 19).unwrap();
+        let mut pinned = TrainLoop::new(mk(), depth);
+        let a = pinned
+            .run(&mut SyntheticSource::new(stream(61), 16), 6)
+            .unwrap();
+        let mut policied = TrainLoop::with_policy(mk(), DepthPolicy::Fixed(depth));
+        let b = policied
+            .run(&mut SyntheticSource::new(stream(61), 16), 6)
+            .unwrap();
+        assert_eq!(a.losses, b.losses, "depth {depth}");
+        assert_eq!(a.depths, vec![depth; 6], "depth {depth}");
+        assert_eq!(b.depths, a.depths, "depth {depth}");
+        assert_tables_identical(
+            &pinned.into_trainer(),
+            &policied.into_trainer(),
+            &format!("fixed policy depth {depth}"),
+        );
+    }
+    // And directly: a fixed controller ignores every observation.
+    let mut c = DepthController::new(DepthPolicy::Fixed(3));
+    for _ in 0..50 {
+        assert_eq!(c.observe(Duration::from_millis(5)), 3);
+    }
+}
+
+/// An adaptive `TrainLoop` run stays within its bounds, converges to a
+/// depth, and — being observation-only — trains bit-identically to the
+/// serial loop.
+#[test]
+fn adaptive_run_is_bounded_and_bit_identical_to_serial() {
+    let policy = DepthPolicy::Adaptive(AdaptiveDepth {
+        min: 1,
+        max: 3,
+        window: 2,
+        target_exposed_ns: 1_000,
+        decrease_after: 2,
+    });
+    let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 23).unwrap();
+    let mut adaptive = TrainLoop::with_policy(trainer, policy);
+    let summary = adaptive
+        .run(&mut SyntheticSource::new(stream(67), 16), 12)
+        .unwrap();
+    assert_eq!(summary.steps, 12);
+    assert!(
+        summary.depths.iter().all(|&d| (1..=3).contains(&d)),
+        "depth left [1, 3]: {:?}",
+        summary.depths
+    );
+    let (want, serial) = serial_losses(
+        BackwardMode::Casted,
+        EmbeddingOptimizer::Sgd,
+        67,
+        23,
+        12,
+        16,
+    );
+    assert_eq!(summary.losses, want);
+    assert_tables_identical(&serial, &adaptive.into_trainer(), "adaptive vs serial");
+}
+
+/// The prefetch + adaptive invariants hold under pooled execution too:
+/// a pooled trainer fed a prefetched stream through an adaptive driver
+/// matches the serial inline fixed-depth run bit for bit.
+#[test]
+fn pooled_prefetched_adaptive_run_matches_serial_inline() {
+    use tensor_casting::dlrm::Execution;
+    let pool = Arc::new(tensor_casting::tensor::Pool::new(4));
+    let mk = |execution: Execution| {
+        Trainer::with_execution(
+            DlrmConfig::tiny(),
+            BackwardMode::Casted,
+            EmbeddingOptimizer::Adagrad { eps: 1e-8 },
+            execution,
+            29,
+        )
+        .unwrap()
+    };
+    let mut serial = TrainLoop::new(mk(Execution::Serial), 0);
+    let want = serial
+        .run(&mut SyntheticSource::new(stream(83), 16), 8)
+        .unwrap();
+    let mut pooled = TrainLoop::with_policy(
+        mk(Execution::Pooled(pool)),
+        DepthPolicy::Adaptive(AdaptiveDepth::new(0, 4)),
+    );
+    let got = pooled
+        .run(
+            &mut PrefetchSource::new(SyntheticSource::new(stream(83), 16), 2),
+            8,
+        )
+        .unwrap();
+    assert_eq!(got.losses, want.losses);
+    assert_tables_identical(
+        &serial.into_trainer(),
+        &pooled.into_trainer(),
+        "pooled prefetched adaptive vs serial inline",
+    );
 }
 
 /// Recycled-buffer prefetch must not perturb training: run the same

@@ -8,12 +8,21 @@
 //!
 //! The whole file is one test function on purpose — the allocation
 //! counter is process-global, and sibling tests running on other threads
-//! would pollute it.
+//! would pollute it. The one other thread that *does* count is the
+//! `PrefetchSource` producer: the final section opts it into tracking
+//! (via a wrapping source that flips the thread-local) to certify that
+//! the cross-thread checkout/recycle steady state — producer refilling
+//! buffers the consumer returned — allocates nothing on either side.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tensor_casting::datasets::{
+    BatchSource, CtrBatch, Popularity, PrefetchSource, SyntheticCtr, SyntheticSource, TableWorkload,
+};
 
 use tensor_casting::core::{
     casted_gather_reduce_into, tensor_casting, CastingPipeline, CoalescedScratch,
@@ -336,5 +345,90 @@ fn steady_state_hot_path_performs_zero_allocations() {
         allocations() - before,
         0,
         "warm-cache fused serving steady state must not allocate"
+    );
+
+    // ---- Prefetched batch source: warm checkout/recycle ---------------
+    // A PrefetchSource generates on a producer thread and refills
+    // buffers the consumer recycles across the thread boundary. Once
+    // the circulating buffer pool is warm (capacity + 2 batches), a
+    // checkout/recycle cycle allocates nothing on EITHER thread: the
+    // consumer's pop/park are queue operations within warmed capacity,
+    // and the producer's refill goes through the `*_into` forms into a
+    // recycled CtrBatch (reseeded cached samplers, no CDF rebuild).
+    // The producer opts itself into the allocation counter through this
+    // wrapper — tracking is thread-local precisely so that *untracked*
+    // harness threads don't pollute the counter, but the producer is
+    // part of the contract under test.
+    struct TrackedSource(SyntheticSource);
+    impl BatchSource for TrackedSource {
+        fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+            TRACKING.with(|t| t.set(true));
+            self.0.next_batch()
+        }
+        fn recycle(&mut self, batch: Arc<CtrBatch>) {
+            self.0.recycle(batch);
+        }
+    }
+    let prefetch_tables = vec![
+        TableWorkload::new(
+            Popularity::Zipf {
+                rows: 500,
+                exponent: 1.0,
+            },
+            4,
+        ),
+        TableWorkload::new(Popularity::Uniform { rows: 200 }, 2),
+    ];
+    let inner = TrackedSource(SyntheticSource::new(
+        SyntheticCtr::new(prefetch_tables, 8, 51),
+        batch,
+    ));
+    let capacity = 2;
+    let mut prefetched = PrefetchSource::new(inner, capacity);
+    // Warm-up: let the buffer pool reach its steady census (the
+    // producer allocates at most capacity + 2 CtrBatches, ever).
+    for _ in 0..12 {
+        let b = prefetched.next_batch().expect("endless");
+        prefetched.recycle(b);
+    }
+    // Quiesce: with the consumer idle the producer fills the queue to
+    // capacity and parks *before* generating another batch, so no
+    // producer-side work races the measurement below.
+    let quiesce = |p: &PrefetchSource<TrackedSource>| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while p.ready_len() < capacity {
+            assert!(Instant::now() < deadline, "producer never filled the queue");
+            std::thread::yield_now();
+        }
+    };
+    quiesce(&prefetched);
+
+    let before = allocations();
+    for _ in 0..10 {
+        let b = prefetched.next_batch().expect("endless");
+        prefetched.recycle(b);
+    }
+    quiesce(&prefetched);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm prefetch checkout/recycle steady state must not allocate \
+         (is the producer rebuilding samplers or allocating fresh batches?)"
+    );
+
+    // The bounded-queue half of the contract, under the slowest
+    // possible consumer (one that stopped consuming): the producer must
+    // hold at `capacity` ready batches, not run ahead.
+    let produced_at_cap = prefetched.stats().produced;
+    std::thread::sleep(Duration::from_millis(25));
+    let stats = prefetched.stats();
+    assert_eq!(
+        stats.produced, produced_at_cap,
+        "producer kept generating past the bounded-queue cap"
+    );
+    assert!(
+        stats.max_ready <= capacity,
+        "ready-queue high-water {} exceeded the capacity {capacity}",
+        stats.max_ready
     );
 }
