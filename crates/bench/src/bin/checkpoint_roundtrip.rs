@@ -1,0 +1,223 @@
+//! Checkpoint round-trip cost and the exact-resume invariant: the
+//! fault-tolerance subsystem's perf-trajectory anchor.
+//!
+//! Times the full-state checkpoint path end to end — atomic
+//! save (serialize + CRC + fsync + rename) and load + restore into a
+//! fresh trainer — and then *proves* the headline invariant on this
+//! host: a run killed at a checkpoint and resumed continues
+//! bit-identically (losses and table bits) to the uninterrupted run.
+//! The `resume bit-identity: OK` line is what CI greps for.
+//!
+//! ```text
+//! checkpoint_roundtrip [--steps N] [--json PATH]
+//! ```
+//!
+//! `FAST=1` shrinks the model and step count for CI smoke jobs.
+//! Appends rows (kind `checkpoint_roundtrip`) to `BENCH_train.json`
+//! (override with `--json PATH` or `TCAST_BENCH_JSON`): checkpoint
+//! bytes, save/load latency, and steps.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tcast_bench::{banner, fast_mode, json};
+use tcast_datasets::{SyntheticCtr, SyntheticSource};
+use tcast_dlrm::checkpoint::{read_train_checkpoint, CheckpointStore};
+use tcast_dlrm::{BackwardMode, DepthPolicy, DlrmConfig, EmbeddingOptimizer, TrainLoop, Trainer};
+
+struct Args {
+    steps: usize,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let fast = fast_mode();
+    let mut args = Args {
+        steps: if fast { 8 } else { 24 },
+        json: json::sink_from_env().unwrap_or_else(|| PathBuf::from("BENCH_train.json")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--steps" => args.steps = value("--steps").parse().expect("--steps: integer"),
+            "--json" => args.json = PathBuf::from(value("--json")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.steps >= 4, "need at least 4 steps to split the run");
+    args
+}
+
+fn model_config() -> DlrmConfig {
+    if fast_mode() {
+        DlrmConfig::tiny()
+    } else {
+        DlrmConfig::rm1_scaled(20_000)
+    }
+}
+
+fn trainer(cfg: &DlrmConfig) -> Trainer {
+    let mut t = Trainer::with_optimizer(
+        cfg.clone(),
+        BackwardMode::Casted,
+        EmbeddingOptimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        },
+        71,
+    )
+    .expect("valid config");
+    t.set_learning_rate(0.01);
+    t
+}
+
+fn source(cfg: &DlrmConfig, batch: usize) -> SyntheticSource {
+    SyntheticSource::new(
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 37),
+        batch,
+    )
+}
+
+fn table_bits(t: &Trainer) -> Vec<Vec<u32>> {
+    (0..t.model().num_tables())
+        .map(|i| {
+            t.model()
+                .table(i)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "checkpoint_roundtrip",
+        "full-state checkpoint save/load cost + exact-resume proof",
+    );
+    let cfg = model_config();
+    let batch = if fast_mode() { 64 } else { 256 };
+    let dir = std::env::temp_dir().join(format!("tckp-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let kill_at = args.steps / 2;
+    println!(
+        "model: {} tables, dim {}; Adam, casted, depth 2; {} steps, kill at {kill_at}, batch {batch}",
+        cfg.tables.len(),
+        cfg.embedding_dim,
+        args.steps
+    );
+
+    // --- Uninterrupted run: the reference trajectory. -----------------
+    let mut reference = TrainLoop::new(trainer(&cfg), 2);
+    let mut ref_src = source(&cfg, batch);
+    let ref_summary = reference
+        .run(&mut ref_src, args.steps)
+        .expect("reference run");
+
+    // --- Checkpointed run, killed at the midpoint. --------------------
+    let store = CheckpointStore::new(&dir, 2).expect("checkpoint dir");
+    let mut first = TrainLoop::new(trainer(&cfg), 2).checkpoint_every(kill_at as u64, store);
+    let mut src = source(&cfg, batch);
+    let t0 = Instant::now();
+    let first_summary = first.run(&mut src, kill_at).expect("first half");
+    let first_half_ns = t0.elapsed().as_nanos() as u64;
+    let ckpt = first
+        .last_checkpoint()
+        .expect("checkpoint committed at the kill point")
+        .to_path_buf();
+    let bytes = std::fs::metadata(&ckpt).expect("checkpoint exists").len();
+    drop(first);
+    drop(src);
+
+    // Load cost: parse + validate + restore into a fresh trainer.
+    let t0 = Instant::now();
+    let loaded =
+        read_train_checkpoint(&mut std::fs::File::open(&ckpt).expect("open")).expect("parse");
+    let parse_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = Instant::now();
+    let mut restored_trainer = trainer(&cfg);
+    loaded
+        .restore_into(&mut restored_trainer)
+        .expect("restore into fresh trainer");
+    let restore_ns = t0.elapsed().as_nanos() as u64;
+
+    // Save cost: commit the restored state once more, timed alone
+    // (serialize + CRC + write + fsync + rename).
+    let timed_store = CheckpointStore::new(dir.join("timed"), 1).expect("checkpoint dir");
+    let t0 = Instant::now();
+    timed_store
+        .save(&restored_trainer, None, None)
+        .expect("timed save");
+    let save_ns = t0.elapsed().as_nanos() as u64;
+
+    // --- Resume and compare against the reference, bit for bit. -------
+    let mut resume_src = source(&cfg, batch);
+    let mut resumed =
+        TrainLoop::resume(&ckpt, trainer(&cfg), DepthPolicy::Fixed(2), &mut resume_src)
+            .expect("resume");
+    let resumed_summary = resumed
+        .run(&mut resume_src, args.steps - kill_at)
+        .expect("resumed half");
+
+    let mut joined: Vec<u32> = first_summary.losses.iter().map(|l| l.to_bits()).collect();
+    joined.extend(resumed_summary.losses.iter().map(|l| l.to_bits()));
+    let reference_bits: Vec<u32> = ref_summary.losses.iter().map(|l| l.to_bits()).collect();
+    let losses_match = joined == reference_bits;
+    let tables_match = table_bits(resumed.trainer()) == table_bits(reference.trainer());
+    println!(
+        "checkpoint: {:.2} MB; save {:.2} ms (atomic, fsynced), parse {:.2} ms, restore {:.2} ms",
+        bytes as f64 / 1e6,
+        save_ns as f64 / 1e6,
+        parse_ns as f64 / 1e6,
+        restore_ns as f64 / 1e6,
+    );
+    println!(
+        "first half ({kill_at} steps incl. checkpoint): {:.2} ms",
+        first_half_ns as f64 / 1e6
+    );
+    if losses_match && tables_match {
+        println!(
+            "resume bit-identity: OK ({} steps, kill at {kill_at})",
+            args.steps
+        );
+    } else {
+        println!(
+            "resume bit-identity: FAILED (losses match: {losses_match}, tables match: {tables_match})"
+        );
+    }
+
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "checkpoint_roundtrip")
+        .u64_field("steps", args.steps as u64)
+        .u64_field("kill_at", kill_at as u64)
+        .u64_field("batch", batch as u64)
+        .u64_field("bytes", bytes)
+        .f64_field("save_ms", save_ns as f64 / 1e6)
+        .f64_field("parse_ms", parse_ns as f64 / 1e6)
+        .f64_field("restore_ms", restore_ns as f64 / 1e6)
+        .str_field(
+            "bit_identical",
+            if losses_match && tables_match {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[checkpoint_roundtrip] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if !(losses_match && tables_match) {
+        std::process::exit(1);
+    }
+}

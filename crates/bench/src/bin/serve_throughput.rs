@@ -28,10 +28,11 @@
 use std::path::PathBuf;
 
 use tcast_bench::{banner, fast_mode, json};
-use tcast_datasets::{PrefetchSource, SyntheticCtr, SyntheticSource};
+use tcast_datasets::{BatchSource, PrefetchSource, SyntheticCtr, SyntheticSource};
+use tcast_dlrm::checkpoint::save_train_checkpoint;
 use tcast_dlrm::{BackwardMode, Dlrm, DlrmConfig, Execution, TableConfig, Trainer};
 use tcast_serve::{
-    serve, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy, CandidateCount,
+    serve, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy, CandidateCount, HotRestore,
     OnlineConfig, OnlineReport, QueryModel, ServeConfig, ServeEngine, ServeReport,
 };
 
@@ -134,6 +135,17 @@ fn run_policy(
     policy: BatchPolicy,
     sla_ns: u64,
 ) -> ServeReport {
+    run_policy_shed(args, model, execution, policy, sla_ns, false)
+}
+
+fn run_policy_shed(
+    args: &Args,
+    model: &Dlrm,
+    execution: &Execution,
+    policy: BatchPolicy,
+    sla_ns: u64,
+    shed_unmeetable: bool,
+) -> ServeReport {
     let mut engine = ServeEngine::new(model, 1024, execution.clone());
     let clients = match &policy {
         BatchPolicy::Fixed { batch } => (batch * 4).max(8),
@@ -153,6 +165,7 @@ fn run_policy(
             policy,
             sla_ns,
             seed: 23,
+            shed_unmeetable,
         },
     )
     .expect("serving must succeed")
@@ -175,6 +188,17 @@ fn run_online(
     train_batch: usize,
     prefetch: bool,
     sla_ns: u64,
+) -> (ServeReport, OnlineReport) {
+    run_online_restore(args, execution, train_batch, prefetch, sla_ns, None)
+}
+
+fn run_online_restore(
+    args: &Args,
+    execution: &Execution,
+    train_batch: usize,
+    prefetch: bool,
+    sla_ns: u64,
+    restore: Option<HotRestore>,
 ) -> (ServeReport, OnlineReport) {
     let cfg = online_model_config();
     let mut trainer = Trainer::with_execution(
@@ -209,9 +233,11 @@ fn run_online(
         },
         sla_ns,
         seed: 23,
+        shed_unmeetable: false,
     };
     let online = OnlineConfig {
         update_every: ONLINE_UPDATE_EVERY,
+        restore,
     };
     let mut inline;
     let mut prefetched;
@@ -300,7 +326,9 @@ fn emit(args: &Args, policy: &str, batch_cap: usize, sla_ns: u64, r: &ServeRepor
         .f64_field("sla_violation_rate", r.sla_violation_rate())
         .f64_field("mean_batch", r.mean_batch())
         .f64_field("cache_hit_rate", r.cache_hit_rate)
-        .u64_field("max_queue_depth", r.max_queue_depth as u64);
+        .u64_field("max_queue_depth", r.max_queue_depth as u64)
+        .u64_field("shed", r.shed)
+        .f64_field("shed_rate", r.shed_rate());
     if let Err(e) = json::append_row(&args.json, &row) {
         eprintln!(
             "[serve_throughput] cannot write {}: {e}",
@@ -395,6 +423,29 @@ fn main() {
         emit(&args, "adaptive", 64, sla, &r);
     }
 
+    // --- Overload shedding: graceful degradation under an SLA the ----
+    // service time alone cannot meet. Without shedding the queue only
+    // grows and every query violates; with shedding the loop spends its
+    // compute on the queries still inside their budget and *counts*
+    // what it dropped.
+    println!("\noverload shedding (deliberately unmeetable SLA, shed_unmeetable on):");
+    let tight_sla = 50_000u64; // 50 us, far below fused service time
+    let r = run_policy_shed(
+        &args,
+        &model,
+        &execution,
+        BatchPolicy::Fixed { batch: 32 },
+        tight_sla,
+        true,
+    );
+    emit(&args, "fixed+shed", 32, tight_sla, &r);
+    println!(
+        "  shed {} of {} queries ({:.1}%) instead of scoring them late",
+        r.shed,
+        r.queries,
+        100.0 * r.shed_rate(),
+    );
+
     // --- Online training: update-slot generation, inline vs prefetch. -
     // One casted update step every 4 fused batches, training batches
     // from a live synthetic source. Inline, the update slot pays batch
@@ -417,6 +468,70 @@ fn main() {
         per_update(&o_off),
         per_update(&o_on),
     );
+
+    // --- Hot-restore drill: a checkpoint snaps into the live trainer -
+    // mid-traffic, with the restore's wall-clock latency charged to the
+    // serving clock.
+    let ckpt_path =
+        std::env::temp_dir().join(format!("tcast-serve-restore-{}.tckp", std::process::id()));
+    {
+        let cfg = online_model_config();
+        let mut t = Trainer::with_execution(
+            cfg.clone(),
+            BackwardMode::Casted,
+            tcast_dlrm::EmbeddingOptimizer::Sgd,
+            execution.clone(),
+            91,
+        )
+        .expect("valid online config");
+        let mut src = SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 29),
+            train_batch,
+        );
+        for _ in 0..2 {
+            let b = src.next_batch().expect("endless source");
+            t.step(&b).expect("training step");
+            src.recycle(b);
+        }
+        let mut f = std::fs::File::create(&ckpt_path).expect("create checkpoint file");
+        save_train_checkpoint(&mut f, &t, None, None).expect("save checkpoint");
+    }
+    let (r_restore, o_restore) = run_online_restore(
+        &args,
+        &execution,
+        train_batch,
+        true,
+        sla_ns,
+        Some(HotRestore {
+            path: ckpt_path.clone(),
+            // FAST traffic only reaches one update slot, so arm the first
+            // one there; full runs restore a little deeper into the run.
+            at_update: if fast_mode() { 1 } else { 2 },
+        }),
+    );
+    let restore_ms = r_restore.restore_ns as f64 / 1e6;
+    println!(
+        "hot-restore drill: {} restore(s) mid-traffic, {restore_ms:.2} ms restore latency, \
+         {:.1} qps with the drill, {} updates",
+        r_restore.restores,
+        r_restore.qps(),
+        o_restore.updates,
+    );
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "serve_restore")
+        .u64_field("queries", r_restore.queries)
+        .u64_field("updates", o_restore.updates)
+        .u64_field("restores", r_restore.restores)
+        .f64_field("restore_ms", restore_ms)
+        .f64_field("qps", r_restore.qps())
+        .f64_field("p99_us", r_restore.latency.p99_ns() as f64 / 1e3);
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[serve_throughput] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
+    let _ = std::fs::remove_file(&ckpt_path);
 
     // --- The headline ratio + full-size gate. -------------------------
     let qps_of = |target: usize| {

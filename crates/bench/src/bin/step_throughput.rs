@@ -495,6 +495,7 @@ fn main() {
         window: 8,
         target_exposed_ns: 20_000,
         decrease_after: 8,
+        floor_decay_after: 16,
     });
     let adaptive = measure_depth(Execution::Serial, adaptive_policy, &sweep_args);
     let axes = RowAxes {

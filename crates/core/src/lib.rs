@@ -62,6 +62,7 @@ mod casted_forward;
 mod casted_index;
 mod casting;
 mod equivalence;
+mod fault;
 mod fused;
 mod gather_reduce;
 mod parallel_casting;
@@ -72,6 +73,7 @@ pub use casted_forward::{casted_embedding_forward, casted_embedding_forward_into
 pub use casted_index::CastedIndexArray;
 pub use casting::{tensor_casting, tensor_casting_counting};
 pub use equivalence::verify_equivalence;
+pub use fault::{FaultPlan, FaultyWrite};
 pub use fused::fused_casted_backward;
 pub use gather_reduce::{
     casted_backward, casted_gather_reduce, casted_gather_reduce_into,

@@ -16,12 +16,13 @@
 //! was actually exposed (i.e. how long the collect blocked).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::casted_index::CastedIndexArray;
 use crate::casting::tensor_casting;
+use crate::fault::FaultPlan;
 use tcast_embedding::IndexArray;
 
 /// Default bound on uncompleted casting jobs (submitted but not yet cast).
@@ -77,6 +78,39 @@ struct JobResult {
     casted: Vec<CastedIndexArray>,
 }
 
+/// The uncompleted-job gauge plus the worker-death flag, shared between
+/// submitters (who block on the cap) and workers (who drain it).
+struct Gauge {
+    count: usize,
+    /// A worker thread panicked. Every blocked or future submit/collect
+    /// must panic instead of waiting for progress that can never come.
+    dead: bool,
+}
+
+type SharedGauge = Arc<(Mutex<Gauge>, Condvar)>;
+
+/// Locks the gauge, recovering from poisoning: a panicking worker must
+/// still be able to publish its death, and survivors must still read it.
+fn lock_gauge(gauge: &SharedGauge) -> MutexGuard<'_, Gauge> {
+    gauge.0.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Publishes worker death on *every* panic exit path — including a panic
+/// in the casting kernel itself — so a submitter blocked on the in-flight
+/// cap (whose slot the dead worker will never drain) wakes and fails
+/// cleanly instead of hanging.
+struct WorkerExitGuard(SharedGauge);
+
+impl Drop for WorkerExitGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut g = lock_gauge(&self.0);
+            g.dead = true;
+            self.0 .1.notify_all();
+        }
+    }
+}
+
 /// Asynchronous casting pipeline: submit index arrays early, collect
 /// casted arrays when backward needs them.
 ///
@@ -97,8 +131,10 @@ pub struct CastingPipeline {
     workers: Vec<std::thread::JoinHandle<()>>,
     /// Uncompleted-job gauge shared with the workers; `submit` blocks on
     /// the condvar while the gauge sits at `inflight_cap`.
-    in_flight: Arc<(Mutex<usize>, Condvar)>,
+    in_flight: SharedGauge,
     inflight_cap: usize,
+    /// Optional fault-injection hook the workers consult once per job.
+    fault: Arc<Mutex<Option<(FaultPlan, String)>>>,
     ready: HashMap<u64, Vec<CastedIndexArray>>,
     /// Lowest ticket id not yet collected: everything below it is
     /// collected. In-order collection (the trainer's pattern) only moves
@@ -151,43 +187,65 @@ impl CastingPipeline {
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (res_tx, res_rx) = channel::<JobResult>();
         let stats = Arc::new(Mutex::new(PipelineStats::default()));
-        let in_flight = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let in_flight: SharedGauge = Arc::new((
+            Mutex::new(Gauge {
+                count: 0,
+                dead: false,
+            }),
+            Condvar::new(),
+        ));
+        let fault: Arc<Mutex<Option<(FaultPlan, String)>>> = Arc::new(Mutex::new(None));
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let job_rx = Arc::clone(&job_rx);
             let res_tx = res_tx.clone();
             let worker_stats = Arc::clone(&stats);
             let worker_gauge = Arc::clone(&in_flight);
+            let worker_fault = Arc::clone(&fault);
             let handle = std::thread::Builder::new()
                 .name(format!("tcast-casting-{w}"))
-                .spawn(move || loop {
-                    let job = {
-                        let rx = job_rx.lock().expect("casting job queue poisoned");
-                        rx.recv()
-                    };
-                    let Ok(job) = job else {
-                        break; // pipeline dropped the sender
-                    };
-                    let start = Instant::now();
-                    let casted: Vec<CastedIndexArray> =
-                        job.indices.iter().map(tensor_casting).collect();
-                    let elapsed = start.elapsed();
-                    {
-                        let mut s = worker_stats.lock().expect("pipeline stats poisoned");
-                        s.jobs_completed += 1;
-                        s.casting_time += elapsed;
-                    }
-                    // Drain the in-flight gauge *before* publishing the
-                    // result: a submitter blocked on the cap wakes as soon
-                    // as the casting work is done.
-                    {
-                        let (gauge, released) = &*worker_gauge;
-                        let mut count = gauge.lock().expect("in-flight gauge poisoned");
-                        *count -= 1;
-                        released.notify_one();
-                    }
-                    if res_tx.send(JobResult { id: job.id, casted }).is_err() {
-                        break; // pipeline dropped
+                .spawn(move || {
+                    let _guard = WorkerExitGuard(Arc::clone(&worker_gauge));
+                    loop {
+                        let job = {
+                            let rx = job_rx
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            rx.recv()
+                        };
+                        let Ok(job) = job else {
+                            break; // pipeline dropped the sender
+                        };
+                        if let Some((plan, site)) = worker_fault
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .clone()
+                        {
+                            assert!(
+                                !plan.should_fail(&site),
+                                "injected casting-worker fault at {site}"
+                            );
+                        }
+                        let start = Instant::now();
+                        let casted: Vec<CastedIndexArray> =
+                            job.indices.iter().map(tensor_casting).collect();
+                        let elapsed = start.elapsed();
+                        {
+                            let mut s = worker_stats.lock().expect("pipeline stats poisoned");
+                            s.jobs_completed += 1;
+                            s.casting_time += elapsed;
+                        }
+                        // Drain the in-flight gauge *before* publishing the
+                        // result: a submitter blocked on the cap wakes as soon
+                        // as the casting work is done.
+                        {
+                            let mut g = lock_gauge(&worker_gauge);
+                            g.count -= 1;
+                            worker_gauge.1.notify_one();
+                        }
+                        if res_tx.send(JobResult { id: job.id, casted }).is_err() {
+                            break; // pipeline dropped
+                        }
                     }
                 })
                 .expect("spawn casting worker");
@@ -199,12 +257,25 @@ impl CastingPipeline {
             workers: handles,
             in_flight,
             inflight_cap: cap,
+            fault,
             ready: HashMap::new(),
             collect_watermark: 0,
             collected_ahead: HashSet::new(),
             next_id: 0,
             stats,
         }
+    }
+
+    /// Arms deterministic fault injection: every subsequent job hits
+    /// `site` on `plan` once before casting, and an armed occurrence
+    /// panics the worker — the stress suite's handle for proving that a
+    /// mid-pipeline crash surfaces as a clean panic on the training
+    /// thread (never a hang), see `tests/fault_injection.rs`.
+    pub fn set_fault_plan(&self, plan: FaultPlan, site: impl Into<String>) {
+        *self
+            .fault
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some((plan, site.into()));
     }
 
     /// Submits one iteration's index arrays (one per table) for casting.
@@ -225,21 +296,30 @@ impl CastingPipeline {
     /// [`PipelineStats::backpressure_wait`].
     pub fn submit(&mut self, indices: impl Into<Arc<[IndexArray]>>) -> JobTicket {
         {
-            let (gauge, released) = &*self.in_flight;
-            let mut count = gauge.lock().expect("in-flight gauge poisoned");
-            if *count >= self.inflight_cap {
+            let mut g = lock_gauge(&self.in_flight);
+            assert!(!g.dead, "casting worker died; pipeline is unusable");
+            if g.count >= self.inflight_cap {
                 let start = Instant::now();
-                while *count >= self.inflight_cap {
-                    count = released.wait(count).expect("in-flight gauge poisoned");
+                while g.count >= self.inflight_cap {
+                    g = self
+                        .in_flight
+                        .1
+                        .wait(g)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    // A dead worker never drains its slot: fail the
+                    // blocked submitter instead of waiting forever.
+                    assert!(!g.dead, "casting worker died; pipeline is unusable");
                 }
                 self.stats
                     .lock()
                     .expect("pipeline stats poisoned")
                     .backpressure_wait += start.elapsed();
             }
-            *count += 1;
+            g.count += 1;
+            let count = g.count;
+            drop(g);
             let mut s = self.stats.lock().expect("pipeline stats poisoned");
-            s.max_in_flight = s.max_in_flight.max(*count as u64);
+            s.max_in_flight = s.max_in_flight.max(count as u64);
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -256,7 +336,14 @@ impl CastingPipeline {
 
     /// Number of submitted jobs not yet cast by a worker.
     pub fn in_flight(&self) -> usize {
-        *self.in_flight.0.lock().expect("in-flight gauge poisoned")
+        lock_gauge(&self.in_flight).count
+    }
+
+    /// Whether a worker thread has died (panicked); a dead pipeline fails
+    /// every subsequent `submit`/`collect` with a panic instead of
+    /// hanging.
+    pub fn worker_died(&self) -> bool {
+        lock_gauge(&self.in_flight).dead
     }
 
     /// The bound on uncompleted jobs that [`CastingPipeline::submit`]
@@ -316,7 +403,22 @@ impl CastingPipeline {
         }
         let start = Instant::now();
         loop {
-            let result = self.rx.recv().expect("casting worker alive");
+            // A worker that panicked mid-job can never deliver this
+            // result; surviving workers keep the channel open, so a plain
+            // recv would hang. Poll the death flag between bounded waits
+            // — a message still wakes the recv immediately.
+            assert!(
+                !self.worker_died(),
+                "casting worker died; job {} can never complete",
+                ticket.0
+            );
+            let result = match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("casting worker died; job {} can never complete", ticket.0)
+                }
+            };
             if result.id == ticket.0 {
                 let exposed = start.elapsed();
                 self.stats
@@ -636,5 +738,40 @@ mod tests {
         let mut p = CastingPipeline::new();
         let _ = p.submit(random_indices(1, 5));
         drop(p); // must not hang or panic even with an uncollected job
+    }
+
+    #[test]
+    fn worker_panic_fails_collect_instead_of_hanging() {
+        let mut p = CastingPipeline::new();
+        let plan = FaultPlan::new();
+        plan.arm("cast", 0);
+        p.set_fault_plan(plan.clone(), "cast");
+        let t = p.submit(random_indices(1, 52));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.collect(t)));
+        let err = res.expect_err("collect must panic, not hang");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("casting worker died"), "message: {msg}");
+        assert!(p.worker_died());
+        assert_eq!(plan.fired(), vec![("cast".to_string(), 0)]);
+    }
+
+    #[test]
+    fn worker_panic_fails_blocked_submitters_instead_of_hanging() {
+        // Regression: a worker that panicked mid-job never drains its
+        // in-flight slot, so with cap 1 the next submit used to block on
+        // the gauge condvar forever. The exit guard must wake and fail
+        // it.
+        let mut p = CastingPipeline::with_inflight_cap(1, 1);
+        let plan = FaultPlan::new();
+        plan.arm("cast", 0);
+        p.set_fault_plan(plan, "cast");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.submit(random_indices(1, 53));
+            let _ = p.submit(random_indices(1, 54));
+            // With the dead flag unchecked the second submit would hang;
+            // reaching here without panicking means the fault was missed.
+        }));
+        assert!(res.is_err(), "submit after worker death must panic");
+        assert!(p.worker_died());
     }
 }

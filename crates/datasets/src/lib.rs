@@ -43,6 +43,6 @@ pub use histogram::{CoalesceStats, LookupHistogram};
 pub use popularity::{CdfSampler, Popularity};
 pub use prefetch::{PrefetchSource, PrefetchStats};
 pub use presets::DatasetPreset;
-pub use source::{BatchSource, SyntheticSource, TraceReplaySource};
+pub use source::{BatchSource, SourceState, SyntheticSource, TraceReplaySource};
 pub use synthetic::{CtrBatch, SyntheticCtr};
 pub use workload::{TableWorkload, WorkloadGenerator};

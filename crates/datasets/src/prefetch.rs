@@ -32,7 +32,7 @@
 //! producer; a producer blocked on a full queue wakes immediately, and
 //! one that is mid-generation finishes its batch first.
 
-use crate::source::BatchSource;
+use crate::source::{BatchSource, SourceState};
 use crate::synthetic::CtrBatch;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -61,7 +61,14 @@ pub struct PrefetchStats {
 }
 
 struct State {
-    ready: VecDeque<Arc<CtrBatch>>,
+    /// Each ready batch travels with the wrapped source's stream
+    /// position *after* generating it, so the consumer always knows the
+    /// exact resume point for what it has checked out — the producer's
+    /// run-ahead never leaks into checkpoints.
+    ready: VecDeque<(Arc<CtrBatch>, Option<SourceState>)>,
+    /// The wrapped source's position as of the last batch the consumer
+    /// checked out (initially, its position at construction).
+    consumed_state: Option<SourceState>,
     free: Vec<Arc<CtrBatch>>,
     /// The wrapped source returned `None`: the stream is over.
     exhausted: bool,
@@ -137,9 +144,11 @@ impl<S: BatchSource + Send + 'static> PrefetchSource<S> {
     /// Panics if `capacity == 0`.
     pub fn new(source: S, capacity: usize) -> Self {
         assert!(capacity > 0, "need a nonzero prefetch capacity");
+        let initial_state = source.state();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 ready: VecDeque::with_capacity(capacity),
+                consumed_state: initial_state,
                 free: Vec::with_capacity(capacity + 2),
                 exhausted: false,
                 shutdown: false,
@@ -197,10 +206,11 @@ impl<S: BatchSource + Send + 'static> PrefetchSource<S> {
                 source.recycle(batch);
             }
             let next = source.next_batch();
+            let post_state = source.state();
             let mut st = shared.lock();
             match next {
                 Some(batch) => {
-                    st.ready.push_back(batch);
+                    st.ready.push_back((batch, post_state));
                     st.stats.produced += 1;
                     st.stats.max_ready = st.stats.max_ready.max(st.ready.len());
                     shared.produced.notify_one();
@@ -272,8 +282,9 @@ impl<S: BatchSource + Send + 'static> BatchSource for PrefetchSource<S> {
     fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
         let mut st = self.shared.lock();
         loop {
-            if let Some(batch) = st.ready.pop_front() {
+            if let Some((batch, post_state)) = st.ready.pop_front() {
                 st.stats.delivered += 1;
+                st.consumed_state = post_state;
                 self.shared.space.notify_one();
                 return Some(batch);
             }
@@ -300,6 +311,23 @@ impl<S: BatchSource + Send + 'static> BatchSource for PrefetchSource<S> {
         let mut st = self.shared.lock();
         st.free.push(batch);
         self.shared.space.notify_one();
+    }
+
+    /// The wrapped source's position as of the last batch the *consumer*
+    /// checked out — not the producer's run-ahead position. A fresh
+    /// wrapped source restored to this state and re-wrapped continues
+    /// the delivered stream exactly, which is how `TrainLoop` checkpoints
+    /// through a prefetched source without draining it.
+    fn state(&self) -> Option<SourceState> {
+        self.shared.lock().consumed_state
+    }
+
+    fn restore(&mut self, state: &SourceState) {
+        let _ = state;
+        panic!(
+            "restore the wrapped source before constructing the \
+             PrefetchSource (the producer thread owns it afterwards)"
+        );
     }
 }
 
@@ -473,6 +501,42 @@ mod tests {
         }
         let mut prefetched = PrefetchSource::new(Bomb, 2);
         let _ = prefetched.next_batch();
+    }
+
+    #[test]
+    fn prefetch_state_tracks_the_consumer_not_the_producer() {
+        use crate::source::SourceState;
+        // An inline source consumed in lockstep defines the expected
+        // resume point; the prefetched source must report the same state
+        // even while its producer runs ahead.
+        let mut inline = SyntheticSource::new(ctr(17), 8);
+        let mut prefetched = PrefetchSource::new(SyntheticSource::new(ctr(17), 8), 3);
+        assert_eq!(prefetched.state(), inline.state(), "initial state");
+        for step in 0..6 {
+            let a = inline.next_batch().unwrap();
+            let b = prefetched.next_batch().unwrap();
+            assert_eq!(*a, *b);
+            inline.recycle(a);
+            prefetched.recycle(b);
+            let (Some(SourceState::Synthetic { rng_state: ri, .. }), Some(state)) =
+                (inline.state(), prefetched.state())
+            else {
+                panic!("synthetic sources must report state");
+            };
+            let SourceState::Synthetic { rng_state: rp, .. } = state else {
+                panic!("wrong variant");
+            };
+            assert_eq!(rp, ri, "state diverged at step {step}");
+            // Resuming a fresh source from the prefetched state continues
+            // the delivered stream (checked on the last step).
+            if step == 5 {
+                let mut resumed = SyntheticSource::new(ctr(17), 8);
+                resumed.restore(&state);
+                let want = inline.next_batch().unwrap();
+                let got = resumed.next_batch().unwrap();
+                assert_eq!(*got, *want, "resumed stream diverged");
+            }
+        }
     }
 
     #[test]

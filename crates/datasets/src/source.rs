@@ -46,6 +46,56 @@ pub trait BatchSource {
     /// is still shared elsewhere is simply kept until the sharing ends
     /// (the refill path falls back to fresh allocation if needed).
     fn recycle(&mut self, batch: Arc<CtrBatch>);
+
+    /// The stream position *as consumed so far*, for checkpointing, or
+    /// `None` if this source cannot resume. [`BatchSource::restore`] on
+    /// an identically-constructed source makes its next batch the one
+    /// this source would produce next — free-list contents are
+    /// deliberately not part of the state (recycling never changes the
+    /// stream).
+    fn state(&self) -> Option<SourceState> {
+        None
+    }
+
+    /// Rewinds/advances to a position captured by [`BatchSource::state`]
+    /// on an identically-constructed source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this source does not support resume or `state` is the
+    /// wrong variant for it.
+    fn restore(&mut self, state: &SourceState) {
+        let _ = state;
+        panic!("this batch source does not support resume");
+    }
+}
+
+/// A [`BatchSource`]'s checkpointable stream position.
+///
+/// Captured by [`BatchSource::state`], applied by [`BatchSource::restore`]
+/// — the batch-stream half of the exact-resume invariant: a restored
+/// source continues the identical stream the original would have
+/// produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceState {
+    /// [`SyntheticSource`] position: the generator's RNG state (the sole
+    /// stream position — every per-batch draw descends from it) plus a
+    /// bookkeeping count of batches emitted.
+    Synthetic {
+        /// `SyntheticCtr` RNG state.
+        rng_state: u64,
+        /// Batches emitted so far (reporting only; the RNG state alone
+        /// determines the stream).
+        batches: u64,
+    },
+    /// [`TraceReplaySource`] position: the replay cursor plus the
+    /// dense/label RNG state.
+    TraceReplay {
+        /// Next trace step to serve.
+        cursor: u64,
+        /// Dense/label RNG state.
+        rng_state: u64,
+    },
 }
 
 /// An endless [`BatchSource`] over the planted-model synthetic CTR
@@ -54,6 +104,8 @@ pub trait BatchSource {
 pub struct SyntheticSource {
     generator: SyntheticCtr,
     batch: usize,
+    /// Batches emitted so far (checkpoint bookkeeping).
+    emitted: u64,
     /// FIFO, so recycled buffers rotate round-robin: every buffer in a
     /// steady pool gets refilled (and thus capacity-sized) within one
     /// rotation, instead of a LIFO hot buffer shadowing cold ones that
@@ -72,6 +124,7 @@ impl SyntheticSource {
         Self {
             generator,
             batch,
+            emitted: 0,
             free: VecDeque::new(),
         }
     }
@@ -104,11 +157,27 @@ impl BatchSource for SyntheticSource {
                 arc = Arc::new(self.generator.next_batch(self.batch));
             }
         }
+        self.emitted += 1;
         Some(arc)
     }
 
     fn recycle(&mut self, batch: Arc<CtrBatch>) {
         self.free.push_back(batch);
+    }
+
+    fn state(&self) -> Option<SourceState> {
+        Some(SourceState::Synthetic {
+            rng_state: self.generator.rng_state(),
+            batches: self.emitted,
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) {
+        let SourceState::Synthetic { rng_state, batches } = *state else {
+            panic!("SyntheticSource cannot restore {state:?}");
+        };
+        self.generator.set_rng_state(rng_state);
+        self.emitted = batches;
     }
 }
 
@@ -256,6 +325,26 @@ impl BatchSource for TraceReplaySource {
 
     fn recycle(&mut self, batch: Arc<CtrBatch>) {
         self.free.push_back(batch);
+    }
+
+    fn state(&self) -> Option<SourceState> {
+        Some(SourceState::TraceReplay {
+            cursor: self.cursor as u64,
+            rng_state: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) {
+        let SourceState::TraceReplay { cursor, rng_state } = *state else {
+            panic!("TraceReplaySource cannot restore {state:?}");
+        };
+        assert!(
+            cursor as usize <= self.steps.len(),
+            "restore cursor {cursor} beyond trace of {} steps",
+            self.steps.len()
+        );
+        self.cursor = cursor as usize;
+        self.rng = SplitMix64::new(rng_state);
     }
 }
 
@@ -410,6 +499,67 @@ mod tests {
             TraceReplaySource::new(vec![a, b], 4, 0),
             Err(TraceError::Format(m)) if m.contains("batch size")
         ));
+    }
+
+    #[test]
+    fn synthetic_source_resumes_bit_identically_from_any_point() {
+        for cut in 0..5usize {
+            let mut reference = SyntheticSource::new(ctr(), 16);
+            let mut interrupted = SyntheticSource::new(ctr(), 16);
+            for _ in 0..cut {
+                let a = reference.next_batch().unwrap();
+                reference.recycle(a);
+                let b = interrupted.next_batch().unwrap();
+                interrupted.recycle(b);
+            }
+            let state = interrupted.state().expect("synthetic sources resume");
+            drop(interrupted); // the "crash"
+            let mut resumed = SyntheticSource::new(ctr(), 16);
+            resumed.restore(&state);
+            for step in 0..4 {
+                let expected = reference.next_batch().unwrap();
+                let got = resumed.next_batch().unwrap();
+                assert_eq!(*got, *expected, "cut {cut}, step {step} diverged");
+                reference.recycle(expected);
+                resumed.recycle(got);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_resumes_bit_identically_mid_trace() {
+        let t0 = table_trace(3, 1, 5, 8);
+        let t1 = table_trace(2, 2, 5, 8);
+        let mk = || TraceReplaySource::new(vec![t0.clone(), t1.clone()], 4, 7).unwrap();
+        let mut reference = mk();
+        for _ in 0..2 {
+            let b = reference.next_batch().unwrap();
+            reference.recycle(b);
+        }
+        let state = reference.state().expect("trace replay resumes");
+        let mut resumed = mk();
+        resumed.restore(&state);
+        loop {
+            match (reference.next_batch(), resumed.next_batch()) {
+                (Some(a), Some(b)) => assert_eq!(*a, *b),
+                (None, None) => break,
+                (a, b) => panic!(
+                    "exhaustion disagrees: reference {:?} vs resumed {:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot restore")]
+    fn restore_rejects_the_wrong_state_variant() {
+        let mut source = SyntheticSource::new(ctr(), 8);
+        source.restore(&SourceState::TraceReplay {
+            cursor: 0,
+            rng_state: 1,
+        });
     }
 
     #[test]

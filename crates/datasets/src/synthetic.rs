@@ -106,6 +106,22 @@ impl SyntheticCtr {
         self.dense_dim
     }
 
+    /// The stream position: everything a batch draws — dense features,
+    /// per-table generator seeds, labels — comes from the one `rng`
+    /// (generators are reseeded from it each batch; weights and affinity
+    /// seeds are fixed at construction), so its state alone pins the
+    /// position.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Rewinds/advances the stream to a position captured by
+    /// [`SyntheticCtr::rng_state`] on a generator built with the same
+    /// tables, `dense_dim` and seed.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = SplitMix64::new(state);
+    }
+
     /// Generates the next mini-batch.
     pub fn next_batch(&mut self, batch: usize) -> CtrBatch {
         let mut out = CtrBatch::default();

@@ -30,13 +30,56 @@
 //! bit-identically.
 
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{read_train_checkpoint, CheckpointError, CheckpointStore};
 use crate::trainer::{InFlightStep, PhaseTimings, StepReport, Trainer};
 use tcast_core::PipelineStats;
 use tcast_datasets::{BatchSource, CtrBatch};
 use tcast_embedding::EmbeddingError;
+
+/// Errors from a [`TrainLoop`] run: a training-step failure or — when a
+/// checkpoint cadence is configured — a checkpoint I/O failure.
+#[derive(Debug)]
+pub enum DriverError {
+    /// A training step failed (shape/index inconsistencies).
+    Train(EmbeddingError),
+    /// Writing a periodic checkpoint failed; training stopped cleanly
+    /// at the failed boundary (the trainer and model remain valid).
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Train(e) => write!(f, "training step failed: {e}"),
+            DriverError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Train(e) => Some(e),
+            DriverError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<EmbeddingError> for DriverError {
+    fn from(e: EmbeddingError) -> Self {
+        DriverError::Train(e)
+    }
+}
+
+impl From<CheckpointError> for DriverError {
+    fn from(e: CheckpointError) -> Self {
+        DriverError::Checkpoint(e)
+    }
+}
 
 /// Aggregate result of a [`TrainLoop::run`] stream.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -150,12 +193,22 @@ pub struct AdaptiveDepth {
     /// Consecutive hidden windows before the controller tries a
     /// shallower depth.
     pub decrease_after: usize,
+    /// Consecutive hidden windows spent *pinned at the floor* before
+    /// the floor decays by one, re-enabling a decrease trial. A failed
+    /// trial used to pin the floor forever, so a transient congestion
+    /// burst (a cache-cold phase, a noisy neighbour) locked the
+    /// controller at an unnecessarily deep lookahead for the rest of
+    /// the run; sustained hidden windows are evidence the knee has
+    /// moved back down, and decaying the floor lets the controller
+    /// re-probe it. `0` disables decay (the pre-decay behaviour).
+    pub floor_decay_after: usize,
 }
 
 impl AdaptiveDepth {
     /// An adaptive policy between `min` and `max` with the default
-    /// cadence: 4-step windows, a 1 us per-step hidden threshold, and a
-    /// decrease trial after 4 consecutive hidden windows.
+    /// cadence: 4-step windows, a 1 us per-step hidden threshold, a
+    /// decrease trial after 4 consecutive hidden windows, and floor
+    /// decay after 16 consecutive hidden windows at the floor.
     pub fn new(min: usize, max: usize) -> Self {
         Self {
             min,
@@ -163,6 +216,7 @@ impl AdaptiveDepth {
             window: 4,
             target_exposed_ns: 1_000,
             decrease_after: 4,
+            floor_decay_after: 16,
         }
     }
 }
@@ -180,11 +234,36 @@ pub struct DepthController {
     window_steps: usize,
     hidden_streak: usize,
     /// Depth below which a past decrease trial re-exposed casting; the
-    /// controller never descends below it again.
+    /// controller does not descend below it until it decays.
     floor: usize,
+    /// Consecutive hidden windows spent pinned at the floor — drives
+    /// [`AdaptiveDepth::floor_decay_after`].
+    floor_streak: usize,
     /// The previous decision was a decrease trial (so a congested next
     /// window pins the floor).
     trialing: bool,
+}
+
+/// A plain-data snapshot of a [`DepthController`]'s mutable state, the
+/// `DCTL` checkpoint section. The policy itself is *not* part of the
+/// snapshot: resuming supplies the policy (it is configuration, not
+/// state) and [`DepthController::restore`] re-validates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthControllerState {
+    /// Depth in effect.
+    pub depth: usize,
+    /// Exposed wait accumulated in the current observation window.
+    pub window_wait_ns: u64,
+    /// Steps observed in the current window.
+    pub window_steps: usize,
+    /// Consecutive hidden windows.
+    pub hidden_streak: usize,
+    /// The pinned decrease floor.
+    pub floor: usize,
+    /// Consecutive hidden windows spent pinned at the floor.
+    pub floor_streak: usize,
+    /// Whether the last decision was a decrease trial.
+    pub trialing: bool,
 }
 
 impl DepthController {
@@ -214,6 +293,7 @@ impl DepthController {
                 DepthPolicy::Fixed(d) => d,
                 DepthPolicy::Adaptive(a) => a.min,
             },
+            floor_streak: 0,
             trialing: false,
         }
     }
@@ -226,6 +306,39 @@ impl DepthController {
     /// The depth currently in effect.
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// Snapshots the controller's mutable state for checkpointing.
+    pub fn state(&self) -> DepthControllerState {
+        DepthControllerState {
+            depth: self.depth,
+            window_wait_ns: self.window_wait.as_nanos() as u64,
+            window_steps: self.window_steps,
+            hidden_streak: self.hidden_streak,
+            floor: self.floor,
+            floor_streak: self.floor_streak,
+            trialing: self.trialing,
+        }
+    }
+
+    /// Rebuilds a controller mid-trajectory from a checkpoint snapshot:
+    /// the resumed controller makes exactly the depth decisions the
+    /// saved one would have made.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate adaptive policy (as
+    /// [`DepthController::new`] does).
+    pub fn restore(policy: DepthPolicy, state: DepthControllerState) -> Self {
+        let mut c = Self::new(policy);
+        c.depth = state.depth;
+        c.window_wait = Duration::from_nanos(state.window_wait_ns);
+        c.window_steps = state.window_steps;
+        c.hidden_streak = state.hidden_streak;
+        c.floor = state.floor;
+        c.floor_streak = state.floor_streak;
+        c.trialing = state.trialing;
+        c
     }
 
     /// Feeds one completed step's exposed casting wait; returns the
@@ -251,8 +364,22 @@ impl DepthController {
             }
             self.depth = (self.depth + 1).min(a.max);
             self.hidden_streak = 0;
+            self.floor_streak = 0;
         } else {
             self.hidden_streak += 1;
+            // Floor decay: sustained hidden windows while pinned at the
+            // floor are evidence the knee has moved — lower the floor
+            // one step so the decrease logic below can re-probe it. A
+            // re-exposed trial pins it straight back.
+            if self.depth == self.floor && self.floor > a.min {
+                self.floor_streak += 1;
+                if a.floor_decay_after > 0 && self.floor_streak >= a.floor_decay_after {
+                    self.floor -= 1;
+                    self.floor_streak = 0;
+                }
+            } else {
+                self.floor_streak = 0;
+            }
             if self.hidden_streak >= a.decrease_after && self.depth > self.floor {
                 self.depth = (self.depth / 2).max(self.floor).max(a.min);
                 self.hidden_streak = 0;
@@ -288,7 +415,7 @@ impl DepthController {
 /// use tcast_dlrm::{BackwardMode, DlrmConfig, Trainer, TrainLoop};
 /// use tcast_datasets::{BatchSource, SyntheticCtr, SyntheticSource};
 ///
-/// # fn main() -> Result<(), tcast_embedding::EmbeddingError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let config = DlrmConfig::tiny();
 /// let mut source =
 ///     SyntheticSource::new(SyntheticCtr::new(config.table_workloads(), config.dense_features, 1), 32);
@@ -305,6 +432,18 @@ pub struct TrainLoop {
     trainer: Trainer,
     controller: DepthController,
     queue: VecDeque<InFlightStep>,
+    checkpoint: Option<CheckpointCadence>,
+}
+
+/// Periodic-checkpoint configuration of a [`TrainLoop`].
+#[derive(Debug)]
+struct CheckpointCadence {
+    every: u64,
+    store: CheckpointStore,
+    last: Option<PathBuf>,
+    /// Step count at the last commit — guards against re-committing the
+    /// same boundary (e.g. when a run ends exactly on one).
+    last_step: u64,
 }
 
 impl TrainLoop {
@@ -324,7 +463,84 @@ impl TrainLoop {
             queue: VecDeque::with_capacity(policy.max_depth() + 1),
             trainer,
             controller: DepthController::new(policy),
+            checkpoint: None,
         }
+    }
+
+    /// Enables crash-safe checkpointing: every `every` completed steps,
+    /// [`TrainLoop::run`] drains the in-flight queue and commits full
+    /// training state (model, optimizer slabs, step counter, batch
+    /// source position, depth controller) to `store`.
+    ///
+    /// Draining at the boundary is trajectory-neutral — completions
+    /// happen in the same order with the same inputs, just earlier — so
+    /// a run with checkpointing enabled trains bit-identically to one
+    /// without, and a run resumed from any of the checkpoints continues
+    /// bit-identically to the uninterrupted run
+    /// (`tests/checkpoint_resume.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: u64, store: CheckpointStore) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        let last_step = self.trainer.steps() + self.queue.len() as u64;
+        self.checkpoint = Some(CheckpointCadence {
+            every,
+            store,
+            last: None,
+            last_step,
+        });
+        self
+    }
+
+    /// The most recent checkpoint committed by [`TrainLoop::run`].
+    pub fn last_checkpoint(&self) -> Option<&Path> {
+        self.checkpoint.as_ref().and_then(|c| c.last.as_deref())
+    }
+
+    /// Resumes a killed run: loads the checkpoint at `path`, restores
+    /// full training state into `trainer` (which must be freshly built
+    /// with the architecture, optimizer and learning rate of the saved
+    /// run), rewinds `source` to the saved stream position, and rebuilds
+    /// the depth controller mid-trajectory under `policy`.
+    ///
+    /// The returned loop continues the killed run **bit-identically**:
+    /// weights, per-step losses and depth decisions match an
+    /// uninterrupted run step for step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on unreadable/corrupt checkpoints or
+    /// trainer mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's source state does not match the kind
+    /// of `source` (see [`BatchSource::restore`]).
+    pub fn resume(
+        path: impl AsRef<Path>,
+        mut trainer: Trainer,
+        policy: DepthPolicy,
+        source: &mut dyn BatchSource,
+    ) -> Result<Self, CheckpointError> {
+        let mut file = std::fs::File::open(path)?;
+        let ckpt = read_train_checkpoint(&mut file)?;
+        ckpt.restore_into(&mut trainer)?;
+        if let Some(state) = ckpt.source_state() {
+            source.restore(&state);
+        }
+        let controller = match ckpt.controller_state() {
+            Some(state) => DepthController::restore(policy, state),
+            None => DepthController::new(policy),
+        };
+        Ok(Self {
+            queue: VecDeque::with_capacity(policy.max_depth() + 1),
+            trainer,
+            controller,
+            checkpoint: None,
+        })
     }
 
     /// The lookahead depth currently in effect.
@@ -423,14 +639,20 @@ impl TrainLoop {
     /// free-list, and reports the run's losses, timings and casting
     /// overlap. Stops early if the source ends (finite trace replay).
     ///
+    /// With [`TrainLoop::checkpoint_every`] configured, full training
+    /// state is committed at every cadence boundary (the in-flight queue
+    /// is drained first — trajectory-neutral, see `checkpoint_every`).
+    ///
     /// # Errors
     ///
-    /// Returns an error on shape/index inconsistencies in any batch.
+    /// Returns [`DriverError::Train`] on shape/index inconsistencies in
+    /// any batch and [`DriverError::Checkpoint`] if a periodic
+    /// checkpoint cannot be committed.
     pub fn run(
         &mut self,
         source: &mut dyn BatchSource,
         steps: usize,
-    ) -> Result<RunSummary, EmbeddingError> {
+    ) -> Result<RunSummary, DriverError> {
         let stats_before = self.pipeline_stats_or_default();
         let mut summary = RunSummary::default();
         for _ in 0..steps {
@@ -450,14 +672,53 @@ impl TrainLoop {
                 self.record(&mut summary, &report);
                 source.recycle(done);
             }
+            if self.checkpoint_due() {
+                for (report, done) in self.finish()? {
+                    self.record(&mut summary, &report);
+                    source.recycle(done);
+                }
+                self.commit_checkpoint(source)?;
+            }
         }
         for (report, done) in self.finish()? {
             self.record(&mut summary, &report);
             source.recycle(done);
         }
+        if self.checkpoint_due() {
+            self.commit_checkpoint(source)?;
+        }
         let stats_after = self.pipeline_stats_or_default();
         summary.casting_time = stats_after.casting_time - stats_before.casting_time;
         Ok(summary)
+    }
+
+    /// Whether the trainer has crossed a checkpoint-cadence boundary
+    /// since the last commit. Compared against the *pushed* step count
+    /// (completed + in flight), so the decision is the same whatever the
+    /// lookahead depth happens to be when the boundary is crossed.
+    fn checkpoint_due(&self) -> bool {
+        self.checkpoint.as_ref().is_some_and(|c| {
+            let pushed = self.trainer.steps() + self.queue.len() as u64;
+            pushed > 0 && pushed.is_multiple_of(c.every) && pushed != c.last_step
+        })
+    }
+
+    /// Drains nothing itself (callers drain first): captures source +
+    /// controller state and commits one checkpoint.
+    fn commit_checkpoint(&mut self, source: &mut dyn BatchSource) -> Result<(), CheckpointError> {
+        debug_assert!(self.queue.is_empty(), "drain before checkpointing");
+        let source_state = source.state();
+        let controller_state = self.controller.state();
+        if let Some(c) = self.checkpoint.as_mut() {
+            let path = c.store.save(
+                &self.trainer,
+                source_state.as_ref(),
+                Some(&controller_state),
+            )?;
+            c.last = Some(path);
+            c.last_step = self.trainer.steps();
+        }
+        Ok(())
     }
 
     fn record(&self, summary: &mut RunSummary, report: &StepReport) {
@@ -598,6 +859,7 @@ mod tests {
             window: 2,
             target_exposed_ns: 1_000,
             decrease_after: 2,
+            floor_decay_after: 0,
         }));
         assert_eq!(c.depth(), 1);
         let exposed = Duration::from_micros(50);
@@ -622,6 +884,7 @@ mod tests {
             window: 1,
             target_exposed_ns: 1_000,
             decrease_after: 2,
+            floor_decay_after: 0,
         };
         let mut c = DepthController::new(DepthPolicy::Adaptive(a));
         let exposed = Duration::from_micros(100);
@@ -644,6 +907,131 @@ mod tests {
     }
 
     #[test]
+    fn floor_decays_after_sustained_hidden_windows() {
+        // Same knee-at-2 workload as the pinning test, but the workload
+        // then shifts: casting becomes hidden at *every* depth. With
+        // floor decay enabled the controller must shed the stale floor
+        // and walk back down to min instead of idling pinned at 2.
+        let a = AdaptiveDepth {
+            min: 0,
+            max: 8,
+            window: 1,
+            target_exposed_ns: 1_000,
+            decrease_after: 2,
+            floor_decay_after: 4,
+        };
+        let mut c = DepthController::new(DepthPolicy::Adaptive(a));
+        let exposed = Duration::from_micros(100);
+        // Phase 1: knee at depth 2 — converge and pin the floor there.
+        for _ in 0..40 {
+            let wait = if c.depth() >= 2 {
+                Duration::ZERO
+            } else {
+                exposed
+            };
+            c.observe(wait);
+        }
+        assert_eq!(c.depth(), 2, "must converge on the knee first");
+        // Phase 2: casting now always hidden. Each floor decay needs
+        // `floor_decay_after` hidden windows plus a successful trial.
+        let mut trace = Vec::new();
+        for _ in 0..40 {
+            trace.push(c.observe(Duration::ZERO));
+        }
+        assert_eq!(
+            *trace.last().unwrap(),
+            0,
+            "floor never decayed to min: {trace:?}"
+        );
+
+        // With decay disabled the floor is sticky forever.
+        let mut pinned = DepthController::new(DepthPolicy::Adaptive(AdaptiveDepth {
+            floor_decay_after: 0,
+            ..a
+        }));
+        for _ in 0..40 {
+            let wait = if pinned.depth() >= 2 {
+                Duration::ZERO
+            } else {
+                exposed
+            };
+            pinned.observe(wait);
+        }
+        for _ in 0..80 {
+            pinned.observe(Duration::ZERO);
+        }
+        assert_eq!(pinned.depth(), 2, "disabled decay must keep the floor");
+    }
+
+    #[test]
+    fn controller_state_roundtrips_mid_trajectory() {
+        // Snapshot the controller mid-run, rebuild from the snapshot,
+        // and feed both the same tail: decisions must match bit for bit.
+        let a = AdaptiveDepth {
+            min: 0,
+            max: 6,
+            window: 2,
+            target_exposed_ns: 1_000,
+            decrease_after: 2,
+            floor_decay_after: 3,
+        };
+        let mut c = DepthController::new(DepthPolicy::Adaptive(a));
+        let waits = [900_u64, 5_000, 0, 2_000, 0, 0, 3_000, 0, 0, 0, 0];
+        for &w in &waits[..7] {
+            c.observe(Duration::from_nanos(w));
+        }
+        let snap = c.state();
+        let mut r = DepthController::restore(DepthPolicy::Adaptive(a), snap);
+        assert_eq!(r.depth(), c.depth());
+        for &w in &waits[7..] {
+            assert_eq!(
+                c.observe(Duration::from_nanos(w)),
+                r.observe(Duration::from_nanos(w)),
+                "restored controller diverged"
+            );
+        }
+        assert_eq!(c.state(), r.state());
+    }
+
+    #[test]
+    fn run_with_checkpointing_is_trajectory_neutral() {
+        // A cadenced run must train bit-identically to an uncadenced
+        // one: the drain at each boundary only reorders *when* steps
+        // complete, never what they compute.
+        let dir = std::env::temp_dir().join(format!("tckp-neutral-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = || Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 3).unwrap();
+        let mut plain = TrainLoop::new(mk(), 2);
+        let plain_summary = plain.run(&mut source(9, 16), 9).unwrap();
+
+        let store = CheckpointStore::new(&dir, 2).unwrap();
+        let mut cadenced = TrainLoop::new(mk(), 2).checkpoint_every(3, store);
+        let cadenced_summary = cadenced.run(&mut source(9, 16), 9).unwrap();
+
+        assert_eq!(
+            plain_summary
+                .losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            cadenced_summary
+                .losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "checkpoint drains changed the trajectory"
+        );
+        let last = cadenced
+            .last_checkpoint()
+            .expect("a checkpoint was committed");
+        assert!(
+            last.ends_with("ckpt-000000000009.tckp"),
+            "unexpected {last:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn adaptive_depth_decrease_drains_the_queue_mid_run() {
         // A policy that *starts* deep and collapses once hidden: the
         // drain path (complete_excess) must keep in_flight <= depth and
@@ -654,6 +1042,7 @@ mod tests {
             window: 1,
             target_exposed_ns: u64::MAX, // every window counts as hidden
             decrease_after: 1,
+            floor_decay_after: 0,
         };
         let mk = || Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 3).unwrap();
         let mut adaptive = TrainLoop::with_policy(mk(), DepthPolicy::Adaptive(a));

@@ -129,7 +129,7 @@ pub enum EmbeddingOptimizer {
 }
 
 impl EmbeddingOptimizer {
-    fn build(&self, lr: f32) -> Box<dyn SplittableOptimizer> {
+    pub(crate) fn build(&self, lr: f32) -> Box<dyn SplittableOptimizer> {
         match *self {
             EmbeddingOptimizer::Sgd => Box::new(Sgd::new(lr)),
             EmbeddingOptimizer::Momentum { mu } => Box::new(Momentum::new(lr, mu)),
@@ -358,9 +358,45 @@ impl Trainer {
         &self.model
     }
 
+    /// Mutable model access for checkpoint restore (crate-internal: the
+    /// staged [`crate::checkpoint::TrainCheckpoint`] is the public door).
+    pub(crate) fn model_mut(&mut self) -> &mut Dlrm {
+        &mut self.model
+    }
+
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// The shared learning rate in effect.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// The optimizer configuration the per-table instances were built
+    /// from.
+    pub fn optimizer_config(&self) -> EmbeddingOptimizer {
+        self.optimizer
+    }
+
+    /// The per-table optimizer instances — the checkpoint save path
+    /// reads each one's opaque state slab through
+    /// [`SplittableOptimizer::save_state`].
+    pub fn table_optimizers(&self) -> &[Box<dyn SplittableOptimizer>] {
+        &self.table_optimizers
+    }
+
+    /// Installs checkpoint-restored per-table optimizers and the saved
+    /// step counter (the final, infallible stage of
+    /// [`crate::checkpoint::TrainCheckpoint::restore_into`]).
+    pub(crate) fn install_restored(
+        &mut self,
+        optimizers: Vec<Box<dyn SplittableOptimizer>>,
+        steps: u64,
+    ) {
+        self.table_optimizers = optimizers;
+        self.steps = steps;
     }
 
     /// Runs one training step and reports loss + phase timings.

@@ -77,6 +77,108 @@ pub trait SplittableOptimizer: SparseOptimizer + Send {
     /// Panics if the fence is not ascending, has fewer than two entries,
     /// or `dim` conflicts with the width of already-live state.
     fn split_by_rows<'s>(&'s mut self, fence: &[u32], dim: usize) -> Vec<Box<dyn StateShard + 's>>;
+
+    /// Appends the optimizer's *mutable* per-row state (slabs, step
+    /// counts — not hyperparameters) to `out`, for checkpointing. The
+    /// full slab is captured, including allocated-but-untouched rows, so
+    /// a restore reproduces the exact allocation state and subsequent
+    /// growth behaves identically to the uninterrupted run.
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores state written by [`SplittableOptimizer::save_state`] into
+    /// this optimizer (which must have been built with the same
+    /// hyperparameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency if `bytes` is
+    /// truncated, malformed, or has trailing garbage; the optimizer's
+    /// state is unspecified after an error.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String>;
+}
+
+/// Little-endian cursor over checkpoint bytes; every read is
+/// bounds-checked so truncated state surfaces as an `Err`, never a panic.
+struct StateReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "optimizer state truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                )
+            })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "optimizer state has {} trailing bytes",
+                self.bytes.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl RowState {
+    /// Appends `width`, row count, the full slab and the touched bitmap.
+    fn save_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.width as u64);
+        put_u64(out, self.rows() as u64);
+        for &v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend(self.touched.iter().map(|&t| t as u8));
+    }
+
+    /// Reads back what [`RowState::save_into`] wrote.
+    fn load_from(&mut self, r: &mut StateReader<'_>) -> Result<(), String> {
+        let width = r.u64()? as usize;
+        let rows = r.u64()? as usize;
+        let elems = rows
+            .checked_mul(width)
+            .and_then(|e| e.checked_mul(4).map(|_| e))
+            .ok_or_else(|| "optimizer state slab size overflows".to_string())?;
+        let raw = r.take(elems * 4)?;
+        let mut data = Vec::with_capacity(elems);
+        for c in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes(c.try_into().expect("4 bytes")));
+        }
+        let flags = r.take(rows)?;
+        if let Some(&bad) = flags.iter().find(|&&b| b > 1) {
+            return Err(format!("optimizer touched flag has invalid value {bad}"));
+        }
+        self.width = width;
+        self.data = data;
+        self.touched = flags.iter().map(|&b| b == 1).collect();
+        Ok(())
+    }
 }
 
 /// Asserts the [`SplittableOptimizer::split_by_rows`] fence contract:
@@ -257,6 +359,14 @@ impl SplittableOptimizer for Sgd {
             .map(|_| Box::new(SgdShard { lr }) as Box<dyn StateShard>)
             .collect()
     }
+
+    fn save_state(&self, _out: &mut Vec<u8>) {
+        // SGD is stateless; an empty payload round-trips.
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        StateReader::new(bytes).finish()
+    }
 }
 
 /// SGD with (heavy-ball) momentum: `V <- mu*V + G; W <- W - lr*V`.
@@ -327,6 +437,16 @@ impl SplittableOptimizer for Momentum {
             .map(|velocity| Box::new(MomentumShard { lr, mu, velocity }) as Box<dyn StateShard>)
             .collect()
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.velocity.save_into(out);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        self.velocity.load_from(&mut r)?;
+        r.finish()
+    }
 }
 
 /// Adagrad (the paper's Eq. 2): `A <- A + G^2; W <- W - lr * G / sqrt(eps + A)`.
@@ -396,6 +516,16 @@ impl SplittableOptimizer for Adagrad {
             .into_iter()
             .map(|accum| Box::new(AdagradShard { lr, eps, accum }) as Box<dyn StateShard>)
             .collect()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.accum.save_into(out);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        self.accum.load_from(&mut r)?;
+        r.finish()
     }
 }
 
@@ -492,6 +622,16 @@ impl SplittableOptimizer for RmsProp {
                 }) as Box<dyn StateShard>
             })
             .collect()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.accum.save_into(out);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        self.accum.load_from(&mut r)?;
+        r.finish()
     }
 }
 
@@ -649,6 +789,31 @@ impl SplittableOptimizer for Adam {
             }));
         }
         shards
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.m.save_into(out);
+        self.v.save_into(out);
+        put_u64(out, self.t.len() as u64);
+        for &t in &self.t {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        self.m.load_from(&mut r)?;
+        self.v.load_from(&mut r)?;
+        let len = r.u64()? as usize;
+        let raw = r.take(
+            len.checked_mul(4)
+                .ok_or_else(|| "optimizer step-count length overflows".to_string())?,
+        )?;
+        self.t = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        r.finish()
     }
 }
 
@@ -850,6 +1015,73 @@ mod tests {
             .is_err();
             assert!(panicked, "{name} accepted a descending fence");
         }
+    }
+
+    #[test]
+    fn saved_state_resumes_bit_identically() {
+        // Save mid-trajectory, load into a fresh optimizer, continue both:
+        // the continued updates must match bit-for-bit (the checkpoint
+        // resume invariant at the optimizer layer).
+        let make: Vec<Box<dyn Fn() -> Box<dyn SplittableOptimizer>>> = vec![
+            Box::new(|| Box::new(Sgd::new(0.1))),
+            Box::new(|| Box::new(Momentum::new(0.1, 0.9))),
+            Box::new(|| Box::new(Adagrad::new(0.1, 1e-8))),
+            Box::new(|| Box::new(RmsProp::new(0.1, 0.9, 1e-8))),
+            Box::new(|| Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8))),
+        ];
+        let rows: Vec<u32> = vec![0, 3, 9, 17];
+        let dim = 3;
+        for mk in &make {
+            let mut original = mk();
+            let mut params_a: Vec<Vec<f32>> = rows.iter().map(|&r| vec![r as f32; dim]).collect();
+            for (i, &r) in rows.iter().enumerate() {
+                let grad: Vec<f32> = (0..dim).map(|c| (r + c as u32) as f32 * 0.1).collect();
+                original.update_row(r, &mut params_a[i], &grad);
+            }
+            let mut saved = Vec::new();
+            original.save_state(&mut saved);
+            let mut restored = mk();
+            restored.load_state(&saved).expect("valid state loads");
+            let mut params_b = params_a.clone();
+            for (i, &r) in rows.iter().enumerate() {
+                let grad: Vec<f32> = (0..dim).map(|c| (r + c as u32) as f32 * 0.2).collect();
+                original.update_row(r, &mut params_a[i], &grad);
+                restored.update_row(r, &mut params_b[i], &grad);
+            }
+            let bits = |ps: &[Vec<f32>]| -> Vec<Vec<u32>> {
+                ps.iter()
+                    .map(|p| p.iter().map(|v| v.to_bits()).collect())
+                    .collect()
+            };
+            assert_eq!(
+                bits(&params_a),
+                bits(&params_b),
+                "{} diverged after restore",
+                mk().name()
+            );
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_truncation_and_trailing_garbage() {
+        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let mut p = vec![0.0, 0.0];
+        opt.update_row(5, &mut p, &[1.0, 2.0]);
+        let mut saved = Vec::new();
+        opt.save_state(&mut saved);
+        // Every truncation point is a clean error, never a panic.
+        for cut in 0..saved.len() {
+            let mut fresh = Adam::new(0.01, 0.9, 0.999, 1e-8);
+            assert!(
+                fresh.load_state(&saved[..cut]).is_err(),
+                "truncation at byte {cut} accepted"
+            );
+        }
+        let mut trailing = saved.clone();
+        trailing.push(0);
+        let mut fresh = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let err = fresh.load_state(&trailing).unwrap_err();
+        assert!(err.contains("trailing"), "unexpected error: {err}");
     }
 
     #[test]

@@ -69,6 +69,7 @@
 //!         policy: BatchPolicy::Fixed { batch: 8 },
 //!         sla_ns: 10_000_000,
 //!         seed: 1,
+//!         shed_unmeetable: false,
 //!     },
 //! )?;
 //! assert_eq!(report.queries, 64);
@@ -88,7 +89,9 @@ pub mod request;
 pub mod stats;
 
 pub use engine::{ScoredBatch, ServeEngine, DEFAULT_CACHE_CAPACITY};
-pub use online::{serve, serve_online, OnlineConfig, OnlineReport, ServeConfig};
+pub use online::{
+    serve, serve_online, HotRestore, OnlineConfig, OnlineReport, ServeConfig, ServeError,
+};
 pub use queue::{AdaptiveBatcher, AdmissionQueue, BatchPolicy, Decision, QueuedQuery};
 pub use request::{ArrivalProcess, CandidateCount, Query, QueryModel};
 pub use stats::{LatencyHistogram, ServeReport};

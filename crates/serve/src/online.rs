@@ -34,6 +34,8 @@
 //! bit-identical (prefetching reorders nothing).
 
 use std::collections::VecDeque;
+use std::fs::File;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +44,7 @@ use crate::queue::{AdmissionQueue, BatchPolicy, Decision, QueuedQuery};
 use crate::request::{ArrivalProcess, Query, QueryModel};
 use crate::stats::{LatencyHistogram, ServeReport};
 use tcast_datasets::BatchSource;
+use tcast_dlrm::checkpoint::{read_train_checkpoint, CheckpointError};
 use tcast_dlrm::Trainer;
 use tcast_embedding::EmbeddingError;
 use tcast_tensor::SplitMix64;
@@ -61,14 +64,78 @@ pub struct ServeConfig {
     pub sla_ns: u64,
     /// Arrival-schedule seed.
     pub seed: u64,
+    /// Graceful degradation under overload: before every scheduling
+    /// decision, shed the queries whose deadline is already provably
+    /// unmeetable (waited `sla_ns` or longer — service time would only
+    /// push them further past the SLA). Shed queries complete their
+    /// closed-loop clients without being scored and are counted in
+    /// [`ServeReport::shed`] instead of the latency histogram.
+    pub shed_unmeetable: bool,
+}
+
+/// A mid-run checkpoint hot-restore (see [`OnlineConfig::restore`]).
+#[derive(Debug, Clone)]
+pub struct HotRestore {
+    /// The checkpoint file to restore (a `.tckp` written by
+    /// `tcast_dlrm::checkpoint`).
+    pub path: PathBuf,
+    /// Restore once the trainer has taken this many online update steps
+    /// (0 restores before the first update).
+    pub at_update: u64,
 }
 
 /// Online-training knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OnlineConfig {
     /// Run one trainer update step after every this many fused serving
     /// batches.
     pub update_every: usize,
+    /// Optionally hot-restore a checkpoint into the trainer mid-traffic
+    /// — the recovery drill: serving continues, the model snaps back to
+    /// the checkpointed state, and the restore's wall-clock cost lands
+    /// on the simulated clock and in [`ServeReport::restore_ns`].
+    pub restore: Option<HotRestore>,
+}
+
+/// What can go wrong in a serving run.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Scoring or an online update step failed (shape/index mismatch,
+    /// exhausted batch source).
+    Score(EmbeddingError),
+    /// A mid-run checkpoint hot-restore failed (I/O, corruption, or a
+    /// checkpoint that does not match the serving trainer).
+    Restore(CheckpointError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Score(e) => write!(f, "serving failed: {e}"),
+            ServeError::Restore(e) => write!(f, "hot-restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Score(e) => Some(e),
+            ServeError::Restore(e) => Some(e),
+        }
+    }
+}
+
+impl From<EmbeddingError> for ServeError {
+    fn from(e: EmbeddingError) -> Self {
+        ServeError::Score(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Restore(e)
+    }
 }
 
 /// What online training did during a serving run.
@@ -145,11 +212,15 @@ pub fn serve_online(
     workload: &mut QueryModel,
     config: &ServeConfig,
     online: OnlineConfig,
-) -> Result<(ServeReport, OnlineReport), EmbeddingError> {
+) -> Result<(ServeReport, OnlineReport), ServeError> {
     assert!(online.update_every > 0, "update_every must be positive");
     let mut loop_ = ServeLoop::new(engine, workload, config);
     let mut report = OnlineReport::default();
     let mut batches_since_update = 0u64;
+    let mut restore = online.restore;
+    if let Some(hr) = restore.take_if(|hr| hr.at_update == 0) {
+        hot_restore(&mut loop_, trainer, &hr)?;
+    }
     while !loop_.done() {
         let fired = loop_.tick(trainer.model())?;
         if fired {
@@ -172,10 +243,30 @@ pub fn serve_online(
                 report.updates += 1;
                 batches_since_update = 0;
                 source.recycle(batch);
+                if let Some(hr) = restore.take_if(|hr| report.updates >= hr.at_update) {
+                    hot_restore(&mut loop_, trainer, &hr)?;
+                }
             }
         }
     }
     Ok((loop_.into_report(), report))
+}
+
+/// Loads `hr.path` into the live trainer while traffic is in flight,
+/// charging the restore's wall-clock cost to the simulated clock.
+fn hot_restore(
+    loop_: &mut ServeLoop<'_>,
+    trainer: &mut Trainer,
+    hr: &HotRestore,
+) -> Result<(), CheckpointError> {
+    let t0 = Instant::now();
+    let ckpt = read_train_checkpoint(&mut File::open(&hr.path)?)?;
+    ckpt.restore_into(trainer)?;
+    let spent = t0.elapsed().as_nanos() as u64;
+    loop_.advance_clock(spent);
+    loop_.restores += 1;
+    loop_.restore_ns += spent;
+    Ok(())
 }
 
 /// The loop's mutable state, one `tick` per scheduling decision.
@@ -196,12 +287,17 @@ struct ServeLoop<'a> {
     completed: usize,
     total: usize,
     sla_ns: u64,
+    shed_unmeetable: bool,
+    /// Reused buffer shed queries drain into.
+    shed_buf: Vec<QueuedQuery>,
     latency: LatencyHistogram,
     service: LatencyHistogram,
     sla_violations: u64,
     samples: u64,
     batches: u64,
     started_ns: u64,
+    restores: u64,
+    restore_ns: u64,
 }
 
 impl<'a> ServeLoop<'a> {
@@ -224,12 +320,16 @@ impl<'a> ServeLoop<'a> {
             completed: 0,
             total: config.queries,
             sla_ns: config.sla_ns,
+            shed_unmeetable: config.shed_unmeetable,
+            shed_buf: Vec::new(),
             latency: LatencyHistogram::new(),
             service: LatencyHistogram::new(),
             sla_violations: 0,
             samples: 0,
             batches: 0,
             started_ns: 0,
+            restores: 0,
+            restore_ns: 0,
         };
         match this.arrivals {
             ArrivalProcess::Poisson { .. } => this.schedule_open_arrival(0),
@@ -278,6 +378,17 @@ impl<'a> ServeLoop<'a> {
                 self.schedule_open_arrival(t);
             }
         }
+        // Graceful degradation: drop the queries that already cannot
+        // meet the SLA before deciding, so a fired batch spends its
+        // service time only on queries still inside their budget.
+        if self.shed_unmeetable {
+            self.shed_expired();
+            if self.done() {
+                // Shedding finished the run: nothing left to schedule
+                // (and, closed-loop, nothing left to arrive).
+                return Ok(false);
+            }
+        }
         // "More arrivals" means: can a query still arrive *before* the
         // next batch fires? Open-loop traffic keeps coming regardless;
         // closed-loop arrivals are completion-driven, so once `pending`
@@ -308,6 +419,33 @@ impl<'a> ServeLoop<'a> {
                 Ok(false)
             }
         }
+    }
+
+    /// Sheds every queued query whose deadline is provably unmeetable at
+    /// the current clock. A shed query *completes* — it counts toward
+    /// the run total and (closed loop) frees its client to issue the
+    /// next query — but is never scored: no latency sample, no SLA
+    /// violation, no engine work.
+    fn shed_expired(&mut self) {
+        let mut shed = std::mem::take(&mut self.shed_buf);
+        self.queue
+            .shed_expired_into(self.clock_ns, self.sla_ns, &mut shed);
+        let n = shed.len();
+        if n > 0 {
+            self.completed += n;
+            if let ArrivalProcess::ClosedLoop { think_ns, .. } = self.arrivals {
+                for _ in 0..n {
+                    if self.issued >= self.total {
+                        break;
+                    }
+                    let q = self.workload.draw();
+                    self.pending.push_back((self.clock_ns + think_ns, q));
+                    self.issued += 1;
+                }
+            }
+        }
+        shed.clear();
+        self.shed_buf = shed;
     }
 
     fn fire(&mut self, model: &tcast_dlrm::Dlrm, n: usize) -> Result<(), EmbeddingError> {
@@ -363,6 +501,9 @@ impl<'a> ServeLoop<'a> {
             sla_violations: self.sla_violations,
             max_queue_depth: self.queue.max_depth(),
             cache_hit_rate: self.engine.cache_hit_rate(),
+            shed: self.queue.shed_count(),
+            restores: self.restores,
+            restore_ns: self.restore_ns,
         }
     }
 }
@@ -399,6 +540,7 @@ mod tests {
             policy,
             sla_ns: 50_000_000,
             seed: 21,
+            shed_unmeetable: false,
         }
     }
 
@@ -438,6 +580,7 @@ mod tests {
             },
             sla_ns: 50_000_000,
             seed: 9,
+            shed_unmeetable: false,
         };
         let report = serve(&mut engine, &m, &mut workload(7), &cfg).unwrap();
         assert_eq!(report.queries, 30);
@@ -463,6 +606,7 @@ mod tests {
             policy: BatchPolicy::Fixed { batch: 8 },
             sla_ns: 50_000_000,
             seed: 3,
+            shed_unmeetable: false,
         };
         let report = serve(&mut engine, &m, &mut workload(19), &cfg).unwrap();
         assert_eq!(report.queries, 30);
@@ -514,7 +658,10 @@ mod tests {
             &mut source,
             &mut workload(13),
             &config(BatchPolicy::Fixed { batch: 4 }, 40),
-            OnlineConfig { update_every: 2 },
+            OnlineConfig {
+                update_every: 2,
+                restore: None,
+            },
         )
         .unwrap();
         assert_eq!(report.queries, 40);
@@ -542,7 +689,10 @@ mod tests {
             );
             let mut engine = ServeEngine::with_defaults(trainer.model());
             let serve_cfg = config(BatchPolicy::Fixed { batch: 4 }, 40);
-            let online_cfg = OnlineConfig { update_every: 2 };
+            let online_cfg = OnlineConfig {
+                update_every: 2,
+                restore: None,
+            };
             let mut inline;
             let mut prefetched;
             let source: &mut dyn BatchSource = if prefetch {
@@ -567,6 +717,126 @@ mod tests {
         let (prefetched_losses, prefetched_tables) = run(true);
         assert_eq!(prefetched_losses, inline_losses);
         assert_eq!(prefetched_tables, inline_tables);
+    }
+
+    #[test]
+    fn overload_sheds_unmeetable_queries() {
+        let m = model();
+        let mut engine = ServeEngine::with_defaults(&m);
+        let cfg = ServeConfig {
+            queries: 40,
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 8,
+                think_ns: 0,
+            },
+            policy: BatchPolicy::Fixed { batch: 4 },
+            // A 1 ns SLA: any query that waits at all is provably
+            // unmeetable, so every tick sheds what queued behind the
+            // previous batch's service time.
+            sla_ns: 1,
+            seed: 11,
+            shed_unmeetable: true,
+        };
+        let report = serve(&mut engine, &m, &mut workload(3), &cfg).unwrap();
+        assert_eq!(report.queries, 40, "shed queries still complete the run");
+        assert!(report.shed > 0, "an unmeetable SLA must shed");
+        assert_eq!(
+            report.latency.count() + report.shed,
+            40,
+            "every query is either scored or shed, never both"
+        );
+        assert!(report.shed_rate() > 0.0);
+    }
+
+    #[test]
+    fn hot_restore_snaps_the_trainer_back_mid_traffic() {
+        use tcast_dlrm::checkpoint::save_train_checkpoint;
+        let cfg = DlrmConfig::tiny();
+        // An offline run takes 3 steps and checkpoints.
+        let mut offline = Trainer::new(cfg.clone(), BackwardMode::Casted, 17).unwrap();
+        let mut src = SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 2),
+            16,
+        );
+        for _ in 0..3 {
+            let b = src.next_batch().unwrap();
+            offline.step(&b).unwrap();
+            src.recycle(b);
+        }
+        let path =
+            std::env::temp_dir().join(format!("tckp-hot-restore-{}.tckp", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        save_train_checkpoint(&mut f, &offline, None, None).unwrap();
+        drop(f);
+        // Serve with a fresh same-shape trainer; snap to the checkpoint
+        // after the second online update, mid-traffic.
+        let mut trainer = Trainer::new(cfg.clone(), BackwardMode::Casted, 17).unwrap();
+        let mut source = SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 5),
+            16,
+        );
+        let mut engine = ServeEngine::with_defaults(trainer.model());
+        let (report, online) = serve_online(
+            &mut engine,
+            &mut trainer,
+            &mut source,
+            &mut workload(13),
+            &config(BatchPolicy::Fixed { batch: 4 }, 40),
+            OnlineConfig {
+                update_every: 2,
+                restore: Some(HotRestore {
+                    path: path.clone(),
+                    at_update: 2,
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.restores, 1);
+        assert!(report.restore_ns > 0, "restore cost lands on the clock");
+        assert_eq!(online.updates, 5);
+        // 2 online updates, then the restore snaps the step counter to
+        // the checkpoint's 3, then 3 more online updates.
+        assert_eq!(trainer.steps(), 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hot_restore_of_a_corrupt_checkpoint_is_a_typed_error() {
+        let cfg = DlrmConfig::tiny();
+        let path =
+            std::env::temp_dir().join(format!("tckp-hot-corrupt-{}.tckp", std::process::id()));
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let mut trainer = Trainer::new(cfg.clone(), BackwardMode::Casted, 17).unwrap();
+        let mut source = SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 5),
+            16,
+        );
+        let mut engine = ServeEngine::with_defaults(trainer.model());
+        let err = serve_online(
+            &mut engine,
+            &mut trainer,
+            &mut source,
+            &mut workload(13),
+            &config(BatchPolicy::Fixed { batch: 4 }, 40),
+            OnlineConfig {
+                update_every: 2,
+                restore: Some(HotRestore {
+                    path: path.clone(),
+                    at_update: 0,
+                }),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Restore(_)),
+            "expected a restore error, got {err}"
+        );
+        assert_eq!(
+            trainer.steps(),
+            0,
+            "failed restore must not touch the trainer"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     fn table_bits(trainer: &Trainer) -> Vec<Vec<u32>> {

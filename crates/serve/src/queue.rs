@@ -137,6 +137,7 @@ pub struct AdmissionQueue {
     queue: VecDeque<QueuedQuery>,
     policy: BatchPolicy,
     max_depth: usize,
+    shed: u64,
 }
 
 impl AdmissionQueue {
@@ -153,6 +154,7 @@ impl AdmissionQueue {
             queue: VecDeque::new(),
             policy,
             max_depth: 0,
+            shed: 0,
         }
     }
 
@@ -169,6 +171,32 @@ impl AdmissionQueue {
     /// Deepest the queue has been.
     pub fn max_depth(&self) -> usize {
         self.max_depth
+    }
+
+    /// Queries shed so far (see [`AdmissionQueue::shed_expired_into`]).
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Sheds every waiting query whose deadline is already provably
+    /// unmeetable at clock `now_ns`: one that has waited `sla_ns` or
+    /// longer would violate the SLA even if scored instantly (service
+    /// time is strictly positive), so scoring it only burns compute that
+    /// queries still inside their budget need. Shed queries are drained
+    /// into `out` (cleared first) so the serve loop can complete their
+    /// closed-loop clients without scoring them.
+    ///
+    /// Admission order is FIFO and arrival times are non-decreasing, so
+    /// the expired queries form a prefix of the queue.
+    pub fn shed_expired_into(&mut self, now_ns: u64, sla_ns: u64, out: &mut Vec<QueuedQuery>) {
+        out.clear();
+        while let Some(front) = self.queue.front() {
+            if now_ns.saturating_sub(front.arrival_ns) < sla_ns {
+                break;
+            }
+            out.push(self.queue.pop_front().expect("front exists"));
+        }
+        self.shed += out.len() as u64;
     }
 
     /// The policy (e.g. to read an adaptive batcher's current target).
@@ -359,6 +387,36 @@ mod tests {
         assert_eq!(queue.decide(100, true), Decision::WaitUntil(600));
         queue.push(q(2), 200);
         assert_eq!(queue.decide(200, true), Decision::Fire(2));
+    }
+
+    #[test]
+    fn shedding_drains_only_the_expired_prefix() {
+        let mut queue = AdmissionQueue::new(BatchPolicy::Fixed { batch: 8 });
+        queue.push(q(0), 0);
+        queue.push(q(1), 50);
+        queue.push(q(2), 180);
+        let mut out = vec![QueuedQuery {
+            query: q(99),
+            arrival_ns: 0,
+        }];
+        // SLA 100 at clock 150: queries 0 (waited 150) and 1 (waited
+        // 100, unmeetable at equality) expire; query 2 has not arrived
+        // long enough.
+        queue.shed_expired_into(150, 100, &mut out);
+        assert_eq!(out.len(), 2, "out buffer is cleared then filled");
+        assert_eq!(out[0].query.id, 0);
+        assert_eq!(out[1].query.id, 1);
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.shed_count(), 2);
+        // Nothing expired: the buffer still gets cleared.
+        queue.shed_expired_into(150, 100, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(queue.shed_count(), 2);
+        // The survivor expires later.
+        queue.shed_expired_into(280, 100, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(queue.shed_count(), 3);
+        assert!(queue.is_empty());
     }
 
     #[test]

@@ -158,7 +158,7 @@ impl LatencyHistogram {
 /// Aggregate result of one serving run.
 #[derive(Debug, Clone, Default)]
 pub struct ServeReport {
-    /// Queries scored.
+    /// Queries completed — scored plus shed.
     pub queries: u64,
     /// Fused batches executed.
     pub batches: u64,
@@ -178,6 +178,17 @@ pub struct ServeReport {
     pub max_queue_depth: usize,
     /// Casting-cache hit rate across the engine's per-table caches.
     pub cache_hit_rate: f64,
+    /// Queries shed at admission because their deadline had already
+    /// become provably unmeetable (0 unless shedding is enabled). Shed
+    /// queries count in `queries` but record no latency sample and no
+    /// SLA violation — shedding exists to spend the compute on queries
+    /// that can still meet the SLA.
+    pub shed: u64,
+    /// Checkpoint hot-restores performed mid-run (online mode).
+    pub restores: u64,
+    /// Wall time spent inside hot-restores (also on the simulated
+    /// clock).
+    pub restore_ns: u64,
 }
 
 impl ServeReport {
@@ -203,6 +214,14 @@ impl ServeReport {
             return 0.0;
         }
         self.sla_violations as f64 / self.queries as f64
+    }
+
+    /// Fraction of queries shed instead of scored.
+    pub fn shed_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.queries as f64
     }
 }
 
@@ -299,12 +318,15 @@ mod tests {
             batches: 25,
             span_ns: 1_000_000_000,
             sla_violations: 3,
+            shed: 8,
             ..Default::default()
         };
         r.sla_ns = 1_000_000;
         assert!((r.qps() - 100.0).abs() < 1e-9);
         assert!((r.mean_batch() - 4.0).abs() < 1e-9);
         assert!((r.sla_violation_rate() - 0.03).abs() < 1e-9);
+        assert!((r.shed_rate() - 0.08).abs() < 1e-9);
         assert_eq!(ServeReport::default().qps(), 0.0);
+        assert_eq!(ServeReport::default().shed_rate(), 0.0);
     }
 }

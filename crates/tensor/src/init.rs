@@ -32,6 +32,13 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(state)` reconstructs
+    /// a generator that continues the sequence from exactly this point —
+    /// the hook checkpoint/resume uses to capture stream positions.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

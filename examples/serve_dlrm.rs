@@ -90,6 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 policy,
                 sla_ns: SLA_NS,
                 seed: 11,
+                shed_unmeetable: false,
             },
         )?;
         print_report(label, &report);
@@ -123,8 +124,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy: BatchPolicy::Fixed { batch: 8 },
             sla_ns: SLA_NS,
             seed: 17,
+            shed_unmeetable: false,
         },
-        OnlineConfig { update_every: 4 },
+        OnlineConfig {
+            update_every: 4,
+            restore: None,
+        },
     )?;
     print_report("online + fixed (B=8)", &report);
     println!(

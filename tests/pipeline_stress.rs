@@ -235,6 +235,75 @@ fn dropping_a_train_loop_over_a_prefetched_source_mid_stream_is_clean() {
     }
 }
 
+/// Fault-armed shutdown stress: the producer dies at a *different*
+/// generation each round, and whichever state the hand-off is in —
+/// queue full, queue empty, consumer mid-wait — both drop orders of
+/// (driver, dead source) join promptly. The occurrence sweep walks the
+/// fault across the interesting interleavings deterministically
+/// (`tests/fault_injection.rs` holds the single-shot containment
+/// proofs; this is the sustained version).
+#[test]
+fn faulted_producer_shutdown_stress_across_occurrences() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use tensor_casting::core::FaultPlan;
+
+    struct DyingSource {
+        inner: SyntheticSource,
+        plan: FaultPlan,
+    }
+    impl BatchSource for DyingSource {
+        fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+            assert!(
+                !self.plan.should_fail("prefetch.generate"),
+                "injected producer fault"
+            );
+            self.inner.next_batch()
+        }
+        fn recycle(&mut self, batch: Arc<CtrBatch>) {
+            self.inner.recycle(batch);
+        }
+    }
+
+    for occurrence in 0..4u64 {
+        for driver_first in [false, true] {
+            let plan = FaultPlan::new();
+            plan.arm("prefetch.generate", occurrence);
+            let mut source = PrefetchSource::new(
+                DyingSource {
+                    inner: stress_source(occurrence + 50, 16),
+                    plan,
+                },
+                2,
+            );
+            let trainer =
+                Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, occurrence).unwrap();
+            let mut driver = TrainLoop::new(trainer, 2);
+            // Consume until the dead producer surfaces (or the round's
+            // budget runs out with the fault still queued — also fine:
+            // the drop below must cope with either state).
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                for _ in 0..6 {
+                    driver.push(source.next_batch().expect("endless")).unwrap();
+                }
+            }));
+            let t0 = Instant::now();
+            if driver_first {
+                drop(driver);
+                drop(source);
+            } else {
+                drop(source);
+                drop(driver);
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "occurrence {occurrence}, driver_first {driver_first}: \
+                 shutdown took {:?}",
+                t0.elapsed()
+            );
+        }
+    }
+}
+
 #[test]
 fn interleaved_pipelines_do_not_cross_talk() {
     // Two independent pipelines with interleaved submissions: results

@@ -318,6 +318,7 @@ proptest! {
         window in 1usize..5,
         target_us in 0u64..50,
         decrease_after in 1usize..4,
+        floor_decay_after in 0usize..6,
         wait_seed in any::<u64>(),
     ) {
         let policy = DepthPolicy::Adaptive(AdaptiveDepth {
@@ -326,6 +327,7 @@ proptest! {
             window,
             target_exposed_ns: target_us * 1_000,
             decrease_after,
+            floor_decay_after,
         });
         let mut a = DepthController::new(policy);
         let mut b = DepthController::new(policy);
@@ -396,6 +398,7 @@ fn adaptive_run_is_bounded_and_bit_identical_to_serial() {
         window: 2,
         target_exposed_ns: 1_000,
         decrease_after: 2,
+        floor_decay_after: 4,
     });
     let trainer = Trainer::new(DlrmConfig::tiny(), BackwardMode::Casted, 23).unwrap();
     let mut adaptive = TrainLoop::with_policy(trainer, policy);

@@ -170,8 +170,12 @@ fn online_updates_are_bit_identical_to_offline_training() {
                 policy: BatchPolicy::Fixed { batch: 5 },
                 sla_ns: 100_000_000,
                 seed: 4,
+                shed_unmeetable: false,
             },
-            OnlineConfig { update_every: 2 },
+            OnlineConfig {
+                update_every: 2,
+                restore: None,
+            },
         )
         .unwrap();
         assert_eq!(report.queries, 60);
@@ -237,8 +241,12 @@ fn staleness_accounting_is_consistent() {
             policy: BatchPolicy::Fixed { batch: 3 },
             sla_ns: 100_000_000,
             seed: 12,
+            shed_unmeetable: false,
         },
-        OnlineConfig { update_every: 3 },
+        OnlineConfig {
+            update_every: 3,
+            restore: None,
+        },
     )
     .unwrap();
     assert_eq!(online.staleness_batches.len() as u64, report.batches);
