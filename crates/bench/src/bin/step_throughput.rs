@@ -35,7 +35,7 @@ use tcast_bench::{banner, fast_mode, json};
 use tcast_datasets::{BatchSource, CtrBatch, PrefetchSource, SyntheticCtr, SyntheticSource};
 use tcast_dlrm::{
     AdaptiveDepth, BackwardMode, DepthPolicy, DlrmConfig, EmbeddingOptimizer, Execution,
-    PhaseTimings, TableConfig, TrainLoop, Trainer,
+    PhaseTimings, ShardSpec, TableConfig, TrainLoop, Trainer,
 };
 use tcast_pool::Pool;
 
@@ -118,10 +118,30 @@ struct Measurement {
 }
 
 fn measure(mode: BackwardMode, execution: Execution, args: &Args) -> Measurement {
+    measure_sharded(mode, execution, 1, args)
+}
+
+/// [`measure`] over a row-range sharded trainer: same batch, same
+/// trajectory (sharded == unsharded, bit for bit), different placement —
+/// per-shard optimizer slabs, per-shard casting jobs, shard-concurrent
+/// scatter.
+fn measure_sharded(
+    mode: BackwardMode,
+    execution: Execution,
+    shards: usize,
+    args: &Args,
+) -> Measurement {
     let config = bench_config(args.dim);
     let mut data = SyntheticCtr::new(config.table_workloads(), config.dense_features, 42);
-    let mut trainer =
-        Trainer::with_execution(config, mode, EmbeddingOptimizer::Sgd, execution, 7).unwrap();
+    let mut trainer = Trainer::with_sharding(
+        config,
+        mode,
+        EmbeddingOptimizer::Sgd,
+        execution,
+        ShardSpec::new(shards),
+        7,
+    )
+    .unwrap();
     // One fixed batch: measures compute, not the generator.
     let batch = data.next_batch(args.batch);
     for _ in 0..2 {
@@ -314,6 +334,8 @@ struct RowAxes<'a> {
     /// inline generation) or "on" (live generation on a `PrefetchSource`
     /// producer thread).
     prefetch: &'a str,
+    /// Requested embedding shard count (1 = the unsharded layout).
+    shards: usize,
 }
 
 fn emit(args: &Args, mode: &str, sched: &str, threads: usize, axes: &RowAxes, m: &Measurement) {
@@ -342,6 +364,7 @@ fn emit(args: &Args, mode: &str, sched: &str, threads: usize, axes: &RowAxes, m:
         .u64_field("dim", args.dim as u64)
         .u64_field("steps", args.steps as u64)
         .u64_field("pipeline_depth", axes.depth as u64)
+        .u64_field("shards", axes.shards as u64)
         .f64_field("mean_depth", m.mean_depth)
         .f64_field("steps_per_s", m.steps_per_s)
         .f64_field("fwd_gather_ns", phase_ns(m.phases.fwd_gather, args.steps))
@@ -384,6 +407,7 @@ fn main() {
         depth_policy: "fixed",
         depth: 0,
         prefetch,
+        shards: 1,
     };
 
     let serial_casted = measure(BackwardMode::Casted, Execution::Serial, &args);
@@ -432,6 +456,39 @@ fn main() {
         &pooled_baseline,
     );
 
+    // --- Shard axis: per-shard optimizer slabs, shard-routed casting ---
+    // jobs, shard-concurrent scatter. The trajectory is bit-identical at
+    // every shard count (tests/sharded_equivalence.rs), so these rows
+    // measure placement cost alone: 1 shard is the unsharded layout,
+    // 4 shards runs the backward embedding phases shard-concurrent under
+    // the pool. The "STEP sharded" lines are CI's grep anchors.
+    println!("\nsharded data plane (pooled execution), shards {{1, 4}}:");
+    let mut sharded_rows = Vec::new();
+    for mode in [BackwardMode::Casted, BackwardMode::Baseline] {
+        for shards in [1usize, 4] {
+            let m = measure_sharded(mode, Execution::Pooled(Arc::clone(&pool)), shards, &args);
+            let mode_name = match mode {
+                BackwardMode::Casted => "casted",
+                BackwardMode::Baseline => "baseline",
+            };
+            let axes = RowAxes {
+                depth_policy: "fixed",
+                depth: 0,
+                prefetch: "none",
+                shards,
+            };
+            emit(&args, mode_name, "pooled", args.threads, &axes, &m);
+            println!(
+                "STEP sharded {mode_name} shards={shards} fwd_gather {:.0} ns  \
+                 bwd_scatter {:.0} ns  {:.2} steps/s",
+                phase_ns(m.phases.fwd_gather, args.steps),
+                phase_ns(m.phases.bwd_scatter, args.steps),
+                m.steps_per_s,
+            );
+            sharded_rows.push((mode, shards, m));
+        }
+    }
+
     // --- Pipeline-depth axis: the cross-batch TrainLoop driver. --------
     // Depth 0 is the serial composition (casting overlaps only its own
     // step's forward pass); depth D keeps D future batches' casting jobs
@@ -461,6 +518,7 @@ fn main() {
             depth_policy: "fixed",
             depth,
             prefetch: "ring",
+            shards: 1,
         };
         emit(&sweep_args, "casted", "pipelined", 1, &axes, &m);
         by_depth.push((depth, m));
@@ -502,6 +560,7 @@ fn main() {
         depth_policy: "adaptive",
         depth: 8,
         prefetch: "ring",
+        shards: 1,
     };
     emit(&sweep_args, "casted", "pipelined", 1, &axes, &adaptive);
     let best_fixed = by_depth
@@ -527,6 +586,7 @@ fn main() {
         depth_policy: "fixed",
         depth: 2,
         prefetch: "off",
+        shards: 1,
     };
     emit(&sweep_args, "casted", "pipelined", 1, &axes_off, &gen_off);
     let gen_on = measure_gen(true, 2, &sweep_args);
@@ -534,6 +594,7 @@ fn main() {
         depth_policy: "fixed",
         depth: 2,
         prefetch: "on",
+        shards: 1,
     };
     // threads stays 1: the field counts pool workers (the serial/pooled
     // convention); the producer thread is what the `prefetch` field
@@ -629,6 +690,31 @@ fn main() {
             100.0 * depth0.hidden_fraction,
         );
         std::process::exit(1);
+    }
+    // Sharding is placement, not a performance feature in itself — but
+    // it must not cripple the step either. Loose gate, full-size
+    // multi-core runs only (FAST batches are too small to amortize the
+    // per-shard dispatch; on one core shard concurrency cannot help):
+    // the 4-shard pooled step must hold >= 0.6x of the 1-shard rate in
+    // the same mode.
+    if !fast_mode() && tcast_pool::default_parallelism() >= 2 {
+        for mode in [BackwardMode::Casted, BackwardMode::Baseline] {
+            let rate = |want_shards: usize| {
+                sharded_rows
+                    .iter()
+                    .find(|(m, s, _)| *m == mode && *s == want_shards)
+                    .map(|(_, _, meas)| meas.steps_per_s)
+                    .expect("sharded rows cover {1, 4}")
+            };
+            let ratio = rate(4) / rate(1);
+            if ratio < 0.6 {
+                eprintln!(
+                    "[step_throughput] WARNING: 4-shard {mode:?} step fell to {ratio:.2}x \
+                     of the 1-shard rate"
+                );
+                std::process::exit(1);
+            }
+        }
     }
     // Prefetching must strictly reduce the exposed generation wait once
     // inline generation costs something worth hiding. Multi-core

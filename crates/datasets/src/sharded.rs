@@ -1,0 +1,370 @@
+//! Multi-producer prefetching: a [`ShardedPrefetchSource`] runs one
+//! producer thread per *source shard* and merges their streams with a
+//! deterministic round-robin — the data-plane counterpart of the sharded
+//! embedding path.
+//!
+//! A single [`PrefetchSource`](crate::PrefetchSource) hides generation
+//! behind one producer thread; once the consumer outruns one producer,
+//! the only way to add bandwidth is to add producers. This type does
+//! that without giving up the repository's bit-identity discipline:
+//!
+//! * **One bounded queue per shard.** Each source shard gets its own
+//!   [`PrefetchSource`](crate::PrefetchSource) (producer thread +
+//!   bounded ready-queue + free-list), so shards generate concurrently
+//!   and backpressure independently.
+//! * **Deterministic merge.** Batches are checked out round-robin —
+//!   shard 0, 1, …, N-1, 0, … — regardless of which producer finished
+//!   first. The delivered stream is a pure function of the shard
+//!   sources, never of thread scheduling.
+//! * **Bit-identical to the single-producer stream.** Each per-shard
+//!   queue delivers its wrapped source's exact stream (the
+//!   [`PrefetchSource`](crate::PrefetchSource) invariant), and the
+//!   merge order is fixed, so the result equals an inline round-robin
+//!   over the same sources — enforced in the tests below and in
+//!   `tests/sharded_equivalence.rs` at the workspace root.
+//! * **Round-robin recycling.** Returned buffers are dealt back to the
+//!   shards in checkout order, so every shard's free pool is replenished
+//!   at the rate it is drained and the warm steady state stays
+//!   allocation-free on the consumer thread.
+//!
+//! The merged stream ends at the first shard exhaustion (`None` is
+//! sticky): every delivered cycle is a *complete* round over the shards,
+//! so a consumer never sees a torn round. Shard sources of unequal
+//! length are truncated to the shortest — split a finite trace evenly
+//! if every step must be served.
+
+use crate::prefetch::{PrefetchSource, PrefetchStats};
+use crate::source::{BatchSource, SourceState};
+use crate::synthetic::CtrBatch;
+use std::sync::Arc;
+
+/// A [`BatchSource`] merging one background producer per source shard
+/// into a deterministic round-robin stream.
+///
+/// ```
+/// use tcast_datasets::{BatchSource, ShardedPrefetchSource, SyntheticCtr, SyntheticSource, TableWorkload, Popularity};
+///
+/// let shard = |seed| {
+///     let tables = vec![TableWorkload::new(Popularity::Uniform { rows: 50 }, 2)];
+///     SyntheticSource::new(SyntheticCtr::new(tables, 4, seed), 16)
+/// };
+/// let mut source = ShardedPrefetchSource::new(vec![shard(1), shard(2)], 2);
+/// for step in 0..6 {
+///     let batch = source.next_batch().expect("synthetic streams are endless");
+///     // step 0 came from shard(1), step 1 from shard(2), step 2 from shard(1), ...
+///     source.recycle(batch);
+/// }
+/// assert_eq!(source.num_shards(), 2);
+/// assert_eq!(source.stats().delivered, 6);
+/// ```
+pub struct ShardedPrefetchSource<S: BatchSource + Send + 'static> {
+    producers: Vec<PrefetchSource<S>>,
+    /// Next shard to check a batch out of.
+    next: usize,
+    /// Next shard to deal a recycled buffer back to. Tracked separately
+    /// from `next` so recycling order (which is the consumer's business)
+    /// still deals one buffer per shard per round even when the consumer
+    /// holds several batches at once.
+    recycle_next: usize,
+    /// A shard returned `None`: the merged stream is over, and stays
+    /// over — later shards are not drained out of order.
+    exhausted: bool,
+}
+
+impl<S: BatchSource + Send + 'static> ShardedPrefetchSource<S> {
+    /// Spawns one producer thread per shard source, each behind a
+    /// bounded ready-queue of `capacity` batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or `capacity == 0`.
+    pub fn new(sources: Vec<S>, capacity: usize) -> Self {
+        assert!(!sources.is_empty(), "need at least one shard source");
+        Self {
+            producers: sources
+                .into_iter()
+                .map(|s| PrefetchSource::new(s, capacity))
+                .collect(),
+            next: 0,
+            recycle_next: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Number of shard producers.
+    pub fn num_shards(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// Hand-off counters for one shard's producer.
+    pub fn shard_stats(&self, shard: usize) -> PrefetchStats {
+        self.producers[shard].stats()
+    }
+
+    /// Counters summed across every shard producer (`max_ready` is the
+    /// max over shards — the queues are independent).
+    pub fn stats(&self) -> PrefetchStats {
+        let mut total = PrefetchStats::default();
+        for p in &self.producers {
+            let s = p.stats();
+            total.produced += s.produced;
+            total.delivered += s.delivered;
+            total.max_ready = total.max_ready.max(s.max_ready);
+            total.producer_wait += s.producer_wait;
+            total.consumer_wait += s.consumer_wait;
+        }
+        total
+    }
+
+    /// Shuts every producer down and returns the shard sources in shard
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any producer thread.
+    pub fn into_inner(self) -> Vec<S> {
+        self.producers
+            .into_iter()
+            .map(PrefetchSource::into_inner)
+            .collect()
+    }
+}
+
+impl<S: BatchSource + Send + 'static> BatchSource for ShardedPrefetchSource<S> {
+    /// Checks the next batch out of the shard whose round-robin turn it
+    /// is, blocking until that shard's producer delivers (other shards
+    /// keep generating meanwhile). Returns `None` — stickily — once any
+    /// shard's stream ends.
+    fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+        if self.exhausted {
+            return None;
+        }
+        match self.producers[self.next].next_batch() {
+            Some(batch) => {
+                self.next = (self.next + 1) % self.producers.len();
+                Some(batch)
+            }
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+
+    /// Deals the buffer back to the shards in round-robin order, keeping
+    /// every shard's free pool replenished at its drain rate.
+    fn recycle(&mut self, batch: Arc<CtrBatch>) {
+        self.producers[self.recycle_next].recycle(batch);
+        self.recycle_next = (self.recycle_next + 1) % self.producers.len();
+    }
+
+    /// Sharded prefetch is not checkpointable: the merged position spans
+    /// N shard states plus the round-robin cursor, which [`SourceState`]
+    /// (a single-source position) cannot carry. Returns `None`, so
+    /// drivers treat it like any other non-resumable source.
+    fn state(&self) -> Option<SourceState> {
+        None
+    }
+
+    fn restore(&mut self, state: &SourceState) {
+        let _ = state;
+        panic!(
+            "restore the shard sources before constructing the \
+             ShardedPrefetchSource (the producer threads own them afterwards)"
+        );
+    }
+}
+
+impl<S: BatchSource + Send + 'static> std::fmt::Debug for ShardedPrefetchSource<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPrefetchSource")
+            .field("shards", &self.producers.len())
+            .field("next", &self.next)
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use crate::source::{SyntheticSource, TraceReplaySource};
+    use crate::synthetic::SyntheticCtr;
+    use crate::workload::TableWorkload;
+
+    fn synthetic(seed: u64) -> SyntheticSource {
+        let tables = vec![
+            TableWorkload::new(
+                Popularity::Zipf {
+                    rows: 300,
+                    exponent: 1.0,
+                },
+                3,
+            ),
+            TableWorkload::new(Popularity::Uniform { rows: 100 }, 2),
+        ];
+        SyntheticSource::new(SyntheticCtr::new(tables, 4, seed), 16)
+    }
+
+    fn trace(seed: u64, batches: usize) -> TraceReplaySource {
+        let w = TableWorkload::new(
+            Popularity::Zipf {
+                rows: 200,
+                exponent: 1.0,
+            },
+            3,
+        );
+        let mut g = w.generator(seed);
+        let t: Vec<_> = (0..batches).map(|_| g.next_batch(8)).collect();
+        TraceReplaySource::new(vec![t], 4, seed).unwrap()
+    }
+
+    /// The reference merge: the same shard sources consumed inline,
+    /// round-robin, no threads.
+    struct InlineMerge<S: BatchSource>(Vec<S>, usize);
+
+    impl<S: BatchSource> InlineMerge<S> {
+        fn next(&mut self) -> Option<Arc<CtrBatch>> {
+            let got = self.0[self.1].next_batch()?;
+            self.1 = (self.1 + 1) % self.0.len();
+            Some(got)
+        }
+    }
+
+    #[test]
+    fn merged_stream_is_bit_identical_to_inline_round_robin() {
+        for shards in [1usize, 2, 3] {
+            let mut inline = InlineMerge((0..shards as u64).map(synthetic).collect(), 0);
+            let mut sharded =
+                ShardedPrefetchSource::new((0..shards as u64).map(synthetic).collect(), 2);
+            for step in 0..3 * shards + 2 {
+                let want = inline.next().unwrap();
+                let got = sharded.next_batch().unwrap();
+                assert_eq!(*got, *want, "{shards} shards diverged at step {step}");
+                sharded.recycle(got);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_a_plain_prefetch_source() {
+        let mut plain = PrefetchSource::new(synthetic(7), 2);
+        let mut sharded = ShardedPrefetchSource::new(vec![synthetic(7)], 2);
+        for step in 0..8 {
+            let want = plain.next_batch().unwrap();
+            let got = sharded.next_batch().unwrap();
+            assert_eq!(*got, *want, "diverged at step {step}");
+            plain.recycle(want);
+            sharded.recycle(got);
+        }
+    }
+
+    #[test]
+    fn merge_order_survives_a_slow_shard() {
+        // Shard 1 is much slower than shard 0; the merge order must not
+        // change (a nondeterministic merge would deliver shard 0 twice).
+        struct Slow(SyntheticSource, u64);
+        impl BatchSource for Slow {
+            fn next_batch(&mut self) -> Option<Arc<CtrBatch>> {
+                std::thread::sleep(std::time::Duration::from_millis(self.1));
+                self.0.next_batch()
+            }
+            fn recycle(&mut self, batch: Arc<CtrBatch>) {
+                self.0.recycle(batch);
+            }
+        }
+        let mut inline = InlineMerge(vec![synthetic(1), synthetic(2)], 0);
+        let mut slowed =
+            ShardedPrefetchSource::new(vec![Slow(synthetic(1), 0), Slow(synthetic(2), 2)], 2);
+        for step in 0..6 {
+            let want = inline.next().unwrap();
+            let got = slowed.next_batch().unwrap();
+            assert_eq!(*got, *want, "diverged at step {step}");
+            slowed.recycle(got);
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_sticky_and_never_tears_a_round() {
+        // Shard 0 has 3 batches, shard 1 has 2: the merge delivers
+        // s0,s1,s0,s1,s0 and ends when shard 1 comes up empty on the
+        // third round — 5 batches, exactly what the inline merge gives.
+        let mut sharded = ShardedPrefetchSource::new(vec![trace(1, 3), trace(2, 2)], 2);
+        let mut inline = InlineMerge(vec![trace(1, 3), trace(2, 2)], 0);
+        let mut delivered = 0;
+        loop {
+            match (inline.next(), sharded.next_batch()) {
+                (Some(want), Some(got)) => {
+                    assert_eq!(*got, *want, "diverged at step {delivered}");
+                    sharded.recycle(got);
+                    delivered += 1;
+                }
+                (None, None) => break,
+                (a, b) => panic!(
+                    "exhaustion disagrees after {delivered}: inline {:?} vs sharded {:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        assert_eq!(delivered, 5, "3+2 shards merge to 5 before the first None");
+        assert!(sharded.next_batch().is_none(), "None must be sticky");
+    }
+
+    #[test]
+    fn equal_length_traces_are_fully_delivered() {
+        let mut sharded = ShardedPrefetchSource::new(vec![trace(3, 4), trace(4, 4)], 2);
+        let mut n = 0;
+        while let Some(b) = sharded.next_batch() {
+            sharded.recycle(b);
+            n += 1;
+        }
+        assert_eq!(n, 8, "equal shards deliver every batch");
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let mut sharded = ShardedPrefetchSource::new(vec![synthetic(5), synthetic(6)], 2);
+        for _ in 0..6 {
+            let b = sharded.next_batch().unwrap();
+            sharded.recycle(b);
+        }
+        assert_eq!(sharded.stats().delivered, 6);
+        assert_eq!(sharded.shard_stats(0).delivered, 3);
+        assert_eq!(sharded.shard_stats(1).delivered, 3);
+        assert!(sharded.stats().produced >= 6);
+    }
+
+    #[test]
+    fn into_inner_returns_every_shard_source() {
+        let mut sharded = ShardedPrefetchSource::new(vec![synthetic(8), synthetic(9)], 2);
+        let b = sharded.next_batch().unwrap();
+        sharded.recycle(b);
+        let mut sources = sharded.into_inner();
+        assert_eq!(sources.len(), 2);
+        for s in &mut sources {
+            assert!(s.next_batch().is_some(), "shard sources keep working");
+        }
+    }
+
+    #[test]
+    fn state_is_none_and_restore_panics() {
+        let sharded = ShardedPrefetchSource::new(vec![synthetic(10)], 2);
+        assert!(sharded.state().is_none(), "sharded prefetch cannot resume");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = ShardedPrefetchSource::new(vec![synthetic(11)], 2);
+            s.restore(&SourceState::Synthetic {
+                rng_state: 1,
+                batches: 0,
+            });
+        }));
+        assert!(result.is_err(), "restore must refuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_shard_list_is_rejected() {
+        let _ = ShardedPrefetchSource::<SyntheticSource>::new(vec![], 2);
+    }
+}

@@ -380,7 +380,11 @@ impl TrainCheckpoint {
         // cleanly in staging.
         let mut restored = Vec::with_capacity(optim.tables.len());
         for (i, payload) in optim.tables.iter().enumerate() {
-            let mut opt = trainer.optimizer_config().build(trainer.learning_rate());
+            // The payload is the canonical global-keyed blob regardless
+            // of the saving trainer's shard count; the fresh optimizer
+            // re-splits it by the RECEIVING model's shard maps, so a
+            // checkpoint written at N shards restores at M shards.
+            let mut opt = trainer.fresh_table_optimizer(i);
             opt.load_state(payload)
                 .map_err(|e| CheckpointError::Format(format!("OPTM: table {i}: {e}")))?;
             restored.push(opt);

@@ -50,6 +50,7 @@ pub use driver::{
 };
 pub use metrics::{evaluate_ctr, CtrMetrics};
 pub use model::{Dlrm, InferenceScratch};
+pub use tcast_embedding::ShardSpec;
 pub use trainer::{
     BackwardMode, EmbeddingOptimizer, Execution, InFlightStep, PhaseTimings, StepReport, Trainer,
 };

@@ -2,7 +2,8 @@
 
 use crate::config::DlrmConfig;
 use tcast_embedding::{
-    gather_reduce, gather_reduce_into, EmbeddingError, EmbeddingTable, IndexArray,
+    gather_reduce, gather_reduce_into, EmbeddingError, EmbeddingTable, IndexArray, ShardMap,
+    ShardSpec,
 };
 use tcast_pool::Exec;
 use tcast_tensor::{Activation, FeatureInteraction, Matrix, Mlp, MlpInferenceScratch, ShapeError};
@@ -14,6 +15,15 @@ use tcast_tensor::{Activation, FeatureInteraction, Matrix, Mlp, MlpInferenceScra
 /// *forward*; the embedding *backward* (the subject of the paper) is
 /// orchestrated by the [`crate::Trainer`], which owns the choice between
 /// the baseline and casted paths.
+///
+/// # Sharding
+///
+/// A [`ShardSpec`] splits every table's **rows** into contiguous range
+/// shards (a [`ShardMap`] per table). The tables themselves stay single
+/// slabs — sharding is a *placement plan* the trainer uses to split
+/// optimizer state and run per-shard backward work concurrently — so the
+/// forward pass, serving, and the `MODL` checkpoint section are untouched
+/// by the shard count, and a 1-shard model is today's layout exactly.
 #[derive(Debug)]
 pub struct Dlrm {
     config: DlrmConfig,
@@ -21,6 +31,8 @@ pub struct Dlrm {
     top: Mlp,
     interaction: FeatureInteraction,
     tables: Vec<EmbeddingTable>,
+    shard_spec: ShardSpec,
+    maps: Vec<ShardMap>,
     scratch: DenseScratch,
 }
 
@@ -72,6 +84,23 @@ impl Dlrm {
     /// Returns [`EmbeddingError::InvalidIndex`] when the configuration is
     /// inconsistent (see [`DlrmConfig::validate`]).
     pub fn new(config: DlrmConfig, seed: u64) -> Result<Self, EmbeddingError> {
+        Self::with_shards(config, seed, ShardSpec::default())
+    }
+
+    /// [`Dlrm::new`] with a row-range sharding plan. `spec` requests the
+    /// shard count per table; a table too small for the full count gets
+    /// fewer (see [`ShardMap::new`]). Weights are seeded identically for
+    /// every spec — sharding never changes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::InvalidIndex`] when the configuration is
+    /// inconsistent (see [`DlrmConfig::validate`]).
+    pub fn with_shards(
+        config: DlrmConfig,
+        seed: u64,
+        spec: ShardSpec,
+    ) -> Result<Self, EmbeddingError> {
         config.validate().map_err(EmbeddingError::InvalidIndex)?;
         let bottom = Mlp::new(
             config.dense_features,
@@ -100,14 +129,31 @@ impl Dlrm {
                 EmbeddingTable::seeded(t.rows, config.embedding_dim, seed.wrapping_add(i as u64))
             })
             .collect();
+        let maps = config
+            .tables
+            .iter()
+            .map(|t| ShardMap::new(t.rows, spec.shards()))
+            .collect();
         Ok(Self {
             interaction: FeatureInteraction::new(config.interaction),
             config,
             bottom,
             top,
             tables,
+            shard_spec: spec,
+            maps,
             scratch: DenseScratch::default(),
         })
+    }
+
+    /// The sharding plan this model was built with.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.shard_spec
+    }
+
+    /// Table `i`'s row-range shard map.
+    pub fn shard_map(&self, i: usize) -> &ShardMap {
+        &self.maps[i]
     }
 
     /// The model configuration.

@@ -15,7 +15,8 @@ use tcast_datasets::CtrBatch;
 use tcast_embedding::{
     gradient_coalesce_into, gradient_expand_into,
     optim::{Adagrad, Adam, Momentum, RmsProp, Sgd, SplittableOptimizer},
-    scatter_apply_parallel, CoalesceScratch, EmbeddingError, IndexArray,
+    scatter_apply_per_shard, scatter_apply_sharded, CoalesceScratch, EmbeddingError, IndexArray,
+    ShardMap, ShardSpec, ShardedOptimizer,
 };
 use tcast_pool::{Exec, Pool};
 use tcast_tensor::{bce_with_logits, bce_with_logits_backward_into, Matrix};
@@ -221,7 +222,17 @@ pub struct Trainer {
     /// from — kept so [`Trainer::set_learning_rate`] can rebuild them
     /// with the user's hyperparameters intact.
     optimizer: EmbeddingOptimizer,
-    table_optimizers: Vec<Box<dyn SplittableOptimizer>>,
+    /// One [`ShardedOptimizer`] per table: optimizer state placed by the
+    /// model's shard maps (a single slab when unsharded).
+    table_optimizers: Vec<ShardedOptimizer>,
+    /// Per-table shard maps shipped with every casting job when sharded
+    /// (`None` when every table has one shard: plain jobs, no routing).
+    shard_plan: Option<Arc<[ShardMap]>>,
+    /// `shard_offsets[t]..shard_offsets[t + 1]` indexes table `t`'s
+    /// per-shard casted arrays / coalesced scratch slots. Tables can have
+    /// *fewer* shards than requested (small tables), so this is a prefix
+    /// sum, not `t * shards`.
+    shard_offsets: Vec<usize>,
     steps: u64,
     execution: Execution,
     scratch: StepScratch,
@@ -282,14 +293,55 @@ impl Trainer {
         execution: Execution,
         seed: u64,
     ) -> Result<Self, EmbeddingError> {
+        Self::with_sharding(
+            config,
+            mode,
+            optimizer,
+            execution,
+            ShardSpec::default(),
+            seed,
+        )
+    }
+
+    /// [`Trainer::with_execution`] over a row-range sharded model: the
+    /// tables stay single slabs, but optimizer state splits into
+    /// per-shard slabs, the casting pipeline routes each job per shard,
+    /// and the backward phases run shard-concurrent under
+    /// [`Execution::Pooled`]. A 1-shard spec is today's layout exactly,
+    /// and **every** spec trains bit-identically to it (weights and
+    /// losses) — sharding is pure placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn with_sharding(
+        config: DlrmConfig,
+        mode: BackwardMode,
+        optimizer: EmbeddingOptimizer,
+        execution: Execution,
+        shards: ShardSpec,
+        seed: u64,
+    ) -> Result<Self, EmbeddingError> {
         let lr = 0.05;
-        let model = Dlrm::new(config, seed)?;
+        let model = Dlrm::with_shards(config, seed, shards)?;
         let pipeline = match mode {
             BackwardMode::Casted => Some(CastingPipeline::new()),
             BackwardMode::Baseline => None,
         };
+        let mut shard_offsets = Vec::with_capacity(model.num_tables() + 1);
+        shard_offsets.push(0usize);
+        for t in 0..model.num_tables() {
+            shard_offsets.push(shard_offsets[t] + model.shard_map(t).num_shards());
+        }
+        let sharded = shard_offsets[model.num_tables()] > model.num_tables();
+        let shard_plan: Option<Arc<[ShardMap]>> = sharded.then(|| {
+            (0..model.num_tables())
+                .map(|t| model.shard_map(t).clone())
+                .collect::<Vec<_>>()
+                .into()
+        });
         let table_optimizers = (0..model.num_tables())
-            .map(|_| optimizer.build(lr))
+            .map(|t| ShardedOptimizer::new(model.shard_map(t).clone(), || optimizer.build(lr)))
             .collect();
         Ok(Self {
             model,
@@ -298,6 +350,8 @@ impl Trainer {
             pipeline,
             optimizer,
             table_optimizers,
+            shard_plan,
+            shard_offsets,
             steps: 0,
             execution,
             scratch: StepScratch::default(),
@@ -318,7 +372,9 @@ impl Trainer {
         assert_eq!(self.steps, 0, "set the learning rate before training");
         self.lr = lr;
         self.table_optimizers = (0..self.model.num_tables())
-            .map(|_| self.optimizer.build(lr))
+            .map(|t| {
+                ShardedOptimizer::new(self.model.shard_map(t).clone(), || self.optimizer.build(lr))
+            })
             .collect();
     }
 
@@ -381,20 +437,27 @@ impl Trainer {
     }
 
     /// The per-table optimizer instances — the checkpoint save path
-    /// reads each one's opaque state slab through
-    /// [`SplittableOptimizer::save_state`].
-    pub fn table_optimizers(&self) -> &[Box<dyn SplittableOptimizer>] {
+    /// reads each one's opaque state blob through
+    /// [`ShardedOptimizer::save_state`], which is **canonical**
+    /// (global-keyed) regardless of the shard count, so the `OPTM`
+    /// section contract is byte-stable across sharding plans.
+    pub fn table_optimizers(&self) -> &[ShardedOptimizer] {
         &self.table_optimizers
+    }
+
+    /// A fresh optimizer for table `t` — the shape the checkpoint restore
+    /// path decodes saved state into (same map, same hyperparameters,
+    /// empty slabs).
+    pub(crate) fn fresh_table_optimizer(&self, t: usize) -> ShardedOptimizer {
+        ShardedOptimizer::new(self.model.shard_map(t).clone(), || {
+            self.optimizer.build(self.lr)
+        })
     }
 
     /// Installs checkpoint-restored per-table optimizers and the saved
     /// step counter (the final, infallible stage of
     /// [`crate::checkpoint::TrainCheckpoint::restore_into`]).
-    pub(crate) fn install_restored(
-        &mut self,
-        optimizers: Vec<Box<dyn SplittableOptimizer>>,
-        steps: u64,
-    ) {
+    pub(crate) fn install_restored(&mut self, optimizers: Vec<ShardedOptimizer>, steps: u64) {
         self.table_optimizers = optimizers;
         self.steps = steps;
     }
@@ -452,10 +515,15 @@ impl Trainer {
 
     fn submit_casting(&mut self, indices: &Arc<[IndexArray]>) -> Option<JobTicket> {
         // The batch's index arrays are Arc-shared, so this is a refcount
-        // bump, not a per-table deep clone.
-        self.pipeline
-            .as_mut()
-            .map(|p| p.submit(Arc::clone(indices)))
+        // bump, not a per-table deep clone. A sharded model additionally
+        // ships its (Arc-shared) shard plan: the casting worker routes
+        // each table's indices per shard before casting, so the casted
+        // backward arrives pre-split per shard.
+        let plan = &self.shard_plan;
+        self.pipeline.as_mut().map(|p| match plan {
+            Some(plan) => p.submit_sharded(Arc::clone(indices), Arc::clone(plan)),
+            None => p.submit(Arc::clone(indices)),
+        })
     }
 
     /// The forward/backward/scatter body shared by [`Trainer::step`] and
@@ -532,45 +600,68 @@ impl Trainer {
                     .expect("casted mode has a pipeline")
                     .collect_timed(ticket.expect("ticket issued"));
                 exposed_cast_wait = exposed;
+                // One casted array per (table, shard) pair, shard-major
+                // within table (one per table when unsharded). Each
+                // shard's gather-reduce reads the SAME upstream dpooled
+                // matrix — routed dst ids stay global — and runs
+                // independently of its siblings.
+                assert_eq!(
+                    casted.len(),
+                    *self.shard_offsets.last().expect("offsets non-empty"),
+                    "casting job shape disagrees with the shard plan"
+                );
                 self.scratch
                     .coalesced
                     .resize_with(casted.len(), CoalescedScratch::default);
-                for ((c, grads), out) in casted
-                    .iter()
-                    .zip(self.scratch.dpooled.iter())
-                    .zip(self.scratch.coalesced.iter_mut())
-                {
-                    casted_gather_reduce_into(grads, c, out, exec)?;
+                for t in 0..self.model.num_tables() {
+                    let off = self.shard_offsets[t];
+                    let n = self.shard_offsets[t + 1] - off;
+                    let grads = &self.scratch.dpooled[t];
+                    for s in 0..n {
+                        casted_gather_reduce_into(
+                            grads,
+                            &casted[off + s],
+                            &mut self.scratch.coalesced[off + s],
+                            exec,
+                        )?;
+                    }
                 }
             }
         }
         let bwd_embedding = t0.elapsed();
 
         // BWD (Scatter): sparse optimizer update per table. Coalesced
-        // rows are unique, so under Execution::Pooled the scatter splits
-        // into row bands updating disjoint table slices + optimizer state
-        // shards — bit-identical to the serial scatter, like every other
-        // pooled kernel.
+        // rows are unique, so under Execution::Pooled the scatter runs
+        // concurrently over disjoint table slices + optimizer state —
+        // row bands within the slab when unsharded, one task per shard
+        // when sharded — bit-identical to the serial scatter either way.
         let t0 = Instant::now();
         match self.mode {
             BackwardMode::Baseline => {
                 for (i, c) in self.scratch.baseline.iter().enumerate() {
-                    scatter_apply_parallel(
+                    scatter_apply_sharded(
                         self.model.table_mut(i),
                         &c.rows,
                         &c.grads,
-                        self.table_optimizers[i].as_mut(),
+                        &mut self.table_optimizers[i],
                         exec,
                     )?;
                 }
             }
             BackwardMode::Casted => {
-                for (i, c) in self.scratch.coalesced.iter().enumerate() {
-                    scatter_apply_parallel(
-                        self.model.table_mut(i),
-                        &c.rows,
-                        &c.grads,
-                        self.table_optimizers[i].as_mut(),
+                // Sharded: each shard's coalesced rows are already
+                // shard-local, so the scatter consumes them in place —
+                // no global merge is ever materialized.
+                let coalesced = &self.scratch.coalesced;
+                for t in 0..self.model.num_tables() {
+                    let off = self.shard_offsets[t];
+                    scatter_apply_per_shard(
+                        self.model.table_mut(t),
+                        &mut self.table_optimizers[t],
+                        |s| {
+                            let c = &coalesced[off + s];
+                            (c.rows.as_slice(), &c.grads)
+                        },
                         exec,
                     )?;
                 }
@@ -833,6 +924,46 @@ mod tests {
                     .unwrap(),
                 0.0
             );
+        }
+    }
+
+    #[test]
+    fn sharded_training_is_bit_identical_to_unsharded() {
+        // The headline sharding invariant at the trainer level: the shard
+        // count changes placement and concurrency, never the trajectory.
+        // (The exhaustive optimizer x mode x shard-count sweep lives in
+        // tests/sharded_equivalence.rs.)
+        let pool = Arc::new(tcast_pool::Pool::new(4));
+        for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+            let mut reference = Trainer::new(DlrmConfig::tiny(), mode, 31).unwrap();
+            let mut sharded = Trainer::with_sharding(
+                DlrmConfig::tiny(),
+                mode,
+                EmbeddingOptimizer::Sgd,
+                Execution::Pooled(Arc::clone(&pool)),
+                ShardSpec::new(3),
+                31,
+            )
+            .unwrap();
+            assert_eq!(sharded.model().shard_spec().shards(), 3);
+            let mut sa = data(37);
+            let mut sb = data(37);
+            for step in 0..4 {
+                let ra = reference.step(&sa.next_batch(32)).unwrap();
+                let rb = sharded.step(&sb.next_batch(32)).unwrap();
+                assert_eq!(ra.loss, rb.loss, "{mode:?} loss diverged at step {step}");
+            }
+            for i in 0..reference.model().num_tables() {
+                assert_eq!(
+                    reference
+                        .model()
+                        .table(i)
+                        .max_abs_diff(sharded.model().table(i))
+                        .unwrap(),
+                    0.0,
+                    "{mode:?} table {i} diverged"
+                );
+            }
         }
     }
 

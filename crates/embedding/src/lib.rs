@@ -72,10 +72,14 @@ pub use error::EmbeddingError;
 pub use expand::{gradient_expand, gradient_expand_into};
 pub use gather::{gather, gather_reduce, gather_reduce_into, reduce_by_dst};
 pub use index::IndexArray;
+pub use optim::ShardedOptimizer;
 pub use parallel::{
     gather_reduce_parallel, gather_reduce_parallel_in, gradient_coalesce_parallel,
     gradient_coalesce_parallel_in,
 };
-pub use scatter::{scatter_apply, scatter_apply_dense, scatter_apply_parallel};
-pub use sharding::ShardedTable;
+pub use scatter::{
+    scatter_apply, scatter_apply_dense, scatter_apply_parallel, scatter_apply_per_shard,
+    scatter_apply_sharded,
+};
+pub use sharding::{RouteScratch, ShardMap, ShardSpec, ShardedGatherScratch, ShardedTable};
 pub use table::EmbeddingTable;

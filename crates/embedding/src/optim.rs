@@ -19,6 +19,14 @@
 //! store instead: one contiguous `width`-strided slab, splittable at
 //! arbitrary row boundaries with `split_at_mut`. [`SplittableOptimizer`]
 //! exposes that split, and `scatter_apply_parallel` consumes it.
+//!
+//! [`ShardedOptimizer`] goes one step further — from bands *within* one
+//! slab to state you can *place*: one optimizer instance (and thus one
+//! [`RowState`] slab) per row-range shard of a [`ShardMap`], with a
+//! canonical global-keyed checkpoint blob so shard counts can change
+//! between save and restore.
+
+use crate::sharding::ShardMap;
 
 /// A sparse, row-granular optimizer.
 ///
@@ -95,6 +103,23 @@ pub trait SplittableOptimizer: SparseOptimizer + Send {
     /// truncated, malformed, or has trailing garbage; the optimizer's
     /// state is unspecified after an error.
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), String>;
+
+    /// The optimizer's dense per-row state planes, in the exact order
+    /// [`SplittableOptimizer::save_state`] serializes them, plus the
+    /// per-row step counts (Adam) if any. This is what makes state
+    /// *placeable*: [`ShardedOptimizer`] merges the planes of row-range
+    /// shards into one global-keyed blob (and re-splits on load), so a
+    /// checkpoint written at N shards restores at M. Stateless
+    /// optimizers return the default empty planes.
+    fn state_planes(&self) -> (Vec<&RowState>, Option<&[u32]>) {
+        (Vec::new(), None)
+    }
+
+    /// Mutable form of [`SplittableOptimizer::state_planes`], used when
+    /// re-splitting a global state blob into per-shard slabs.
+    fn state_planes_mut(&mut self) -> (Vec<&mut RowState>, Option<&mut Vec<u32>>) {
+        (Vec::new(), None)
+    }
 }
 
 /// Little-endian cursor over checkpoint bytes; every read is
@@ -447,6 +472,14 @@ impl SplittableOptimizer for Momentum {
         self.velocity.load_from(&mut r)?;
         r.finish()
     }
+
+    fn state_planes(&self) -> (Vec<&RowState>, Option<&[u32]>) {
+        (vec![&self.velocity], None)
+    }
+
+    fn state_planes_mut(&mut self) -> (Vec<&mut RowState>, Option<&mut Vec<u32>>) {
+        (vec![&mut self.velocity], None)
+    }
 }
 
 /// Adagrad (the paper's Eq. 2): `A <- A + G^2; W <- W - lr * G / sqrt(eps + A)`.
@@ -526,6 +559,14 @@ impl SplittableOptimizer for Adagrad {
         let mut r = StateReader::new(bytes);
         self.accum.load_from(&mut r)?;
         r.finish()
+    }
+
+    fn state_planes(&self) -> (Vec<&RowState>, Option<&[u32]>) {
+        (vec![&self.accum], None)
+    }
+
+    fn state_planes_mut(&mut self) -> (Vec<&mut RowState>, Option<&mut Vec<u32>>) {
+        (vec![&mut self.accum], None)
     }
 }
 
@@ -632,6 +673,14 @@ impl SplittableOptimizer for RmsProp {
         let mut r = StateReader::new(bytes);
         self.accum.load_from(&mut r)?;
         r.finish()
+    }
+
+    fn state_planes(&self) -> (Vec<&RowState>, Option<&[u32]>) {
+        (vec![&self.accum], None)
+    }
+
+    fn state_planes_mut(&mut self) -> (Vec<&mut RowState>, Option<&mut Vec<u32>>) {
+        (vec![&mut self.accum], None)
     }
 }
 
@@ -814,6 +863,265 @@ impl SplittableOptimizer for Adam {
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect();
         r.finish()
+    }
+
+    fn state_planes(&self) -> (Vec<&RowState>, Option<&[u32]>) {
+        (vec![&self.m, &self.v], Some(&self.t))
+    }
+
+    fn state_planes_mut(&mut self) -> (Vec<&mut RowState>, Option<&mut Vec<u32>>) {
+        (vec![&mut self.m, &mut self.v], Some(&mut self.t))
+    }
+}
+
+/// One optimizer per row-range shard of a table: state you can *place*.
+///
+/// Where [`SplittableOptimizer::split_by_rows`] hands out temporary bands
+/// within one slab (for a single parallel scatter), `ShardedOptimizer`
+/// keeps the state permanently split: shard `s` owns a shard-local slab
+/// keyed by local row ids, so each shard's scatter touches only its own
+/// state — the placement a pooled-memory deployment needs.
+///
+/// # Checkpoint portability
+///
+/// [`ShardedOptimizer::save_state`] always emits the **canonical
+/// global-keyed blob** — byte-compatible with what a single unsharded
+/// optimizer saves (a 1-shard save is a literal passthrough). With more
+/// shards, the per-shard [`RowState`] planes are merged row-by-row into
+/// global keying on save and re-split by the current [`ShardMap`] on
+/// load. A checkpoint written at N shards therefore restores at M shards
+/// (any N, M ≥ 1) with bit-identical subsequent training.
+pub struct ShardedOptimizer {
+    map: ShardMap,
+    shards: Vec<Box<dyn SplittableOptimizer>>,
+}
+
+impl ShardedOptimizer {
+    /// Builds one optimizer instance per shard of `map` via `build`
+    /// (every instance must be the same optimizer with the same
+    /// hyperparameters).
+    pub fn new(map: ShardMap, mut build: impl FnMut() -> Box<dyn SplittableOptimizer>) -> Self {
+        let shards: Vec<Box<dyn SplittableOptimizer>> =
+            (0..map.num_shards()).map(|_| build()).collect();
+        let name = shards[0].name();
+        assert!(
+            shards.iter().all(|s| s.name() == name),
+            "all shards must run the same optimizer"
+        );
+        Self { map, shards }
+    }
+
+    /// Number of state shards (== the map's shard count).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared optimizer name (e.g. `"adam"`), without needing the
+    /// [`SparseOptimizer`] trait in scope.
+    pub fn name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+
+    /// The placement plan this state is split by.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Immutable access to one shard's optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn shard(&self, s: usize) -> &dyn SplittableOptimizer {
+        self.shards[s].as_ref()
+    }
+
+    /// Mutable access to one shard's optimizer (rows are shard-local).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn shard_mut(&mut self, s: usize) -> &mut dyn SplittableOptimizer {
+        self.shards[s].as_mut()
+    }
+
+    /// All shard optimizers, for concurrent per-shard scatters.
+    pub fn shards_mut(&mut self) -> &mut [Box<dyn SplittableOptimizer>] {
+        &mut self.shards
+    }
+
+    /// The map and the shard optimizers together (split borrow), for
+    /// scatter kernels that walk both.
+    pub fn parts_mut(&mut self) -> (&ShardMap, &mut [Box<dyn SplittableOptimizer>]) {
+        (&self.map, &mut self.shards)
+    }
+
+    /// Appends the canonical global-keyed state blob (see the type-level
+    /// docs): a 1-shard save passes the inner optimizer's bytes through
+    /// unchanged; an N-shard save merges the per-shard planes into global
+    /// row keying, zero-filling rows no shard has touched.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        if self.shards.len() == 1 {
+            self.shards[0].save_state(out);
+            return;
+        }
+        let per_shard: Vec<(Vec<&RowState>, Option<&[u32]>)> =
+            self.shards.iter().map(|s| s.state_planes()).collect();
+        // Rows a shard's plane actually backs, clamped to the shard's
+        // span (geometric growth may overshoot it; the overshoot is
+        // all-zero by construction and not part of the canonical blob).
+        let clamped = |s: usize, rows: usize| rows.min(self.map.shard_rows(s));
+        let planes = per_shard[0].0.len();
+        for p in 0..planes {
+            let width = per_shard
+                .iter()
+                .map(|(pl, _)| pl[p].width)
+                .find(|&w| w != 0)
+                .unwrap_or(0);
+            let extent = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, (pl, _))| pl[p].rows() > 0)
+                .map(|(s, (pl, _))| self.map.shard_base(s) + clamped(s, pl[p].rows()))
+                .max()
+                .unwrap_or(0);
+            put_u64(out, width as u64);
+            put_u64(out, extent as u64);
+            for r in 0..extent {
+                let (s, local) = self.map.locate(r as u32).expect("extent within the map");
+                let plane = &per_shard[s].0[p];
+                let local = local as usize;
+                if width > 0 && plane.width == width && local < plane.rows() {
+                    for &v in &plane.data[local * width..(local + 1) * width] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                } else {
+                    let at = out.len();
+                    out.resize(at + width * 4, 0u8);
+                }
+            }
+            for r in 0..extent {
+                let (s, local) = self.map.locate(r as u32).expect("extent within the map");
+                let plane = &per_shard[s].0[p];
+                let touched = (local as usize) < plane.rows() && plane.touched[local as usize];
+                out.push(touched as u8);
+            }
+        }
+        if per_shard[0].1.is_some() {
+            let extent = per_shard
+                .iter()
+                .enumerate()
+                .filter_map(|(s, (_, t))| t.as_ref().map(|t| (s, t.len())))
+                .filter(|&(_, len)| len > 0)
+                .map(|(s, len)| self.map.shard_base(s) + clamped(s, len))
+                .max()
+                .unwrap_or(0);
+            put_u64(out, extent as u64);
+            for r in 0..extent {
+                let (s, local) = self.map.locate(r as u32).expect("extent within the map");
+                let t = per_shard[s].1.expect("all shards share the optimizer type");
+                let v = t.get(local as usize).copied().unwrap_or(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// Restores a canonical blob written by [`ShardedOptimizer::save_state`]
+    /// under **any** shard count: the global-keyed planes are re-split by
+    /// this optimizer's own map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency if `bytes` is
+    /// truncated, malformed, or has trailing garbage; the state is
+    /// unspecified after an error.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if self.shards.len() == 1 {
+            return self.shards[0].load_state(bytes);
+        }
+        let mut r = StateReader::new(bytes);
+        let planes = self.shards[0].state_planes().0.len();
+        let has_counts = self.shards[0].state_planes().1.is_some();
+        for p in 0..planes {
+            let width = r.u64()? as usize;
+            let extent = r.u64()? as usize;
+            let bytes_len = extent
+                .checked_mul(width)
+                .and_then(|e| e.checked_mul(4))
+                .ok_or_else(|| "optimizer state slab size overflows".to_string())?;
+            let raw = r.take(bytes_len)?;
+            let flags = r.take(extent)?;
+            if let Some(&bad) = flags.iter().find(|&&b| b > 1) {
+                return Err(format!("optimizer touched flag has invalid value {bad}"));
+            }
+            for s in 0..self.shards.len() {
+                let base = self.map.shard_base(s);
+                let end = self.map.shard_end(s).min(extent);
+                let lo = base.min(end);
+                let (mut planes_mut, _) = self.shards[s].state_planes_mut();
+                let plane = planes_mut
+                    .drain(..)
+                    .nth(p)
+                    .expect("all shards share the optimizer type");
+                if width == 0 || end <= lo {
+                    *plane = RowState::default();
+                    continue;
+                }
+                plane.width = width;
+                plane.data.clear();
+                plane.data.extend(
+                    raw[lo * width * 4..end * width * 4]
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))),
+                );
+                plane.touched.clear();
+                plane.touched.extend(flags[lo..end].iter().map(|&b| b == 1));
+            }
+        }
+        if has_counts {
+            let extent = r.u64()? as usize;
+            let raw = r.take(
+                extent
+                    .checked_mul(4)
+                    .ok_or_else(|| "optimizer step-count length overflows".to_string())?,
+            )?;
+            for s in 0..self.shards.len() {
+                let base = self.map.shard_base(s);
+                let end = self.map.shard_end(s).min(extent);
+                let lo = base.min(end);
+                let (_, counts) = self.shards[s].state_planes_mut();
+                let t = counts.expect("all shards share the optimizer type");
+                t.clear();
+                t.extend(
+                    raw[lo * 4..end * 4]
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))),
+                );
+            }
+        }
+        r.finish()
+    }
+}
+
+impl SparseOptimizer for ShardedOptimizer {
+    /// Applies the update for **global** row `row` through the owning
+    /// shard's local state — bit-identical to a single global optimizer,
+    /// since per-row state is independent either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` lies outside the shard map.
+    fn update_row(&mut self, row: u32, param: &mut [f32], grad: &[f32]) {
+        let (s, local) = self.map.locate(row).expect("row inside the shard map");
+        self.shards[s].update_row(local, param, grad);
+    }
+
+    fn name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+
+    fn state_bytes_per_element(&self) -> usize {
+        self.shards[0].state_bytes_per_element()
     }
 }
 
@@ -1094,5 +1402,143 @@ mod tests {
         assert_eq!(s.row_mut(0), &[1.0, 2.0]);
         assert_eq!(s.row_mut(100), &[3.0, 4.0]);
         assert_eq!(s.tracked_rows(), 2);
+    }
+
+    fn all_optimizers() -> Vec<Box<dyn Fn() -> Box<dyn SplittableOptimizer>>> {
+        vec![
+            Box::new(|| Box::new(Sgd::new(0.1))),
+            Box::new(|| Box::new(Momentum::new(0.1, 0.9))),
+            Box::new(|| Box::new(Adagrad::new(0.1, 1e-8))),
+            Box::new(|| Box::new(RmsProp::new(0.1, 0.9, 1e-8))),
+            Box::new(|| Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8))),
+        ]
+    }
+
+    /// Global-keyed updates through the sharded state must match a single
+    /// unsharded optimizer bit-for-bit, for every optimizer and shard count.
+    #[test]
+    fn sharded_optimizer_matches_global_updates() {
+        use crate::sharding::ShardMap;
+        let rows_total = 34usize;
+        let rows: Vec<u32> = vec![0, 3, 11, 12, 17, 22, 23, 33];
+        let dim = 3;
+        for mk in &all_optimizers() {
+            for shards in [1usize, 2, 3, 7] {
+                let mut global = mk();
+                let mut sharded = ShardedOptimizer::new(ShardMap::new(rows_total, shards), || mk());
+                assert_eq!(sharded.name(), global.name());
+                let mut params_a: Vec<Vec<f32>> =
+                    rows.iter().map(|&r| vec![r as f32; dim]).collect();
+                let mut params_b = params_a.clone();
+                for pass in 0..3 {
+                    for (i, &r) in rows.iter().enumerate() {
+                        let grad: Vec<f32> = (0..dim)
+                            .map(|c| (r + c as u32) as f32 * 0.1 + pass as f32)
+                            .collect();
+                        global.update_row(r, &mut params_a[i], &grad);
+                        sharded.update_row(r, &mut params_b[i], &grad);
+                    }
+                }
+                let (a, b): (Vec<u32>, Vec<u32>) = (
+                    params_a.iter().flatten().map(|v| v.to_bits()).collect(),
+                    params_b.iter().flatten().map(|v| v.to_bits()).collect(),
+                );
+                assert_eq!(a, b, "{} diverged at {shards} shards", global.name());
+            }
+        }
+    }
+
+    /// Save at N shards, restore at M shards (including M == 1), continue:
+    /// the continued trajectory must be bit-identical. The 1-shard blob is
+    /// also byte-identical to the plain optimizer's save format.
+    #[test]
+    fn sharded_state_is_portable_across_shard_counts() {
+        use crate::sharding::ShardMap;
+        let rows_total = 23usize;
+        let rows: Vec<u32> = vec![0, 6, 7, 11, 12, 21, 22];
+        let dim = 2;
+        for mk in &all_optimizers() {
+            // Reference trajectory on a plain global optimizer.
+            let mut global = mk();
+            let mut params: Vec<Vec<f32>> = rows.iter().map(|&r| vec![r as f32; dim]).collect();
+            let step = |opt: &mut dyn SparseOptimizer, params: &mut [Vec<f32>], pass: usize| {
+                for (i, &r) in rows.iter().enumerate() {
+                    let grad: Vec<f32> = (0..dim)
+                        .map(|c| (r + c as u32) as f32 * 0.1 + pass as f32)
+                        .collect();
+                    opt.update_row(r, &mut params[i], &grad);
+                }
+            };
+            step(global.as_mut(), &mut params, 0);
+            step(global.as_mut(), &mut params, 1);
+            let mut global_blob = Vec::new();
+            global.save_state(&mut global_blob);
+
+            for n in [1usize, 2, 3, 7] {
+                // Replay the same two passes through N shards and save.
+                let mut at_n = ShardedOptimizer::new(ShardMap::new(rows_total, n), || mk());
+                let mut params_n: Vec<Vec<f32>> =
+                    rows.iter().map(|&r| vec![r as f32; dim]).collect();
+                step(&mut at_n, &mut params_n, 0);
+                step(&mut at_n, &mut params_n, 1);
+                let mut blob = Vec::new();
+                at_n.save_state(&mut blob);
+                if n == 1 {
+                    assert_eq!(
+                        blob,
+                        global_blob,
+                        "{}: 1-shard save is not a byte passthrough",
+                        at_n.name()
+                    );
+                }
+                for m in [1usize, 2, 3, 7] {
+                    let mut at_m = ShardedOptimizer::new(ShardMap::new(rows_total, m), || mk());
+                    at_m.load_state(&blob).expect("canonical blob loads");
+                    // Continue both for one more pass and compare bits.
+                    let mut cont_ref = params_n.clone();
+                    let mut cont_new = params_n.clone();
+                    let mut resaved = mk();
+                    resaved.load_state(&blob).unwrap_or_else(|e| {
+                        panic!("{}: global load of {n}-shard blob: {e}", at_m.name())
+                    });
+                    step(resaved.as_mut(), &mut cont_ref, 2);
+                    step(&mut at_m, &mut cont_new, 2);
+                    let (a, b): (Vec<u32>, Vec<u32>) = (
+                        cont_ref.iter().flatten().map(|v| v.to_bits()).collect(),
+                        cont_new.iter().flatten().map(|v| v.to_bits()).collect(),
+                    );
+                    assert_eq!(a, b, "{}: {n}->{m} shard restore diverged", at_m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_load_rejects_truncation_and_trailing_garbage() {
+        use crate::sharding::ShardMap;
+        let mut at_n = ShardedOptimizer::new(ShardMap::new(20, 3), || {
+            Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8))
+        });
+        let mut p = vec![0.0, 0.0];
+        at_n.update_row(5, &mut p, &[1.0, 2.0]);
+        at_n.update_row(13, &mut p, &[0.5, -1.0]);
+        let mut saved = Vec::new();
+        at_n.save_state(&mut saved);
+        for cut in 0..saved.len() {
+            let mut fresh = ShardedOptimizer::new(ShardMap::new(20, 2), || {
+                Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8))
+            });
+            assert!(
+                fresh.load_state(&saved[..cut]).is_err(),
+                "truncation at byte {cut} accepted"
+            );
+        }
+        let mut trailing = saved.clone();
+        trailing.push(0);
+        let mut fresh = ShardedOptimizer::new(ShardMap::new(20, 2), || {
+            Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8))
+        });
+        let err = fresh.load_state(&trailing).unwrap_err();
+        assert!(err.contains("trailing"), "unexpected error: {err}");
     }
 }

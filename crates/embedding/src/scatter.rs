@@ -7,7 +7,7 @@
 
 use crate::coalesce::CoalescedGradients;
 use crate::error::EmbeddingError;
-use crate::optim::{SparseOptimizer, SplittableOptimizer};
+use crate::optim::{ShardedOptimizer, SparseOptimizer, SplittableOptimizer};
 use crate::table::EmbeddingTable;
 use tcast_pool::Exec;
 use tcast_tensor::Matrix;
@@ -206,6 +206,226 @@ pub fn scatter_apply_parallel(
                 for (k, &row) in band_rows.iter().enumerate() {
                     let at = (row as usize - band_lo) * dim;
                     shard.update_row(row, &mut band[at..at + dim], grads.row(lo + k));
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
+/// Shard-concurrent scatter of **global-keyed** coalesced gradients into a
+/// single table slab whose optimizer state lives in per-shard
+/// [`ShardedOptimizer`] slabs — the production **baseline**-mode scatter
+/// when the model is sharded.
+///
+/// With one shard this delegates to the band-parallel
+/// [`scatter_apply_parallel`] (today's unsharded path, unchanged). With
+/// more, the ascending `rows` are split at the shard fences
+/// (`partition_point`, zero-copy) and each shard updates its
+/// `split_at_mut` slice of the table through its own optimizer shard, one
+/// pool task per shard. Per-row updates touch disjoint rows and disjoint
+/// state, and each row sees exactly the serial update — so the result is
+/// **bit-identical** to the unsharded serial scatter for any shard count,
+/// serial or pooled.
+///
+/// # Errors
+///
+/// The validations of [`scatter_apply_parallel`], plus
+/// [`EmbeddingError::InvalidIndex`] if the optimizer's
+/// [`crate::sharding::ShardMap`] does not cover exactly `table.rows()`.
+pub fn scatter_apply_sharded(
+    table: &mut EmbeddingTable,
+    rows: &[u32],
+    grads: &Matrix,
+    optimizer: &mut ShardedOptimizer,
+    exec: Exec<'_>,
+) -> Result<(), EmbeddingError> {
+    if optimizer.map().rows() != table.rows() {
+        return Err(EmbeddingError::InvalidIndex(format!(
+            "shard map covers {} rows but the table has {}",
+            optimizer.map().rows(),
+            table.rows()
+        )));
+    }
+    if optimizer.num_shards() == 1 {
+        return scatter_apply_parallel(table, rows, grads, optimizer.shard_mut(0), exec);
+    }
+    if rows.len() != grads.rows() {
+        return Err(EmbeddingError::LengthMismatch {
+            expected: rows.len(),
+            found: grads.rows(),
+        });
+    }
+    if grads.cols() != table.dim() {
+        return Err(EmbeddingError::DimMismatch {
+            expected: table.dim(),
+            found: grads.cols(),
+        });
+    }
+    if !rows.windows(2).all(|w| w[0] < w[1]) {
+        return Err(EmbeddingError::InvalidIndex(
+            "scatter_apply_sharded requires coalesced rows (strictly ascending, unique)".into(),
+        ));
+    }
+    if let Some(&last) = rows.last() {
+        if last as usize >= table.rows() {
+            return Err(EmbeddingError::SrcOutOfBounds {
+                src: last,
+                rows: table.rows(),
+            });
+        }
+    }
+
+    let pool = match exec.pool() {
+        Some(pool) if exec.threads() > 1 => pool,
+        _ => {
+            // Serial: route each global row through its owning shard's
+            // local state (an O(1) divide per row, no allocation).
+            for (i, &row) in rows.iter().enumerate() {
+                optimizer.update_row(row, table.row_mut(row as usize), grads.row(i));
+            }
+            return Ok(());
+        }
+    };
+
+    let dim = table.dim();
+    let (map, opts) = optimizer.parts_mut();
+    pool.scope(|scope| {
+        let mut table_rest = table.as_mut_slice();
+        let mut row_lo = 0usize;
+        for (s, opt) in opts.iter_mut().enumerate() {
+            let base = map.shard_base(s);
+            let end = map.shard_end(s);
+            let (slab, tail) = table_rest.split_at_mut((end - base) * dim);
+            table_rest = tail;
+            let row_hi = row_lo + rows[row_lo..].partition_point(|&r| (r as usize) < end);
+            let shard_rows = &rows[row_lo..row_hi];
+            let grad_lo = row_lo;
+            row_lo = row_hi;
+            if shard_rows.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                for (k, &row) in shard_rows.iter().enumerate() {
+                    let local = row as usize - base;
+                    opt.update_row(
+                        local as u32,
+                        &mut slab[local * dim..(local + 1) * dim],
+                        grads.row(grad_lo + k),
+                    );
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
+/// Shard-concurrent scatter of **shard-local** coalesced gradients — the
+/// production **casted**-mode scatter when the model is sharded: the
+/// casting pipeline already routed each job's indices per shard, so the
+/// per-shard casted gather-reduce emits per-shard `(local rows, grads)`
+/// pairs and no global merge is ever materialized.
+///
+/// `parts(s)` returns shard `s`'s coalesced gradients keyed by
+/// **shard-local** ascending row ids (it may be called more than once per
+/// shard). With one shard this delegates to [`scatter_apply_parallel`];
+/// with more, one pool task per shard updates its table slice through its
+/// own optimizer shard. Bit-identical to the unsharded scatter for the
+/// same reasons as [`scatter_apply_sharded`], and allocation-free.
+///
+/// # Errors
+///
+/// [`EmbeddingError::InvalidIndex`] if the shard map does not cover the
+/// table or a shard's rows are not strictly ascending;
+/// [`EmbeddingError::LengthMismatch`] / [`EmbeddingError::DimMismatch`]
+/// if a shard's rows and gradient matrix disagree (width is only checked
+/// for non-empty shards); [`EmbeddingError::SrcOutOfBounds`] (with the
+/// **global** row id) if a local row falls outside its shard.
+pub fn scatter_apply_per_shard<'a>(
+    table: &mut EmbeddingTable,
+    optimizer: &mut ShardedOptimizer,
+    parts: impl Fn(usize) -> (&'a [u32], &'a Matrix),
+    exec: Exec<'_>,
+) -> Result<(), EmbeddingError> {
+    if optimizer.map().rows() != table.rows() {
+        return Err(EmbeddingError::InvalidIndex(format!(
+            "shard map covers {} rows but the table has {}",
+            optimizer.map().rows(),
+            table.rows()
+        )));
+    }
+    if optimizer.num_shards() == 1 {
+        let (rows, grads) = parts(0);
+        return scatter_apply_parallel(table, rows, grads, optimizer.shard_mut(0), exec);
+    }
+    let dim = table.dim();
+    for s in 0..optimizer.num_shards() {
+        let (rows_s, grads_s) = parts(s);
+        if rows_s.len() != grads_s.rows() {
+            return Err(EmbeddingError::LengthMismatch {
+                expected: rows_s.len(),
+                found: grads_s.rows(),
+            });
+        }
+        if rows_s.is_empty() {
+            continue;
+        }
+        if grads_s.cols() != dim {
+            return Err(EmbeddingError::DimMismatch {
+                expected: dim,
+                found: grads_s.cols(),
+            });
+        }
+        if !rows_s.windows(2).all(|w| w[0] < w[1]) {
+            return Err(EmbeddingError::InvalidIndex(
+                "scatter_apply_per_shard requires coalesced local rows (strictly ascending)".into(),
+            ));
+        }
+        let base = optimizer.map().shard_base(s);
+        let span = optimizer.map().shard_rows(s);
+        let last = *rows_s.last().expect("non-empty");
+        if last as usize >= span {
+            return Err(EmbeddingError::SrcOutOfBounds {
+                src: base as u32 + last,
+                rows: table.rows(),
+            });
+        }
+    }
+
+    let (map, opts) = optimizer.parts_mut();
+    let pool = match exec.pool() {
+        Some(pool) if exec.threads() > 1 => pool,
+        _ => {
+            for (s, opt) in opts.iter_mut().enumerate() {
+                let base = map.shard_base(s);
+                let (rows_s, grads_s) = parts(s);
+                for (k, &local) in rows_s.iter().enumerate() {
+                    opt.update_row(local, table.row_mut(base + local as usize), grads_s.row(k));
+                }
+            }
+            return Ok(());
+        }
+    };
+
+    pool.scope(|scope| {
+        let mut table_rest = table.as_mut_slice();
+        for (s, opt) in opts.iter_mut().enumerate() {
+            let base = map.shard_base(s);
+            let end = map.shard_end(s);
+            let (slab, tail) = table_rest.split_at_mut((end - base) * dim);
+            table_rest = tail;
+            let (rows_s, grads_s) = parts(s);
+            if rows_s.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                for (k, &local) in rows_s.iter().enumerate() {
+                    let local = local as usize;
+                    opt.update_row(
+                        local as u32,
+                        &mut slab[local * dim..(local + 1) * dim],
+                        grads_s.row(k),
+                    );
                 }
             });
         }
@@ -467,6 +687,169 @@ mod tests {
                 scatter_apply_parallel(&mut table, &[0], &Matrix::zeros(2, 2), &mut sgd, exec)
                     .unwrap_err();
             assert!(matches!(err, EmbeddingError::LengthMismatch { .. }));
+        }
+
+        mod sharded {
+            use super::*;
+            use crate::optim::ShardedOptimizer;
+            use crate::sharding::ShardMap;
+
+            /// Splits a global ascending coalesced workload into per-shard
+            /// local `(rows, grads)` pairs, the shape the casted sharded
+            /// path produces.
+            fn split_local(
+                map: &ShardMap,
+                rows: &[u32],
+                grads: &Matrix,
+            ) -> Vec<(Vec<u32>, Matrix)> {
+                let mut out = Vec::new();
+                let mut lo = 0usize;
+                for s in 0..map.num_shards() {
+                    let base = map.shard_base(s) as u32;
+                    let end = map.shard_end(s);
+                    let hi = lo + rows[lo..].partition_point(|&r| (r as usize) < end);
+                    let local: Vec<u32> = rows[lo..hi].iter().map(|&r| r - base).collect();
+                    let mut g = Matrix::zeros(hi - lo, grads.cols());
+                    for (k, i) in (lo..hi).enumerate() {
+                        g.row_mut(k).copy_from_slice(grads.row(i));
+                    }
+                    out.push((local, g));
+                    lo = hi;
+                }
+                out
+            }
+
+            #[test]
+            fn sharded_slab_scatter_is_bit_identical() {
+                let pool = Pool::new(4);
+                for (name, mk) in &makers() {
+                    for shards in [1usize, 2, 3, 7] {
+                        for pooled in [false, true] {
+                            let mut reference = EmbeddingTable::seeded(97, 4, 5);
+                            let mut sharded = reference.clone();
+                            let mut ref_opt = mk();
+                            let mut sh_opt =
+                                ShardedOptimizer::new(ShardMap::new(97, shards), || mk());
+                            for step in 0..4u64 {
+                                let (rows, grads) = workload(31 * step + shards as u64, 97, 60, 4);
+                                scatter_apply_dense(
+                                    &mut reference,
+                                    &rows,
+                                    &grads,
+                                    ref_opt.as_mut(),
+                                )
+                                .unwrap();
+                                let exec = if pooled {
+                                    Exec::pooled(&pool)
+                                } else {
+                                    Exec::Serial
+                                };
+                                scatter_apply_sharded(
+                                    &mut sharded,
+                                    &rows,
+                                    &grads,
+                                    &mut sh_opt,
+                                    exec,
+                                )
+                                .unwrap();
+                            }
+                            assert_eq!(
+                                reference.as_slice(),
+                                sharded.as_slice(),
+                                "{name} diverged at {shards} shards (pooled={pooled})"
+                            );
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn per_shard_local_scatter_is_bit_identical() {
+                let pool = Pool::new(4);
+                for (name, mk) in &makers() {
+                    for shards in [1usize, 2, 3, 7] {
+                        for pooled in [false, true] {
+                            let map = ShardMap::new(83, shards);
+                            let mut reference = EmbeddingTable::seeded(83, 3, 11);
+                            let mut sharded = reference.clone();
+                            let mut ref_opt = mk();
+                            let mut sh_opt = ShardedOptimizer::new(map.clone(), || mk());
+                            for step in 0..4u64 {
+                                let (rows, grads) = workload(77 * step + shards as u64, 83, 50, 3);
+                                scatter_apply_dense(
+                                    &mut reference,
+                                    &rows,
+                                    &grads,
+                                    ref_opt.as_mut(),
+                                )
+                                .unwrap();
+                                let local = split_local(&map, &rows, &grads);
+                                let exec = if pooled {
+                                    Exec::pooled(&pool)
+                                } else {
+                                    Exec::Serial
+                                };
+                                scatter_apply_per_shard(
+                                    &mut sharded,
+                                    &mut sh_opt,
+                                    |s| (local[s].0.as_slice(), &local[s].1),
+                                    exec,
+                                )
+                                .unwrap();
+                            }
+                            assert_eq!(
+                                reference.as_slice(),
+                                sharded.as_slice(),
+                                "{name} diverged at {shards} shards (pooled={pooled})"
+                            );
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn sharded_scatter_validates_map_and_rows() {
+                let mut table = EmbeddingTable::zeros(10, 2);
+                // Map that does not cover the table.
+                let mut wrong =
+                    ShardedOptimizer::new(ShardMap::new(8, 2), || Box::new(Sgd::new(0.1)) as _);
+                let err = scatter_apply_sharded(
+                    &mut table,
+                    &[0],
+                    &Matrix::zeros(1, 2),
+                    &mut wrong,
+                    Exec::Serial,
+                )
+                .unwrap_err();
+                assert!(matches!(err, EmbeddingError::InvalidIndex(_)), "{err:?}");
+
+                let mut opt =
+                    ShardedOptimizer::new(ShardMap::new(10, 2), || Box::new(Sgd::new(0.1)) as _);
+                // Unsorted global rows.
+                let err = scatter_apply_sharded(
+                    &mut table,
+                    &[4, 2],
+                    &Matrix::zeros(2, 2),
+                    &mut opt,
+                    Exec::Serial,
+                )
+                .unwrap_err();
+                assert!(matches!(err, EmbeddingError::InvalidIndex(_)), "{err:?}");
+                // Local row beyond its shard (shard 0 spans 5 rows).
+                let rows = [vec![5u32], vec![]];
+                let grads = [Matrix::zeros(1, 2), Matrix::zeros(0, 2)];
+                let err = scatter_apply_per_shard(
+                    &mut table,
+                    &mut opt,
+                    |s| (rows[s].as_slice(), &grads[s]),
+                    Exec::Serial,
+                )
+                .unwrap_err();
+                assert!(
+                    matches!(err, EmbeddingError::SrcOutOfBounds { .. }),
+                    "{err:?}"
+                );
+            }
         }
     }
 }

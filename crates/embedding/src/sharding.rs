@@ -3,59 +3,297 @@
 //! The paper's motivation (Sections I-II) is that embedding tables reach
 //! tens of GB to TBs, forcing them off-accelerator into pooled/host
 //! memory — Facebook's Zion and Baidu's AIBox shard them across a memory
-//! pool. [`ShardedTable`] models that placement: contiguous row ranges
-//! live on different shards, lookups are routed by row id, and the
-//! results merge back into one pooled output. All training primitives
-//! remain exact (asserted against the single-table kernels).
+//! pool. This module models that placement: [`ShardMap`] is the pure
+//! placement plan (contiguous row ranges, O(1) row → shard routing),
+//! [`ShardedTable`] materializes one table slab per shard, and
+//! [`RouteScratch`] makes the per-batch routing allocation-free so the
+//! plan can sit on the training hot path.
+//!
+//! # Bit-identity
+//!
+//! Every sharded kernel here is **bit-identical** to its single-table
+//! counterpart, not merely close: the forward merge replays lookups in
+//! original pair order (f32 accumulation order is the invariant, since
+//! float addition is not associative), and the scatter applies the exact
+//! per-row update sequence of the unsharded path. `sharded == unsharded`
+//! is the workspace-wide invariant 8, property-tested in
+//! `tests/sharded_equivalence.rs`.
 
 use crate::coalesce::CoalescedGradients;
 use crate::error::EmbeddingError;
 use crate::index::IndexArray;
-use crate::optim::SparseOptimizer;
-use crate::scatter::scatter_apply;
+use crate::optim::{ShardedOptimizer, SparseOptimizer};
 use crate::table::EmbeddingTable;
+use tcast_pool::Exec;
 use tcast_tensor::Matrix;
 
-/// An embedding table split into contiguous row-range shards.
+/// How many row-range shards a table (or a whole model) should be split
+/// into. `ShardSpec::default()` is one shard — today's unsharded layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: usize,
+}
+
+impl ShardSpec {
+    /// A spec asking for `shards` row-range shards per table. Tables with
+    /// fewer rows than shards get one shard per row (see [`ShardMap`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self { shards }
+    }
+
+    /// The requested shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self { shards: 1 }
+    }
+}
+
+/// The placement plan for one table: `rows` split into near-equal
+/// contiguous row ranges.
+///
+/// Every shard spans exactly `ceil(rows / requested)` rows except the
+/// last (which takes the remainder), so `row → (shard, local)` is a
+/// division, not a search — routing stays O(1) per lookup however many
+/// shards exist. The actual shard count is `ceil(rows / span)`, which can
+/// be lower than requested when the table has fewer rows than shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    rows: usize,
+    /// Rows per shard (all shards but the last).
+    span: usize,
+    /// Exclusive upper row bound of each shard (ascending).
+    bounds: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Plans `rows` over `num_shards` near-equal contiguous ranges. A
+    /// zero-row table still gets one (empty) shard so downstream
+    /// per-shard state is never zero-length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn new(rows: usize, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let span = rows.div_ceil(num_shards).max(1);
+        let mut bounds = Vec::with_capacity(rows.div_ceil(span).max(1));
+        let mut lo = 0usize;
+        while lo < rows {
+            let hi = (lo + span).min(rows);
+            bounds.push(hi);
+            lo = hi;
+        }
+        if bounds.is_empty() {
+            bounds.push(0);
+        }
+        Self { rows, span, bounds }
+    }
+
+    /// Number of shards actually planned (`<=` the requested count).
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// First global row of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn shard_base(&self, s: usize) -> usize {
+        assert!(s < self.bounds.len(), "shard {s} out of range");
+        s * self.span
+    }
+
+    /// One-past-the-last global row of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn shard_end(&self, s: usize) -> usize {
+        self.bounds[s]
+    }
+
+    /// Rows owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn shard_rows(&self, s: usize) -> usize {
+        self.shard_end(s) - self.shard_base(s)
+    }
+
+    /// Which shard holds an in-range global row (unchecked division).
+    fn shard_of(&self, row: u32) -> usize {
+        row as usize / self.span
+    }
+
+    /// Which shard holds global row `row`, plus the local row id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] for rows past the end.
+    pub fn locate(&self, row: u32) -> Result<(usize, u32), EmbeddingError> {
+        let r = row as usize;
+        if r >= self.rows {
+            return Err(EmbeddingError::SrcOutOfBounds {
+                src: row,
+                rows: self.rows,
+            });
+        }
+        Ok((r / self.span, (r % self.span) as u32))
+    }
+
+    /// Splits a global index array into per-shard local index arrays,
+    /// reusing `scratch`'s buffers: on the warm path this allocates
+    /// nothing. Each routed array keeps the pairs in their original
+    /// relative order, maps `src` to the shard-local row id, and keeps
+    /// the **original** `dst` and `num_outputs` so per-shard partial
+    /// outputs stay batch-aligned. Read the result via
+    /// [`RouteScratch::routed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows;
+    /// `scratch` is left empty (but keeps its allocations).
+    pub fn route_into(
+        &self,
+        index: &IndexArray,
+        scratch: &mut RouteScratch,
+    ) -> Result<(), EmbeddingError> {
+        let n = self.num_shards();
+        scratch.ensure(n);
+        scratch.active = 0;
+        for s in 0..n {
+            scratch.src[s].clear();
+            scratch.dst[s].clear();
+        }
+        for (src, dst) in index.iter() {
+            let (s, local) = self.locate(src)?;
+            scratch.src[s].push(local);
+            scratch.dst[s].push(dst);
+        }
+        // Swap the staged pairs into the recycled IndexArrays through
+        // `refill`, which re-validates the invariants; the arrays' old
+        // buffers land back in the staging slots for the next call.
+        let RouteScratch {
+            src, dst, routed, ..
+        } = scratch;
+        for s in 0..n {
+            let (stage_src, stage_dst) = (&mut src[s], &mut dst[s]);
+            routed[s].refill(index.num_outputs(), |a, b| {
+                std::mem::swap(a, stage_src);
+                std::mem::swap(b, stage_dst);
+            })?;
+        }
+        scratch.active = n;
+        Ok(())
+    }
+
+    /// Allocating convenience form of [`ShardMap::route_into`] (builds a
+    /// fresh scratch per call — tests and cold paths only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows.
+    pub fn route(&self, index: &IndexArray) -> Result<Vec<IndexArray>, EmbeddingError> {
+        let mut scratch = RouteScratch::default();
+        self.route_into(index, &mut scratch)?;
+        scratch.routed.truncate(scratch.active);
+        Ok(scratch.routed)
+    }
+}
+
+/// Reusable buffers for [`ShardMap::route_into`]: per-shard staging pair
+/// vectors plus the routed [`IndexArray`]s themselves. One scratch per
+/// (table, consumer) makes routing allocation-free after warm-up; the
+/// same scratch may be reused across maps with different shard counts.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    src: Vec<Vec<u32>>,
+    dst: Vec<Vec<u32>>,
+    routed: Vec<IndexArray>,
+    /// Shards filled by the most recent successful `route_into`.
+    active: usize,
+}
+
+impl RouteScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.src.len() < n {
+            self.src.push(Vec::new());
+            self.dst.push(Vec::new());
+            self.routed
+                .push(IndexArray::from_pairs(Vec::new(), Vec::new(), 0).expect("empty is valid"));
+        }
+    }
+
+    /// The per-shard index arrays produced by the last successful
+    /// [`ShardMap::route_into`] (empty before any routing).
+    pub fn routed(&self) -> &[IndexArray] {
+        &self.routed[..self.active]
+    }
+}
+
+/// Reusable buffers for [`ShardedTable::gather_reduce_into`]: routing
+/// scratch plus one staged lookup matrix and merge cursor per shard.
+#[derive(Debug, Default)]
+pub struct ShardedGatherScratch {
+    route: RouteScratch,
+    staged: Vec<Matrix>,
+    cursors: Vec<usize>,
+}
+
+/// An embedding table split into contiguous row-range shards, one slab
+/// per shard (the cross-node placement; the in-slab view used by the
+/// trainer keeps one slab and shares the same [`ShardMap`]).
 #[derive(Debug, Clone)]
 pub struct ShardedTable {
     shards: Vec<EmbeddingTable>,
-    /// Exclusive upper row bound of each shard (ascending).
-    bounds: Vec<usize>,
+    map: ShardMap,
     dim: usize,
 }
 
 impl ShardedTable {
-    /// Splits `table` into `num_shards` near-equal contiguous row ranges.
+    /// Splits `table` into `num_shards` near-equal contiguous row ranges,
+    /// copying each shard's row range as one bulk slice.
     ///
     /// # Panics
     ///
     /// Panics if `num_shards == 0`.
     pub fn from_table(table: &EmbeddingTable, num_shards: usize) -> Self {
-        assert!(num_shards > 0, "need at least one shard");
-        let rows = table.rows();
-        let per = rows.div_ceil(num_shards).max(1);
-        let mut shards = Vec::new();
-        let mut bounds = Vec::new();
-        let mut lo = 0usize;
-        while lo < rows {
-            let hi = (lo + per).min(rows);
-            let mut data = Vec::with_capacity((hi - lo) * table.dim());
-            for r in lo..hi {
-                data.extend_from_slice(table.row(r));
-            }
-            shards.push(
-                EmbeddingTable::from_vec(hi - lo, table.dim(), data)
-                    .expect("shard data sized by construction"),
-            );
-            bounds.push(hi);
-            lo = hi;
-        }
-        Self {
-            shards,
-            bounds,
-            dim: table.dim(),
-        }
+        let map = ShardMap::new(table.rows(), num_shards);
+        let dim = table.dim();
+        let shards = (0..map.num_shards())
+            .map(|s| {
+                let (lo, hi) = (map.shard_base(s), map.shard_end(s));
+                EmbeddingTable::from_vec(
+                    hi - lo,
+                    dim,
+                    table.as_slice()[lo * dim..hi * dim].to_vec(),
+                )
+                .expect("shard data sized by construction")
+            })
+            .collect();
+        Self { shards, map, dim }
     }
 
     /// Number of shards.
@@ -65,12 +303,17 @@ impl ShardedTable {
 
     /// Total rows across shards.
     pub fn rows(&self) -> usize {
-        self.bounds.last().copied().unwrap_or(0)
+        self.map.rows()
     }
 
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The placement plan shared by all per-shard kernels.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
     }
 
     /// Immutable access to one shard.
@@ -88,64 +331,113 @@ impl ShardedTable {
     ///
     /// Returns [`EmbeddingError::SrcOutOfBounds`] for rows past the end.
     pub fn locate(&self, row: u32) -> Result<(usize, u32), EmbeddingError> {
-        let r = row as usize;
-        if r >= self.rows() {
-            return Err(EmbeddingError::SrcOutOfBounds {
-                src: row,
-                rows: self.rows(),
-            });
-        }
-        let shard = self.bounds.partition_point(|&b| b <= r);
-        let base = if shard == 0 {
-            0
-        } else {
-            self.bounds[shard - 1]
-        };
-        Ok((shard, (r - base) as u32))
+        self.map.locate(row)
     }
 
     /// Splits a global index array into per-shard local index arrays
     /// (each keeping the full `num_outputs` so partial outputs align).
+    /// Allocating convenience for [`ShardMap::route_into`].
     ///
     /// # Errors
     ///
     /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows.
     pub fn route(&self, index: &IndexArray) -> Result<Vec<IndexArray>, EmbeddingError> {
-        let mut per_shard: Vec<(Vec<u32>, Vec<u32>)> =
-            vec![(Vec::new(), Vec::new()); self.shards.len()];
-        for (src, dst) in index.iter() {
-            let (shard, local) = self.locate(src)?;
-            per_shard[shard].0.push(local);
-            per_shard[shard].1.push(dst);
-        }
-        per_shard
-            .into_iter()
-            .map(|(src, dst)| IndexArray::from_pairs(src, dst, index.num_outputs()))
-            .collect()
+        self.map.route(index)
     }
 
-    /// Fused gather-reduce across all shards: each shard reduces the
-    /// lookups it owns; partial outputs sum into the final pooled matrix
-    /// (the cross-node combine a sharded deployment performs).
+    /// Fused gather-reduce across all shards, **bit-identical** to the
+    /// single-table [`crate::gather::gather_reduce`]. Allocating
+    /// convenience for [`ShardedTable::gather_reduce_into`].
     ///
     /// # Errors
     ///
     /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows.
     pub fn gather_reduce(&self, index: &IndexArray) -> Result<Matrix, EmbeddingError> {
-        let routed = self.route(index)?;
-        let mut out = Matrix::zeros(index.num_outputs(), self.dim);
-        for (shard, local_index) in self.shards.iter().zip(routed.iter()) {
-            if local_index.is_empty() {
-                continue;
-            }
-            let partial = crate::gather::gather_reduce(shard, local_index)?;
-            out = out.add(&partial)?;
-        }
+        let mut out = Matrix::default();
+        let mut scratch = ShardedGatherScratch::default();
+        self.gather_reduce_into(index, &mut out, &mut scratch, Exec::Serial)?;
         Ok(out)
     }
 
-    /// Scatters coalesced gradients: each update routes to the owning
-    /// shard and applies through the shared optimizer.
+    /// Fused gather-reduce across all shards, writing into `out` and
+    /// reusing `scratch` (allocation-free once warm).
+    ///
+    /// Each shard first stages the rows it owns, in routed (= original
+    /// relative) order — independently per shard, so with a pooled
+    /// [`Exec`] the shards gather concurrently. The merge then replays
+    /// the lookups in **original pair order**, pulling each staged row
+    /// from its shard's cursor. Every output slot therefore accumulates
+    /// exactly the addends of the unsharded serial kernel in exactly its
+    /// order, making the result bit-identical for any shard count — this
+    /// is the offsets-table cross-shard merge (f32 addition is not
+    /// associative, so the order *is* the invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SrcOutOfBounds`] on out-of-range rows.
+    pub fn gather_reduce_into(
+        &self,
+        index: &IndexArray,
+        out: &mut Matrix,
+        scratch: &mut ShardedGatherScratch,
+        exec: Exec<'_>,
+    ) -> Result<(), EmbeddingError> {
+        self.map.route_into(index, &mut scratch.route)?;
+        let n = self.map.num_shards();
+        scratch.staged.resize_with(n, Matrix::default);
+        scratch.cursors.clear();
+        scratch.cursors.resize(n, 0);
+
+        let dim = self.dim;
+        let routed = scratch.route.routed();
+        let stage = |shard: &EmbeddingTable, local: &IndexArray, staged: &mut Matrix| {
+            staged.zero_into(local.len(), dim);
+            for (i, (src, _)) in local.iter().enumerate() {
+                staged.row_mut(i).copy_from_slice(shard.row(src as usize));
+            }
+        };
+        match exec.pool() {
+            Some(pool) if exec.threads() > 1 && n > 1 => pool.scope(|scope| {
+                for ((shard, local), staged) in self
+                    .shards
+                    .iter()
+                    .zip(routed.iter())
+                    .zip(scratch.staged.iter_mut())
+                {
+                    scope.spawn(move || stage(shard, local, staged));
+                }
+            }),
+            _ => {
+                for ((shard, local), staged) in self
+                    .shards
+                    .iter()
+                    .zip(routed.iter())
+                    .zip(scratch.staged.iter_mut())
+                {
+                    stage(shard, local, staged);
+                }
+            }
+        }
+
+        out.zero_into(index.num_outputs(), dim);
+        for (src, dst) in index.iter() {
+            let s = self.map.shard_of(src);
+            let staged_row = scratch.staged[s].row(scratch.cursors[s]);
+            scratch.cursors[s] += 1;
+            let acc = out.row_mut(dst as usize);
+            for (a, &v) in acc.iter_mut().zip(staged_row.iter()) {
+                *a += v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatters coalesced gradients through one **shared** optimizer:
+    /// each update routes to the owning shard and applies with the
+    /// shard-local row id. Correct for stateless optimizers (SGD); for
+    /// stateful ones the shared state aliases equal local ids across
+    /// shards — use [`ShardedTable::scatter_apply_sharded`] with
+    /// per-shard state slabs instead.
     ///
     /// # Errors
     ///
@@ -156,25 +448,93 @@ impl ShardedTable {
         coalesced: &CoalescedGradients,
         optimizer: &mut dyn SparseOptimizer,
     ) -> Result<(), EmbeddingError> {
-        // Group updates per shard, preserving coalesced (ascending-row)
-        // order so the per-shard rows stay strictly increasing.
-        let mut per_shard: Vec<(Vec<u32>, Vec<f32>)> =
-            vec![(Vec::new(), Vec::new()); self.shards.len()];
-        for (i, &row) in coalesced.rows().iter().enumerate() {
-            let (shard, local) = self.locate(row)?;
-            per_shard[shard].0.push(local);
-            per_shard[shard]
-                .1
-                .extend_from_slice(coalesced.grads().row(i));
+        if coalesced.grads().cols() != self.dim {
+            return Err(EmbeddingError::DimMismatch {
+                expected: self.dim,
+                found: coalesced.grads().cols(),
+            });
         }
-        for (shard, (rows, grads)) in self.shards.iter_mut().zip(per_shard) {
-            if rows.is_empty() {
-                continue;
+        for (i, &row) in coalesced.rows().iter().enumerate() {
+            let (s, local) = self.locate(row)?;
+            optimizer.update_row(
+                local,
+                self.shards[s].row_mut(local as usize),
+                coalesced.grads().row(i),
+            );
+        }
+        Ok(())
+    }
+
+    /// Scatters coalesced gradients through per-shard optimizer state —
+    /// the production sharded update. Coalesced rows are ascending, so
+    /// each shard's updates form one contiguous run; shards update their
+    /// own slab and their own [`ShardedOptimizer`] state shard, serially
+    /// or concurrently on a pooled [`Exec`]. Bit-identical to the
+    /// unsharded serial scatter either way (per row, the exact same
+    /// update against the exact same state values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::LengthMismatch`] if the optimizer's
+    /// shard plan disagrees with this table, or the scatter validation
+    /// errors of [`crate::scatter_apply_parallel`].
+    pub fn scatter_apply_sharded(
+        &mut self,
+        coalesced: &CoalescedGradients,
+        optimizer: &mut ShardedOptimizer,
+        exec: Exec<'_>,
+    ) -> Result<(), EmbeddingError> {
+        if optimizer.map() != &self.map {
+            return Err(EmbeddingError::InvalidIndex(
+                "sharded scatter requires the optimizer and table to share one shard map".into(),
+            ));
+        }
+        if coalesced.grads().cols() != self.dim {
+            return Err(EmbeddingError::DimMismatch {
+                expected: self.dim,
+                found: coalesced.grads().cols(),
+            });
+        }
+        let rows = coalesced.rows();
+        let grads = coalesced.grads();
+        if let Some(&last) = rows.last() {
+            if last as usize >= self.map.rows() {
+                return Err(EmbeddingError::SrcOutOfBounds {
+                    src: last,
+                    rows: self.map.rows(),
+                });
             }
-            let n = rows.len();
-            let grads = Matrix::from_vec(n, self.dim, grads)?;
-            let c = CoalescedGradients::new(rows, grads)?;
-            scatter_apply(shard, &c, optimizer)?;
+        }
+        let (map, opts) = optimizer.parts_mut();
+        match exec.pool() {
+            Some(pool) if exec.threads() > 1 && self.shards.len() > 1 => pool.scope(|scope| {
+                let mut rest = rows;
+                let mut grad_lo = 0usize;
+                for ((s, shard), opt) in self.shards.iter_mut().enumerate().zip(opts.iter_mut()) {
+                    let end = map.shard_end(s);
+                    let cut = rest.partition_point(|&r| (r as usize) < end);
+                    let (shard_rows, tail) = rest.split_at(cut);
+                    rest = tail;
+                    let lo = grad_lo;
+                    grad_lo += cut;
+                    if shard_rows.is_empty() {
+                        continue;
+                    }
+                    let base = map.shard_base(s) as u32;
+                    scope.spawn(move || {
+                        for (k, &row) in shard_rows.iter().enumerate() {
+                            let local = row - base;
+                            opt.update_row(local, shard.row_mut(local as usize), grads.row(lo + k));
+                        }
+                    });
+                }
+            }),
+            _ => {
+                for (i, &row) in rows.iter().enumerate() {
+                    let (s, local) = map.locate(row)?;
+                    opts[s].update_row(local, self.shards[s].row_mut(local as usize), grads.row(i));
+                }
+            }
         }
         Ok(())
     }
@@ -195,7 +555,9 @@ mod tests {
     use super::*;
     use crate::coalesce::gradient_expand_coalesce;
     use crate::gather::gather_reduce;
-    use crate::optim::Sgd;
+    use crate::optim::{Adam, Sgd, SplittableOptimizer};
+    use crate::scatter::{scatter_apply, scatter_apply_dense};
+    use tcast_pool::Pool;
     use tcast_tensor::SplitMix64;
 
     fn table() -> EmbeddingTable {
@@ -232,16 +594,94 @@ mod tests {
     }
 
     #[test]
-    fn sharded_gather_matches_single_table() {
+    fn locate_boundary_and_out_of_range_cases() {
+        let map = ShardMap::new(100, 3); // spans 34/34/32
+        for s in 0..map.num_shards() {
+            // First and last row of every shard, including the global
+            // last row, land exactly on the shard's edges.
+            let base = map.shard_base(s) as u32;
+            let last = map.shard_end(s) as u32 - 1;
+            assert_eq!(map.locate(base).unwrap(), (s, 0));
+            assert_eq!(map.locate(last).unwrap(), (s, last - base));
+        }
+        // One past the end and far past the end return the typed error.
+        for bad in [100u32, 101, u32::MAX] {
+            assert_eq!(
+                map.locate(bad),
+                Err(EmbeddingError::SrcOutOfBounds {
+                    src: bad,
+                    rows: 100
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn route_rejects_out_of_range_rows_with_typed_error() {
+        let map = ShardMap::new(10, 2);
+        let idx = IndexArray::from_samples(&[vec![3, 10]]).unwrap();
+        let mut scratch = RouteScratch::default();
+        assert_eq!(
+            map.route_into(&idx, &mut scratch),
+            Err(EmbeddingError::SrcOutOfBounds { src: 10, rows: 10 })
+        );
+        assert!(scratch.routed().is_empty());
+        assert_eq!(
+            map.route(&idx).unwrap_err(),
+            EmbeddingError::SrcOutOfBounds { src: 10, rows: 10 }
+        );
+    }
+
+    #[test]
+    fn route_into_reuses_scratch_and_matches_route() {
+        let map = ShardMap::new(100, 3);
+        let mut scratch = RouteScratch::default();
+        for seed in 0..4 {
+            let mut rng = SplitMix64::new(seed);
+            let samples: Vec<Vec<u32>> = (0..8)
+                .map(|_| (0..3).map(|_| rng.next_below(100) as u32).collect())
+                .collect();
+            let idx = IndexArray::from_samples(&samples).unwrap();
+            map.route_into(&idx, &mut scratch).unwrap();
+            assert_eq!(scratch.routed(), map.route(&idx).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn route_scratch_survives_maps_with_different_shard_counts() {
+        let idx = index();
+        let mut scratch = RouteScratch::default();
+        for shards in [7, 2, 3, 1] {
+            let map = ShardMap::new(100, shards);
+            map.route_into(&idx, &mut scratch).unwrap();
+            assert_eq!(scratch.routed().len(), map.num_shards());
+            assert_eq!(scratch.routed(), map.route(&idx).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn sharded_gather_is_bit_identical_to_single_table() {
         let t = table();
         let idx = index();
         let reference = gather_reduce(&t, &idx).unwrap();
-        for shards in [1, 2, 5] {
+        let pool = Pool::new(3);
+        for shards in [1, 2, 3, 5, 7] {
             let sharded = ShardedTable::from_table(&t, shards);
             let pooled = sharded.gather_reduce(&idx).unwrap();
-            assert!(
-                pooled.max_abs_diff(&reference).unwrap() < 1e-5,
-                "shards={shards}"
+            assert_eq!(
+                pooled.as_slice(),
+                reference.as_slice(),
+                "serial shards={shards}"
+            );
+            let mut out = Matrix::default();
+            let mut scratch = ShardedGatherScratch::default();
+            sharded
+                .gather_reduce_into(&idx, &mut out, &mut scratch, Exec::pooled(&pool))
+                .unwrap();
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "pooled shards={shards}"
             );
         }
     }
@@ -264,6 +704,52 @@ mod tests {
     }
 
     #[test]
+    fn sharded_stateful_scatter_is_bit_identical() {
+        let t = table();
+        let pool = Pool::new(4);
+        let mk = || Box::new(Adam::new(0.01, 0.9, 0.999, 1e-8)) as Box<dyn SplittableOptimizer>;
+        for shards in [1, 2, 3, 7] {
+            for exec_pooled in [false, true] {
+                let mut reference = t.clone();
+                let mut ref_opt = mk();
+                let mut sharded = ShardedTable::from_table(&t, shards);
+                let mut opt = ShardedOptimizer::new(sharded.map().clone(), mk);
+                // Several steps so per-shard state (moments, step counts)
+                // accumulates; any aliasing would diverge bit patterns.
+                for step in 0..3 {
+                    let mut rng = SplitMix64::new(step);
+                    let samples: Vec<Vec<u32>> = (0..8)
+                        .map(|_| (0..4).map(|_| rng.next_below(100) as u32).collect())
+                        .collect();
+                    let idx = IndexArray::from_samples(&samples).unwrap();
+                    let upstream = Matrix::filled(8, 8, 0.5 - step as f32 * 0.2);
+                    let coalesced = gradient_expand_coalesce(&upstream, &idx).unwrap();
+                    scatter_apply_dense(
+                        &mut reference,
+                        coalesced.rows(),
+                        coalesced.grads(),
+                        ref_opt.as_mut(),
+                    )
+                    .unwrap();
+                    let exec = if exec_pooled {
+                        Exec::pooled(&pool)
+                    } else {
+                        Exec::Serial
+                    };
+                    sharded
+                        .scatter_apply_sharded(&coalesced, &mut opt, exec)
+                        .unwrap();
+                }
+                assert_eq!(
+                    sharded.to_table().as_slice(),
+                    reference.as_slice(),
+                    "shards={shards} pooled={exec_pooled}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn more_shards_than_rows() {
         let t = EmbeddingTable::seeded(3, 4, 1);
         let sharded = ShardedTable::from_table(&t, 10);
@@ -275,6 +761,26 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         ShardedTable::from_table(&table(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_spec_panics() {
+        ShardSpec::new(0);
+    }
+
+    #[test]
+    fn default_spec_is_one_shard() {
+        assert_eq!(ShardSpec::default().shards(), 1);
+        assert_eq!(ShardSpec::new(4).shards(), 4);
+    }
+
+    #[test]
+    fn zero_row_map_has_one_empty_shard() {
+        let map = ShardMap::new(0, 4);
+        assert_eq!(map.num_shards(), 1);
+        assert_eq!(map.shard_rows(0), 0);
+        assert!(map.locate(0).is_err());
     }
 
     #[test]

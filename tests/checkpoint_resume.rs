@@ -16,7 +16,8 @@ use proptest::prelude::*;
 use tensor_casting::datasets::{BatchSource, PrefetchSource, SyntheticCtr, SyntheticSource};
 use tensor_casting::dlrm::{
     checkpoint::{read_train_checkpoint, CheckpointStore},
-    AdaptiveDepth, BackwardMode, DepthPolicy, DlrmConfig, EmbeddingOptimizer, TrainLoop, Trainer,
+    AdaptiveDepth, BackwardMode, DepthPolicy, DlrmConfig, EmbeddingOptimizer, Execution, ShardSpec,
+    TrainLoop, Trainer,
 };
 
 const OPTIMIZERS: [EmbeddingOptimizer; 5] = [
@@ -385,6 +386,78 @@ fn retention_keeps_the_newest_checkpoints_resumable() {
             table_bits(resumed.trainer()),
             table_bits(reference.trainer())
         );
+    }
+}
+
+/// The shard axis of the resume invariant: a checkpoint written by an
+/// N-shard trainer restores bit-identically into an M-shard trainer,
+/// N != M. The `OPTM` section is global-row-keyed (per-shard slabs are
+/// merged on save and re-split by the receiving trainer's shard maps),
+/// so optimizer-state placement is free to change across a crash —
+/// resharding a training run costs nothing but the restart.
+#[test]
+fn resume_is_bit_identical_across_shard_counts() {
+    let dir = TempDir::new("shard-axis");
+    let opt = EmbeddingOptimizer::Adam {
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+    };
+    let sharded = |mode, shards, seed| {
+        Trainer::with_sharding(
+            DlrmConfig::tiny(),
+            mode,
+            opt,
+            Execution::Serial,
+            ShardSpec::new(shards),
+            seed,
+        )
+        .unwrap()
+    };
+    let (steps, kill_at, batch) = (6usize, 3usize, 16);
+    for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+        for (n, m) in [(3usize, 2usize), (1, 7), (7, 1), (2, 3)] {
+            let context = format!("{mode:?} {n} -> {m} shards");
+
+            // Uninterrupted UNSHARDED reference: the resharded resume
+            // must land on the same trajectory the plain layout trains.
+            let mut reference = TrainLoop::new(trainer(mode, opt, 7), 2);
+            let mut ref_src = source(42, batch);
+            let want = reference.run(&mut ref_src, steps).unwrap();
+
+            // Kill an N-shard run at the checkpoint.
+            let store = CheckpointStore::new(&dir.0, 2).unwrap();
+            let mut first =
+                TrainLoop::new(sharded(mode, n, 7), 2).checkpoint_every(kill_at as u64, store);
+            let mut src = source(42, batch);
+            let first_summary = first.run(&mut src, kill_at).unwrap();
+            let ckpt = first
+                .last_checkpoint()
+                .unwrap_or_else(|| panic!("{context}: no checkpoint committed"))
+                .to_path_buf();
+            drop(first);
+
+            // Resume into an M-shard trainer and finish.
+            let mut src = source(42, batch);
+            let mut resumed =
+                TrainLoop::resume(&ckpt, sharded(mode, m, 7), DepthPolicy::Fixed(2), &mut src)
+                    .unwrap();
+            assert_eq!(resumed.trainer().steps(), kill_at as u64);
+            let summary = resumed.run(&mut src, steps - kill_at).unwrap();
+
+            let mut joined = loss_bits(&first_summary.losses);
+            joined.extend(loss_bits(&summary.losses));
+            assert_eq!(
+                joined,
+                loss_bits(&want.losses),
+                "{context}: losses diverged after resharded resume"
+            );
+            assert_eq!(
+                table_bits(resumed.trainer()),
+                table_bits(reference.trainer()),
+                "{context}: weights diverged after resharded resume"
+            );
+        }
     }
 }
 

@@ -1,0 +1,279 @@
+//! The sharding invariant — the sharded data plane's headline property:
+//! **sharded == unsharded**, bit for bit. Sharding a trainer's embedding
+//! state (per-shard optimizer slabs, shard-routed casting jobs,
+//! shard-concurrent scatter) and sharding its batch pipeline
+//! (multi-producer prefetch with a deterministic merge) change placement
+//! and concurrency, never the numbers.
+//!
+//! The matrix covers shard counts {1, 2, 3, 7} x every embedding
+//! optimizer x both backward modes, comparing per-step losses and final
+//! table weights against the unsharded serial reference; a pooled
+//! spot-check shows shard-concurrent execution lands on the same bits.
+//! `ShardedPrefetchSource` is held to the same standard against an
+//! inline round-robin merge, for both synthetic and trace-replay shard
+//! sources. Property tests close the routing layer underneath:
+//! `ShardMap::locate`/`route` partition rows exactly and preserve
+//! within-shard pair order on arbitrary inputs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tensor_casting::datasets::{
+    BatchSource, Popularity, PrefetchSource, ShardedPrefetchSource, SyntheticCtr, SyntheticSource,
+    TableWorkload, TraceReplaySource,
+};
+use tensor_casting::dlrm::{
+    BackwardMode, DlrmConfig, EmbeddingOptimizer, Execution, ShardSpec, Trainer,
+};
+use tensor_casting::embedding::{IndexArray, RouteScratch, ShardMap};
+use tensor_casting::tensor::Pool;
+
+const OPTIMIZERS: [EmbeddingOptimizer; 5] = [
+    EmbeddingOptimizer::Sgd,
+    EmbeddingOptimizer::Momentum { mu: 0.9 },
+    EmbeddingOptimizer::Adagrad { eps: 1e-8 },
+    EmbeddingOptimizer::RmsProp {
+        gamma: 0.9,
+        eps: 1e-8,
+    },
+    EmbeddingOptimizer::Adam {
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+    },
+];
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn data(seed: u64) -> SyntheticCtr {
+    let cfg = DlrmConfig::tiny();
+    SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, seed)
+}
+
+fn table_bits(t: &Trainer) -> Vec<Vec<u32>> {
+    (0..t.model().num_tables())
+        .map(|i| {
+            t.model()
+                .table(i)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// Trains `steps` and returns (per-step loss bits, final table bits).
+fn trajectory(mut trainer: Trainer, data_seed: u64, steps: usize) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let mut stream = data(data_seed);
+    let losses = (0..steps)
+        .map(|_| trainer.step(&stream.next_batch(16)).unwrap().loss.to_bits())
+        .collect();
+    (losses, table_bits(&trainer))
+}
+
+/// THE acceptance matrix: every shard count x every optimizer x both
+/// modes trains bit-identically to the unsharded serial reference.
+#[test]
+fn sharded_training_matches_unsharded_for_every_optimizer_and_mode() {
+    for opt in OPTIMIZERS {
+        for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+            let reference = Trainer::with_optimizer(DlrmConfig::tiny(), mode, opt, 7).unwrap();
+            let want = trajectory(reference, 42, 4);
+            for shards in SHARD_COUNTS {
+                let sharded = Trainer::with_sharding(
+                    DlrmConfig::tiny(),
+                    mode,
+                    opt,
+                    Execution::Serial,
+                    ShardSpec::new(shards),
+                    7,
+                )
+                .unwrap();
+                let got = trajectory(sharded, 42, 4);
+                assert_eq!(
+                    got.0, want.0,
+                    "{mode:?} {opt:?} {shards} shards: losses diverged"
+                );
+                assert_eq!(
+                    got.1, want.1,
+                    "{mode:?} {opt:?} {shards} shards: weights diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Shard-concurrent execution (one pool task per shard in scatter, one
+/// routed cast per shard on the pipeline thread) still lands on the
+/// reference bits.
+#[test]
+fn pooled_sharded_training_matches_the_serial_unsharded_reference() {
+    let pool = Arc::new(Pool::new(4));
+    let opt = EmbeddingOptimizer::Adam {
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+    };
+    for mode in [BackwardMode::Baseline, BackwardMode::Casted] {
+        let reference = Trainer::with_optimizer(DlrmConfig::tiny(), mode, opt, 13).unwrap();
+        let want = trajectory(reference, 23, 5);
+        for shards in [3usize, 7] {
+            let sharded = Trainer::with_sharding(
+                DlrmConfig::tiny(),
+                mode,
+                opt,
+                Execution::Pooled(Arc::clone(&pool)),
+                ShardSpec::new(shards),
+                13,
+            )
+            .unwrap();
+            let got = trajectory(sharded, 23, 5);
+            assert_eq!(got.0, want.0, "{mode:?} {shards} shards pooled: losses");
+            assert_eq!(got.1, want.1, "{mode:?} {shards} shards pooled: weights");
+        }
+    }
+}
+
+fn synthetic_shard(seed: u64) -> SyntheticSource {
+    let cfg = DlrmConfig::tiny();
+    SyntheticSource::new(
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, seed),
+        16,
+    )
+}
+
+fn trace_shard(seed: u64, batches: usize) -> TraceReplaySource {
+    let w = TableWorkload::new(
+        Popularity::Zipf {
+            rows: 200,
+            exponent: 1.0,
+        },
+        3,
+    );
+    let mut g = w.generator(seed);
+    let t: Vec<_> = (0..batches).map(|_| g.next_batch(8)).collect();
+    TraceReplaySource::new(vec![t], 4, seed).unwrap()
+}
+
+/// The multi-producer merge delivers exactly the inline round-robin
+/// stream, for both source kinds and several shard counts — thread
+/// scheduling never reaches the consumer.
+#[test]
+fn sharded_prefetch_stream_is_bit_identical_for_both_source_kinds() {
+    for shards in [1usize, 2, 3] {
+        // Synthetic (endless) shards.
+        let mut inline: Vec<SyntheticSource> = (0..shards as u64).map(synthetic_shard).collect();
+        let mut merged =
+            ShardedPrefetchSource::new((0..shards as u64).map(synthetic_shard).collect(), 2);
+        for step in 0..3 * shards + 1 {
+            let want = inline[step % shards].next_batch().unwrap();
+            let got = merged.next_batch().unwrap();
+            assert_eq!(*got, *want, "synthetic {shards} shards, step {step}");
+            inline[step % shards].recycle(want);
+            merged.recycle(got);
+        }
+
+        // Trace-replay (finite) shards: full delivery, then sticky end.
+        let mut inline: Vec<TraceReplaySource> =
+            (0..shards as u64).map(|s| trace_shard(s, 3)).collect();
+        let mut merged =
+            ShardedPrefetchSource::new((0..shards as u64).map(|s| trace_shard(s, 3)).collect(), 2);
+        for step in 0..3 * shards {
+            let want = inline[step % shards].next_batch().unwrap();
+            let got = merged.next_batch().unwrap();
+            assert_eq!(*got, *want, "trace {shards} shards, step {step}");
+            merged.recycle(got);
+        }
+        assert!(merged.next_batch().is_none(), "trace shards must end");
+        assert!(merged.next_batch().is_none(), "None must be sticky");
+    }
+}
+
+/// One shard is just a [`PrefetchSource`], delivering the wrapped
+/// source's exact stream.
+#[test]
+fn one_shard_prefetch_matches_the_single_producer_source() {
+    let mut plain = PrefetchSource::new(synthetic_shard(3), 2);
+    let mut merged = ShardedPrefetchSource::new(vec![synthetic_shard(3)], 2);
+    for step in 0..6 {
+        let want = plain.next_batch().unwrap();
+        let got = merged.next_batch().unwrap();
+        assert_eq!(*got, *want, "step {step}");
+        plain.recycle(want);
+        merged.recycle(got);
+    }
+}
+
+/// A pooling-factor-shaped random index array: up to 12 samples of 1-5
+/// lookups each (samples must be non-empty), rows drawn from `0..rows`.
+fn arb_index(rows: u32) -> impl Strategy<Value = IndexArray> {
+    proptest::collection::vec(proptest::collection::vec(0..rows, 1..6), 1..12)
+        .prop_map(|samples| IndexArray::from_samples(&samples).unwrap())
+}
+
+/// `locate` is an exact partition: every in-range row lands in exactly
+/// the shard whose [base, end) covers it, with the right local offset;
+/// out-of-range rows are typed errors.
+fn check_locate_partitions_rows_exactly(rows: usize, shards: usize) {
+    let map = ShardMap::new(rows, shards);
+    assert_eq!(map.rows(), rows);
+    for row in 0..rows as u32 {
+        let (s, local) = map.locate(row).unwrap();
+        assert!(s < map.num_shards());
+        assert_eq!(map.shard_base(s) + local as usize, row as usize);
+        assert!((local as usize) < map.shard_rows(s));
+    }
+    assert!(map.locate(rows as u32).is_err(), "first out-of-range row");
+    assert!(map.locate(u32::MAX).is_err());
+}
+
+/// `route` rewrites each pair into its src's shard — local src, ORIGINAL
+/// dst — preserving within-shard pair order and the original
+/// `num_outputs`; nothing is lost, duplicated, or moved across shards.
+/// `route_into` agrees with `route` exactly.
+fn check_route_is_an_order_preserving_partition(rows: u32, index: &IndexArray, shards: usize) {
+    let map = ShardMap::new(rows as usize, shards);
+    let routed = map.route(index).unwrap();
+    assert_eq!(routed.len(), map.num_shards());
+
+    let mut scratch = RouteScratch::new();
+    map.route_into(index, &mut scratch).unwrap();
+    assert_eq!(scratch.routed(), routed.as_slice());
+
+    let mut reassembled: Vec<Vec<(u32, u32)>> = (0..map.num_shards()).map(|_| Vec::new()).collect();
+    let mut total = 0usize;
+    for (s, shard) in routed.iter().enumerate() {
+        assert_eq!(shard.num_outputs(), index.num_outputs());
+        for (local, dst) in shard.iter() {
+            assert!((local as usize) < map.shard_rows(s), "local src in range");
+            reassembled[s].push((map.shard_base(s) as u32 + local, dst));
+            total += 1;
+        }
+    }
+    assert_eq!(total, index.len(), "no pair lost or duplicated");
+    // Each pair sits in its src's shard, in original relative order.
+    let mut expected: Vec<Vec<(u32, u32)>> = (0..map.num_shards()).map(|_| Vec::new()).collect();
+    for (src, dst) in index.iter() {
+        let (s, _) = map.locate(src).unwrap();
+        expected[s].push((src, dst));
+    }
+    assert_eq!(reassembled, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn locate_partitions_rows_exactly(rows in 1usize..200, shards in 1usize..9) {
+        check_locate_partitions_rows_exactly(rows, shards);
+    }
+
+    #[test]
+    fn route_is_an_order_preserving_partition(
+        case in (1u32..150).prop_flat_map(|r| (Just(r), arb_index(r))),
+        shards in 1usize..9,
+    ) {
+        let (rows, index) = case;
+        check_route_is_an_order_preserving_partition(rows, &index, shards);
+    }
+}

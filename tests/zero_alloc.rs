@@ -21,7 +21,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tensor_casting::datasets::{
-    BatchSource, CtrBatch, Popularity, PrefetchSource, SyntheticCtr, SyntheticSource, TableWorkload,
+    BatchSource, CtrBatch, Popularity, PrefetchSource, ShardedPrefetchSource, SyntheticCtr,
+    SyntheticSource, TableWorkload,
 };
 
 use tensor_casting::core::{
@@ -29,8 +30,9 @@ use tensor_casting::core::{
 };
 use tensor_casting::embedding::{
     gather_reduce_into, gradient_coalesce_into, gradient_expand_into,
-    optim::{Adagrad, Adam, Sgd, SparseOptimizer},
-    scatter_apply_dense, CoalesceScratch, EmbeddingTable, IndexArray,
+    optim::{Adagrad, Adam, Sgd, SparseOptimizer, SplittableOptimizer},
+    scatter_apply_dense, scatter_apply_per_shard, scatter_apply_sharded, CoalesceScratch,
+    EmbeddingTable, IndexArray, RouteScratch, ShardMap, ShardedOptimizer,
 };
 use tensor_casting::tensor::{
     bce_with_logits, bce_with_logits_backward_into, Activation, Exec, FeatureInteraction, Matrix,
@@ -205,6 +207,89 @@ fn steady_state_hot_path_performs_zero_allocations() {
         allocations() - before,
         0,
         "stateful-optimizer scatter steady state must not allocate"
+    );
+
+    // ---- Sharded embedding data plane ---------------------------------
+    // The sharded step path adds three stages over the unsharded one:
+    // shard routing (on the casting worker in production, measured here
+    // on the tracked thread), per-shard casted gather-reduce, and the
+    // per-shard slab scatter. Each must be as allocation-free warm as
+    // its unsharded counterpart — sharding is placement, not overhead.
+    let map = ShardMap::new(500, 3);
+
+    // Routing through a reusable scratch: the ping-pong arrays size to
+    // the index's per-shard high-water marks, then refill in place.
+    let mut route_scratch = RouteScratch::new();
+    map.route_into(&index, &mut route_scratch).unwrap();
+    map.route_into(&index, &mut route_scratch).unwrap();
+    let before = allocations();
+    for _ in 0..10 {
+        map.route_into(&index, &mut route_scratch).unwrap();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm shard routing must not allocate"
+    );
+
+    // Baseline-shaped sharded scatter: globally coalesced rows split at
+    // shard fences into per-shard RowState slabs.
+    let mut sh_table = EmbeddingTable::seeded(500, dim, 13);
+    let mut sh_opt = ShardedOptimizer::new(map.clone(), || {
+        Box::new(Adagrad::new(0.01, 1e-8)) as Box<dyn SplittableOptimizer>
+    });
+    let sharded_scatter = |table: &mut EmbeddingTable, opt: &mut ShardedOptimizer| {
+        scatter_apply_sharded(table, &coalesced.rows, &coalesced.grads, opt, Exec::Serial).unwrap();
+    };
+    sharded_scatter(&mut sh_table, &mut sh_opt);
+    sharded_scatter(&mut sh_table, &mut sh_opt);
+    let before = allocations();
+    for _ in 0..10 {
+        sharded_scatter(&mut sh_table, &mut sh_opt);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm sharded slab scatter must not allocate"
+    );
+
+    // Casted-shaped sharded backward: per-shard casted gather-reduce
+    // into per-shard coalesce scratch, then the per-shard local scatter
+    // (the routed/casted arrays are pipeline products, fixed inputs
+    // here just like `casted` above).
+    let routed = map.route(&index).unwrap();
+    let casted_shards: Vec<_> = routed.iter().map(tensor_casting).collect();
+    let mut shard_scratch: Vec<CoalescedScratch> = (0..map.num_shards())
+        .map(|_| CoalescedScratch::default())
+        .collect();
+    let mut cast_table = EmbeddingTable::seeded(500, dim, 14);
+    let mut cast_opt = ShardedOptimizer::new(map.clone(), || {
+        Box::new(Adam::new(0.001, 0.9, 0.999, 1e-8)) as Box<dyn SplittableOptimizer>
+    });
+    let mut sharded_casted_step = |table: &mut EmbeddingTable, opt: &mut ShardedOptimizer| {
+        for (s, casted) in casted_shards.iter().enumerate() {
+            casted_gather_reduce_into(&upstream, casted, &mut shard_scratch[s], Exec::Serial)
+                .unwrap();
+        }
+        let scratch = &shard_scratch;
+        scatter_apply_per_shard(
+            table,
+            opt,
+            |s| (scratch[s].rows.as_slice(), &scratch[s].grads),
+            Exec::Serial,
+        )
+        .unwrap();
+    };
+    sharded_casted_step(&mut cast_table, &mut cast_opt);
+    sharded_casted_step(&mut cast_table, &mut cast_opt);
+    let before = allocations();
+    for _ in 0..10 {
+        sharded_casted_step(&mut cast_table, &mut cast_opt);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm sharded casted backward must not allocate"
     );
 
     // ---- Casting-pipeline submit: Arc share, no per-table clone -------
@@ -430,5 +515,72 @@ fn steady_state_hot_path_performs_zero_allocations() {
         stats.max_ready <= capacity,
         "ready-queue high-water {} exceeded the capacity {capacity}",
         stats.max_ready
+    );
+
+    // ---- Sharded prefetch: warm multi-producer checkout/recycle -------
+    // N producers, N bounded queues, one round-robin consumer. The same
+    // contract as the single-producer source, per shard: every producer
+    // opts into tracking, and once each shard's buffer pool is warm a
+    // full round of checkouts and recycles allocates nothing anywhere.
+    let shard_tables = || {
+        vec![
+            TableWorkload::new(
+                Popularity::Zipf {
+                    rows: 500,
+                    exponent: 1.0,
+                },
+                4,
+            ),
+            TableWorkload::new(Popularity::Uniform { rows: 200 }, 2),
+        ]
+    };
+    let shards = 2;
+    let mut sharded_pf = ShardedPrefetchSource::new(
+        (0..shards as u64)
+            .map(|s| {
+                TrackedSource(SyntheticSource::new(
+                    SyntheticCtr::new(shard_tables(), 8, 61 + s),
+                    batch,
+                ))
+            })
+            .collect(),
+        capacity,
+    );
+    // Warm every shard's circulating pool.
+    for _ in 0..12 * shards {
+        let b = sharded_pf.next_batch().expect("endless");
+        sharded_pf.recycle(b);
+    }
+    // Quiesce: every shard's producer has filled its queue to capacity
+    // (ready = produced - delivered) and parked.
+    let quiesce_sharded = |p: &ShardedPrefetchSource<TrackedSource>| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let full = (0..shards).all(|s| {
+                let st = p.shard_stats(s);
+                st.produced - st.delivered >= capacity as u64
+            });
+            if full {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "a producer never filled its queue"
+            );
+            std::thread::yield_now();
+        }
+    };
+    quiesce_sharded(&sharded_pf);
+
+    let before = allocations();
+    for _ in 0..5 * shards {
+        let b = sharded_pf.next_batch().expect("endless");
+        sharded_pf.recycle(b);
+    }
+    quiesce_sharded(&sharded_pf);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm sharded prefetch checkout/recycle steady state must not allocate"
     );
 }
