@@ -1,0 +1,360 @@
+//! Per-kernel throughput: scalar vs runtime-dispatched SIMD tiers.
+//!
+//! Where `step_throughput` measures the end-to-end training step, this
+//! binary isolates the individual hot kernels behind
+//! [`tcast_tensor::simd::KernelDispatch`] and reports GFLOP/s (GEMM
+//! family) and GB/s (gather/scatter family) for **every tier the host
+//! supports**, on the bench suite's shapes: the MLP layer sizes, the
+//! embedding dims {16, 32, 64}, and ragged non-multiple-of-8 shapes that
+//! exercise the vector tails.
+//!
+//! Rows land in `BENCH_kernel.json` (override with `--json PATH` or
+//! `TCAST_BENCH_JSON`); every row carries a `dispatch` field naming the
+//! tier it measured, so the perf trajectory of each tier is separable.
+//!
+//! ```text
+//! kernel_bench [--iters N] [--json PATH]
+//! ```
+//!
+//! `FAST=1` shrinks shapes and iteration counts for smoke runs. The
+//! "KERNEL <name> simd/scalar ratio" lines are CI's grep anchors.
+//!
+//! Full-size runs on multi-core hosts gate the dispatch layer's reason to
+//! exist: AVX2 GEMM must reach at least 2x scalar and AVX2 gather-reduce
+//! at least 1.2x scalar (single-core containers report without failing —
+//! the SIMD win is per-core, but tiny containers throttle too
+//! unpredictably to gate on).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tcast_bench::{banner, fast_mode, json};
+use tcast_core::{casted_gather_reduce_into, tensor_casting, CoalescedScratch};
+use tcast_embedding::{
+    gather_reduce_into, optim::Adagrad, scatter_apply, EmbeddingTable, IndexArray,
+};
+use tcast_pool::Exec;
+use tcast_tensor::{simd, KernelDispatch, Matrix, SplitMix64};
+
+struct Args {
+    iters: usize,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let fast = fast_mode();
+    let mut args = Args {
+        iters: if fast { 3 } else { 30 },
+        json: json::sink_from_env().unwrap_or_else(|| PathBuf::from("BENCH_kernel.json")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--iters" => args.iters = value("--iters").parse().expect("--iters: integer"),
+            "--json" => args.json = PathBuf::from(value("--json")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.next_range(-1.0, 1.0);
+    }
+    m
+}
+
+/// Median-free timing: warm twice, then the mean over `iters` runs.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+struct Emitter {
+    json: PathBuf,
+}
+
+impl Emitter {
+    /// One measured row: `rate` is GFLOP/s for the GEMM family, GB/s for
+    /// the gather/scatter family (`unit` labels which).
+    #[allow(clippy::too_many_arguments)]
+    fn row(
+        &self,
+        kernel: &str,
+        dispatch: KernelDispatch,
+        shape: &str,
+        dim: usize,
+        ns: f64,
+        rate: f64,
+        unit: &str,
+    ) {
+        println!(
+            "  {kernel:<22} {:<6} {shape:<20} {ns:>12.0} ns  {rate:>8.2} {unit}",
+            dispatch.name()
+        );
+        let mut row = json::JsonRow::new();
+        row.str_field("kind", "kernel")
+            .str_field("kernel", kernel)
+            .str_field("dispatch", dispatch.name())
+            .str_field("shape", shape)
+            .u64_field("dim", dim as u64)
+            .u64_field("cores", tcast_pool::default_parallelism() as u64)
+            .bool_field("fast", fast_mode())
+            .f64_field("ns_per_iter", ns)
+            .f64_field(if unit == "GFLOP/s" { "gflops" } else { "gbps" }, rate);
+        if let Err(e) = json::append_row(&self.json, &row) {
+            eprintln!("[kernel_bench] cannot write {}: {e}", self.json.display());
+        }
+    }
+}
+
+/// ns-per-iter for each available tier, keyed by tier, for ratio lines.
+fn tier_ns(f: &mut dyn FnMut(KernelDispatch) -> f64) -> Vec<(KernelDispatch, f64)> {
+    KernelDispatch::available()
+        .into_iter()
+        .map(|d| (d, f(d)))
+        .collect()
+}
+
+fn lookup_ns(rows: &[(KernelDispatch, f64)], want: KernelDispatch) -> Option<f64> {
+    rows.iter().find(|(d, _)| *d == want).map(|&(_, ns)| ns)
+}
+
+/// Prints the CI grep anchor and returns the AVX2-vs-scalar speedup (None
+/// when the host has no AVX2 tier).
+fn ratio_line(name: &str, rows: &[(KernelDispatch, f64)]) -> Option<f64> {
+    let scalar = lookup_ns(rows, KernelDispatch::Scalar)?;
+    let simd = lookup_ns(rows, KernelDispatch::Avx2)?;
+    let ratio = scalar / simd.max(1.0);
+    println!("KERNEL {name} simd/scalar ratio {ratio:.2}");
+    Some(ratio)
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "kernel_bench",
+        "per-kernel GFLOP/s and GB/s, scalar vs SIMD dispatch tiers",
+    );
+    let tiers = KernelDispatch::available();
+    println!(
+        "tiers {:?}, auto-detect {}, {} iters, host cores {}, sink {}",
+        tiers.iter().map(|d| d.name()).collect::<Vec<_>>(),
+        KernelDispatch::detect().name(),
+        args.iters,
+        tcast_pool::default_parallelism(),
+        args.json.display()
+    );
+    let emit = Emitter {
+        json: args.json.clone(),
+    };
+    let fast = fast_mode();
+
+    // --- GEMM family: the MLP layer shapes of the step bench (batch x ---
+    // dense stack) plus a ragged shape exercising every vector tail.
+    let batch = if fast { 256 } else { 2048 };
+    let gemm_shapes: Vec<(usize, usize, usize)> = vec![
+        (batch, 13, 64), // bottom MLP entry layer
+        (batch, 64, 64), // bottom MLP hidden layer
+        (batch, 64, 32), // top MLP hidden layer
+        (251, 67, 121),  // ragged: nothing divides 8
+    ];
+    println!("\nGEMM (c = a*b), {} iters:", args.iters);
+    let mut gemm_ratio = None;
+    for &(m, k, n) in &gemm_shapes {
+        let a = random_matrix(m, k, 1);
+        let b = random_matrix(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        let shape = format!("{m}x{k}x{n}");
+        let rows = tier_ns(&mut |d| {
+            time_ns(args.iters, || {
+                c.zero_into(m, n);
+                a.matmul_into_with(&b, &mut c, d).unwrap();
+            })
+        });
+        for &(d, ns) in &rows {
+            let gflops = 2.0 * (m * k * n) as f64 / ns;
+            emit.row("gemm", d, &shape, n, ns, gflops, "GFLOP/s");
+        }
+        // Gate on the biggest regular layer, not the ragged tail shape.
+        if (m, k, n) == (batch, 64, 64) {
+            gemm_ratio = ratio_line("gemm", &rows);
+        }
+    }
+
+    // gemm_at (a^T * b, the weight-gradient shape) and gemm_bt (a * b^T,
+    // the input-gradient shape) on the hidden layer plus a ragged shape.
+    let at_shapes: Vec<(usize, usize, usize)> = vec![(batch, 64, 64), (251, 67, 121)];
+    println!("\nGEMM variants (a^T*b and a*b^T), {} iters:", args.iters);
+    for &(r, m, n) in &at_shapes {
+        // a: r x m, b: r x n -> a^T b: m x n.
+        let a = random_matrix(r, m, 3);
+        let b = random_matrix(r, n, 4);
+        let mut c = Matrix::zeros(m, n);
+        let shape = format!("{r}x{m}^T*{r}x{n}");
+        let rows = tier_ns(&mut |d| {
+            time_ns(args.iters, || {
+                c.zero_into(m, n);
+                a.matmul_at_into_with(&b, &mut c, d).unwrap();
+            })
+        });
+        for &(d, ns) in &rows {
+            let gflops = 2.0 * (r * m * n) as f64 / ns;
+            emit.row("gemm_at", d, &shape, n, ns, gflops, "GFLOP/s");
+        }
+    }
+    for &(m, n, k) in &at_shapes {
+        // a: m x k, b: n x k -> a b^T: m x n.
+        let a = random_matrix(m, k, 5);
+        let b = random_matrix(n, k, 6);
+        let mut c = Matrix::zeros(m, n);
+        let shape = format!("{m}x{k}*{n}x{k}^T");
+        let rows = tier_ns(&mut |d| {
+            time_ns(args.iters, || {
+                c.zero_into(m, n);
+                a.matmul_bt_into_with(&b, &mut c, d).unwrap();
+            })
+        });
+        for &(d, ns) in &rows {
+            let gflops = 2.0 * (m * k * n) as f64 / ns;
+            emit.row("gemm_bt", d, &shape, n, ns, gflops, "GFLOP/s");
+        }
+    }
+
+    // --- Gather/scatter family: the embedding data plane. These go ------
+    // through the process-wide dispatch, pinned per tier with
+    // simd::force. dims: the bench suite's {16, 32, 64} plus a
+    // non-multiple-of-8 width that stresses the scalar tail.
+    let table_rows = if fast { 5_000 } else { 100_000 };
+    let pooling = 10;
+    let lookups = batch * pooling;
+    let mut rng = SplitMix64::new(42);
+    let samples: Vec<Vec<u32>> = (0..batch)
+        .map(|_| {
+            (0..pooling)
+                .map(|_| rng.next_below(table_rows as u64) as u32)
+                .collect()
+        })
+        .collect();
+    let index = IndexArray::from_samples(&samples).unwrap();
+    let casted = tensor_casting(&index);
+
+    println!(
+        "\ngather-reduce ({lookups} lookups over {table_rows} rows), {} iters:",
+        args.iters
+    );
+    let mut gather_ratio = None;
+    for dim in [16usize, 32, 64, 37] {
+        let table = EmbeddingTable::seeded(table_rows, dim, 7);
+        let mut out = Matrix::zeros(batch, dim);
+        let shape = format!("b{batch} p{pooling} d{dim}");
+        // Table-row read + output-row read/write per lookup.
+        let bytes = (3 * lookups * dim * 4) as f64;
+        let rows = tier_ns(&mut |d| {
+            simd::force(Some(d));
+            let ns = time_ns(args.iters, || {
+                gather_reduce_into(&table, &index, &mut out, Exec::Serial).unwrap();
+            });
+            simd::force(None);
+            ns
+        });
+        for &(d, ns) in &rows {
+            emit.row("gather_reduce", d, &shape, dim, ns, bytes / ns, "GB/s");
+        }
+        if dim == 64 {
+            gather_ratio = ratio_line("gather_reduce", &rows);
+        }
+
+        // The casted backward gather-reduce (Algorithm 3) on the same
+        // workload: gradient rows in, coalesced rows out.
+        let grads = random_matrix(batch, dim, 11);
+        let mut scratch = CoalescedScratch::default();
+        // Gradient-row read per lookup + coalesced-row read/write.
+        let bytes = ((lookups + 2 * casted.num_unique()) * dim * 4) as f64;
+        let rows = tier_ns(&mut |d| {
+            simd::force(Some(d));
+            let ns = time_ns(args.iters, || {
+                casted_gather_reduce_into(&grads, &casted, &mut scratch, Exec::Serial).unwrap();
+            });
+            simd::force(None);
+            ns
+        });
+        for &(d, ns) in &rows {
+            emit.row(
+                "casted_gather_reduce",
+                d,
+                &shape,
+                dim,
+                ns,
+                bytes / ns,
+                "GB/s",
+            );
+        }
+    }
+
+    // --- Optimizer scatter: one Adagrad update per coalesced row. -------
+    // param read+write, grad read, accumulator read+write: 20 B/element.
+    println!("\noptimizer scatter (adagrad), {} iters:", args.iters);
+    let mut scatter_ratio = None;
+    for dim in [16usize, 32, 64, 37] {
+        let grads = random_matrix(batch, dim, 13);
+        let mut scratch = CoalescedScratch::default();
+        casted_gather_reduce_into(&grads, &casted, &mut scratch, Exec::Serial).unwrap();
+        let coalesced =
+            tcast_embedding::CoalescedGradients::new(scratch.rows.clone(), scratch.grads.clone())
+                .unwrap();
+        let unique = coalesced.len();
+        let shape = format!("u{unique} d{dim}");
+        let bytes = (unique * dim * 20) as f64;
+        let rows = tier_ns(&mut |d| {
+            let mut table = EmbeddingTable::seeded(table_rows, dim, 17);
+            let mut opt = Adagrad::new(0.01, 1e-8);
+            simd::force(Some(d));
+            let ns = time_ns(args.iters, || {
+                scatter_apply(&mut table, &coalesced, &mut opt).unwrap();
+            });
+            simd::force(None);
+            ns
+        });
+        for &(d, ns) in &rows {
+            emit.row("scatter_adagrad", d, &shape, dim, ns, bytes / ns, "GB/s");
+        }
+        if dim == 64 {
+            scatter_ratio = ratio_line("scatter_adagrad", &rows);
+        }
+    }
+
+    // --- Gates: full-size multi-core runs only. The SIMD win is --------
+    // per-core, but 1-core containers throttle too unpredictably to
+    // fail builds on; FAST shapes are too small to be stable.
+    let gate = !fast && tcast_pool::default_parallelism() >= 2;
+    if let Some(r) = gemm_ratio {
+        if gate && r < 2.0 {
+            eprintln!("[kernel_bench] WARNING: SIMD GEMM speedup {r:.2}x < 2x target");
+            std::process::exit(1);
+        }
+    }
+    if let Some(r) = gather_ratio {
+        if gate && r < 1.2 {
+            eprintln!("[kernel_bench] WARNING: SIMD gather-reduce speedup {r:.2}x < 1.2x target");
+            std::process::exit(1);
+        }
+    }
+    if let Some(r) = scatter_ratio {
+        // Reported, not gated: the scatter is state-bandwidth-bound and
+        // its SIMD headroom varies with the accumulator layout.
+        println!("scatter simd/scalar: {r:.2}x (informational)");
+    }
+}

@@ -81,16 +81,19 @@ pub fn casted_embedding_forward_into(
     let gather_src = casted.gather_src();
     let reduce_dst = casted.reduce_dst();
     let n = gather_src.len();
+    let kernel = tcast_tensor::simd::dispatch();
+    let unique_rows = casted.unique_rows();
     let mut i = 0usize;
-    for (u, &row) in casted.unique_rows().iter().enumerate() {
+    for (u, &row) in unique_rows.iter().enumerate() {
+        if let Some(&next) = unique_rows.get(u + 1) {
+            tcast_tensor::simd::prefetch(table.row(next as usize));
+        }
         let trow = table.row(row as usize);
         // reduce_dst is non-decreasing: the outputs looking up `row` are
         // the contiguous run with reduce_dst == u.
         while i < n && reduce_dst[i] as usize == u {
             let acc = out.row_mut(row_offset + gather_src[i] as usize);
-            for (a, &v) in acc.iter_mut().zip(trow.iter()) {
-                *a += v;
-            }
+            tcast_tensor::simd::add_assign(kernel, acc, trow);
             i += 1;
         }
     }

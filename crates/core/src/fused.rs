@@ -62,6 +62,7 @@ pub fn fused_casted_backward(
     let dim = table.dim();
     let gather_src = casted.gather_src();
     let reduce_dst = casted.reduce_dst();
+    let kernel = tcast_tensor::simd::dispatch();
     let mut acc = vec![0.0f32; dim];
     let mut i = 0usize;
     let n = gather_src.len();
@@ -70,10 +71,11 @@ pub fn fused_casted_backward(
         // reduce_dst is non-decreasing: the lookups of coalesced row `u`
         // are the contiguous run with reduce_dst == u.
         while i < n && reduce_dst[i] as usize == u {
-            let g = grads.row(gather_src[i] as usize);
-            for (a, &v) in acc.iter_mut().zip(g.iter()) {
-                *a += v;
+            if let Some(&next) = gather_src.get(i + 1) {
+                tcast_tensor::simd::prefetch(grads.row(next as usize));
             }
+            let g = grads.row(gather_src[i] as usize);
+            tcast_tensor::simd::add_assign(kernel, &mut acc, g);
             i += 1;
         }
         optimizer.update_row(row, table.row_mut(row as usize), &acc);

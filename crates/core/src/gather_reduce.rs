@@ -44,12 +44,19 @@ pub fn casted_gather_reduce(
     }
     let dim = grads.cols();
     let mut out = Matrix::zeros(casted.num_unique(), dim);
-    for (&src, &dst) in casted.gather_src().iter().zip(casted.reduce_dst().iter()) {
+    let kernel = tcast_tensor::simd::dispatch();
+    let gather_src = casted.gather_src();
+    for (i, (&src, &dst)) in gather_src
+        .iter()
+        .zip(casted.reduce_dst().iter())
+        .enumerate()
+    {
+        if let Some(&next) = gather_src.get(i + 1) {
+            tcast_tensor::simd::prefetch(grads.row(next as usize));
+        }
         let row = grads.row(src as usize);
         let acc = out.row_mut(dst as usize);
-        for (a, &v) in acc.iter_mut().zip(row.iter()) {
-            *a += v;
-        }
+        tcast_tensor::simd::add_assign(kernel, acc, row);
     }
     CoalescedGradients::new(casted.unique_rows().to_vec(), out)
 }
@@ -156,12 +163,14 @@ pub fn casted_gather_reduce_into(
         Some(pool) if threads > 1 => (pool, threads),
         _ => {
             // Serial: the exact Algorithm 3 loop.
-            for (&src, &dst) in gather_src.iter().zip(reduce_dst.iter()) {
+            let kernel = tcast_tensor::simd::dispatch();
+            for (i, (&src, &dst)) in gather_src.iter().zip(reduce_dst.iter()).enumerate() {
+                if let Some(&next) = gather_src.get(i + 1) {
+                    tcast_tensor::simd::prefetch(grads.row(next as usize));
+                }
                 let row = grads.row(src as usize);
                 let acc = out.grads.row_mut(dst as usize);
-                for (a, &v) in acc.iter_mut().zip(row.iter()) {
-                    *a += v;
-                }
+                tcast_tensor::simd::add_assign(kernel, acc, row);
             }
             return Ok(());
         }
@@ -185,6 +194,7 @@ pub fn casted_gather_reduce_into(
 
     let per = unique.div_ceil(threads);
     let buf = out.grads.as_mut_slice();
+    let kernel = tcast_tensor::simd::dispatch();
     pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
@@ -199,11 +209,13 @@ pub fn casted_gather_reduce_into(
             scope.spawn(move || {
                 for u in ulo..uhi {
                     let acc = &mut band[(u - ulo) * dim..(u - ulo + 1) * dim];
-                    for &src in &gather_src[row_start[u]..row_start[u + 1]] {
-                        let row = grads.row(src as usize);
-                        for (a, &v) in acc.iter_mut().zip(row.iter()) {
-                            *a += v;
+                    let run = &gather_src[row_start[u]..row_start[u + 1]];
+                    for (j, &src) in run.iter().enumerate() {
+                        if let Some(&next) = run.get(j + 1) {
+                            tcast_tensor::simd::prefetch(grads.row(next as usize));
                         }
+                        let row = grads.row(src as usize);
+                        tcast_tensor::simd::add_assign(kernel, acc, row);
                     }
                 }
             });

@@ -173,10 +173,14 @@ pub fn gradient_coalesce_into(
     scratch.rows.clear();
     scratch.grads.zero_into(unique, dim);
     let mut out_i = usize::MAX; // "i <- -1" in the paper's pseudocode
+    let kernel = tcast_tensor::simd::dispatch();
     let mut prev: Option<u32> = None;
-    for &key in &scratch.keys {
+    for (i, &key) in scratch.keys.iter().enumerate() {
         let curr = (key >> 32) as u32;
         let pos = (key & 0xFFFF_FFFF) as usize;
+        if let Some(&next) = scratch.keys.get(i + 1) {
+            tcast_tensor::simd::prefetch(expanded.row((next & 0xFFFF_FFFF) as usize));
+        }
         if prev != Some(curr) {
             out_i = out_i.wrapping_add(1);
             scratch.rows.push(curr);
@@ -186,9 +190,7 @@ pub fn gradient_coalesce_into(
                 .copy_from_slice(expanded.row(pos));
         } else {
             let acc = scratch.grads.row_mut(out_i);
-            for (a, &v) in acc.iter_mut().zip(expanded.row(pos).iter()) {
-                *a += v;
-            }
+            tcast_tensor::simd::add_assign(kernel, acc, expanded.row(pos));
         }
         prev = Some(curr);
     }

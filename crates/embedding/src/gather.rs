@@ -73,12 +73,16 @@ pub fn gather_reduce_into(
             );
         }
         _ => {
-            for (src, dst) in index.iter() {
+            let kernel = tcast_tensor::simd::dispatch();
+            let srcs = index.src();
+            let dsts = index.dst();
+            for (i, (&src, &dst)) in srcs.iter().zip(dsts.iter()).enumerate() {
+                if let Some(&next) = srcs.get(i + 1) {
+                    tcast_tensor::simd::prefetch(table.row(next as usize));
+                }
                 let row = table.row(src as usize);
                 let acc = out.row_mut(dst as usize);
-                for (a, &v) in acc.iter_mut().zip(row.iter()) {
-                    *a += v;
-                }
+                tcast_tensor::simd::add_assign(kernel, acc, row);
             }
         }
     }

@@ -60,6 +60,7 @@ pub mod optim;
 mod parallel;
 mod scatter;
 mod sharding;
+pub mod simd;
 mod table;
 pub mod traffic;
 

@@ -345,9 +345,7 @@ impl Sgd {
 
 fn sgd_step(lr: f32, param: &mut [f32], grad: &[f32]) {
     assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-    for (p, &g) in param.iter_mut().zip(grad.iter()) {
-        *p -= lr * g;
-    }
+    crate::simd::sgd_row(crate::simd::dispatch(), lr, param, grad);
 }
 
 impl SparseOptimizer for Sgd {
@@ -420,10 +418,7 @@ impl Momentum {
 
 fn momentum_step(lr: f32, mu: f32, v: &mut [f32], param: &mut [f32], grad: &[f32]) {
     assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-    for ((p, &g), vi) in param.iter_mut().zip(grad.iter()).zip(v.iter_mut()) {
-        *vi = mu * *vi + g;
-        *p -= lr * *vi;
-    }
+    crate::simd::momentum_row(crate::simd::dispatch(), lr, mu, v, param, grad);
 }
 
 impl SparseOptimizer for Momentum {
@@ -508,10 +503,7 @@ impl Adagrad {
 
 fn adagrad_step(lr: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f32]) {
     assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-    for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
-        *ai += g * g;
-        *p -= lr * g / (eps + *ai).sqrt();
-    }
+    crate::simd::adagrad_row(crate::simd::dispatch(), lr, eps, a, param, grad);
 }
 
 impl SparseOptimizer for Adagrad {
@@ -600,10 +592,7 @@ impl RmsProp {
 
 fn rmsprop_step(lr: f32, gamma: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f32]) {
     assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
-    for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
-        *ai = gamma * *ai + (1.0 - gamma) * g * g;
-        *p -= lr * g / (eps + *ai).sqrt();
-    }
+    crate::simd::rmsprop_row(crate::simd::dispatch(), lr, gamma, eps, a, param, grad);
 }
 
 impl SparseOptimizer for RmsProp {
@@ -738,20 +727,15 @@ fn adam_step(
 ) {
     assert_eq!(param.len(), grad.len(), "row/grad width mismatch");
     *t += 1;
-    let bc1 = 1.0 - h.beta1.powi(*t as i32);
-    let bc2 = 1.0 - h.beta2.powi(*t as i32);
-    for (((p, &g), mi), vi) in param
-        .iter_mut()
-        .zip(grad.iter())
-        .zip(m.iter_mut())
-        .zip(v.iter_mut())
-    {
-        *mi = h.beta1 * *mi + (1.0 - h.beta1) * g;
-        *vi = h.beta2 * *vi + (1.0 - h.beta2) * g * g;
-        let mhat = *mi / bc1;
-        let vhat = *vi / bc2;
-        *p -= h.lr * mhat / (vhat.sqrt() + h.eps);
-    }
+    let row = crate::simd::AdamRow {
+        lr: h.lr,
+        beta1: h.beta1,
+        beta2: h.beta2,
+        eps: h.eps,
+        bc1: 1.0 - h.beta1.powi(*t as i32),
+        bc2: 1.0 - h.beta2.powi(*t as i32),
+    };
+    crate::simd::adam_row(crate::simd::dispatch(), row, m, v, param, grad);
 }
 
 impl Adam {

@@ -76,6 +76,7 @@ pub(crate) fn gather_reduce_pooled_unchecked(
     // disjoint row bands.
     let per = outputs.div_ceil(threads);
     let buf = out.as_mut_slice();
+    let kernel = tcast_tensor::simd::dispatch();
     pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
@@ -94,9 +95,7 @@ pub(crate) fn gather_reduce_pooled_unchecked(
                     }
                     let row = table.row(src as usize);
                     let acc = &mut band[(d - lo) * dim..(d - lo + 1) * dim];
-                    for (a, &v) in acc.iter_mut().zip(row.iter()) {
-                        *a += v;
-                    }
+                    tcast_tensor::simd::add_assign(kernel, acc, row);
                 }
             });
         }
@@ -176,6 +175,7 @@ pub fn gradient_coalesce_parallel_in(
     let buf = grads.as_mut_slice();
     let keys = &keys;
     let run_starts = &run_starts;
+    let kernel = tcast_tensor::simd::dispatch();
     pool.scope(|scope| {
         let mut rest = buf;
         for t in 0..threads {
@@ -189,11 +189,14 @@ pub fn gradient_coalesce_parallel_in(
             scope.spawn(move || {
                 for u in ulo..uhi {
                     let acc = &mut band[(u - ulo) * dim..(u - ulo + 1) * dim];
-                    for &key in &keys[run_starts[u]..run_starts[u + 1]] {
-                        let pos = (key & 0xFFFF_FFFF) as usize;
-                        for (a, &v) in acc.iter_mut().zip(expanded.row(pos).iter()) {
-                            *a += v;
+                    let run = &keys[run_starts[u]..run_starts[u + 1]];
+                    for (j, &key) in run.iter().enumerate() {
+                        if let Some(&next) = run.get(j + 1) {
+                            let pos = (next & 0xFFFF_FFFF) as usize;
+                            tcast_tensor::simd::prefetch(expanded.row(pos));
                         }
+                        let pos = (key & 0xFFFF_FFFF) as usize;
+                        tcast_tensor::simd::add_assign(kernel, acc, expanded.row(pos));
                     }
                 }
             });

@@ -35,6 +35,7 @@ mod matrix;
 mod mlp;
 mod ops;
 mod parallel;
+pub mod simd;
 
 pub use error::ShapeError;
 pub use init::{he_normal, xavier_uniform, SplitMix64};
@@ -48,4 +49,5 @@ pub use matrix::Matrix;
 pub use mlp::{Activation, Mlp, MlpInferenceScratch};
 pub use ops::{relu, relu_backward, relu_backward_in_place, relu_into, sigmoid, sigmoid_backward};
 pub use parallel::{matmul_parallel, matmul_parallel_in};
+pub use simd::KernelDispatch;
 pub use tcast_pool::{Exec, Pool};

@@ -3,12 +3,7 @@
 //! arithmetic, row access and reductions.
 
 use crate::error::ShapeError;
-
-/// Block edge (in elements) for the cache-blocked GEMM kernels.
-///
-/// 64x64 f32 tiles are 16 KiB per operand tile, comfortably inside L1/L2 on
-/// any machine this runs on.
-const GEMM_BLOCK: usize = 64;
+use crate::simd::{self, KernelDispatch};
 
 /// A dense, row-major matrix of `f32`.
 ///
@@ -215,12 +210,28 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] unless `self.cols() == rhs.rows()`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        self.matmul_into_with(rhs, out, simd::dispatch())
+    }
+
+    /// [`Matrix::matmul_into`] on an explicit kernel tier, bypassing the
+    /// process-wide [`simd::dispatch`] — the bench/test entry point for
+    /// comparing tiers in one process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] unless `self.cols() == rhs.rows()`.
+    pub fn matmul_into_with(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        kernel: KernelDispatch,
+    ) -> Result<(), ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         out.zero_into(m, n);
-        gemm_blocked(&self.data, &rhs.data, &mut out.data, m, k, n);
+        simd::gemm(kernel, &self.data, &rhs.data, &mut out.data, m, k, n);
         Ok(())
     }
 
@@ -244,27 +255,28 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] unless `self.rows() == rhs.rows()`.
     pub fn matmul_at_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        self.matmul_at_into_with(rhs, out, simd::dispatch())
+    }
+
+    /// [`Matrix::matmul_at_into`] on an explicit kernel tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] unless `self.rows() == rhs.rows()`.
+    pub fn matmul_at_into_with(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        kernel: KernelDispatch,
+    ) -> Result<(), ShapeError> {
         if self.rows != rhs.rows {
             return Err(ShapeError::new("matmul_at", self.shape(), rhs.shape()));
         }
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
         out.zero_into(m, n);
-        // out[i][j] = sum_r self[r][i] * rhs[r][j]; iterate r outermost so
-        // both operands stream sequentially.
-        for r in 0..k {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o = &mut out.data[i * n..(i + 1) * n];
-                for (j, &b) in b_row.iter().enumerate() {
-                    o[j] += a * b;
-                }
-            }
-        }
-        let _ = m;
+        // out[i][j] = sum_r self[r][i] * rhs[r][j]; `r` outermost so both
+        // operands stream sequentially.
+        simd::gemm_at(kernel, &self.data, &rhs.data, &mut out.data, k, m, n);
         Ok(())
     }
 
@@ -288,12 +300,26 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] unless `self.cols() == rhs.cols()`.
     pub fn matmul_bt_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        self.matmul_bt_into_with(rhs, out, simd::dispatch())
+    }
+
+    /// [`Matrix::matmul_bt_into`] on an explicit kernel tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] unless `self.cols() == rhs.cols()`.
+    pub fn matmul_bt_into_with(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        kernel: KernelDispatch,
+    ) -> Result<(), ShapeError> {
         if self.cols != rhs.cols {
             return Err(ShapeError::new("matmul_bt", self.shape(), rhs.shape()));
         }
         let (k, n) = (self.cols, rhs.rows);
         out.zero_into(self.rows, n);
-        crate::parallel::bt_band_kernel(&self.data, &rhs.data, &mut out.data, k, n);
+        simd::dot_band(kernel, &self.data, &rhs.data, &mut out.data, k, n);
         Ok(())
     }
 
@@ -522,53 +548,6 @@ impl Matrix {
             cols: self.cols,
             data,
         })
-    }
-}
-
-#[inline]
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    // Manual 4-way unroll: reliably auto-vectorized and avoids the strict
-    // left-to-right fold the naive iterator sum would impose.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let ai = &a[i * 4..i * 4 + 4];
-        let bi = &b[i * 4..i * 4 + 4];
-        acc[0] += ai[0] * bi[0];
-        acc[1] += ai[1] * bi[1];
-        acc[2] += ai[2] * bi[2];
-        acc[3] += ai[3] * bi[3];
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
-}
-
-/// Cache-blocked `C += A * B` for row-major operands (`C` pre-zeroed).
-fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i0 in (0..m).step_by(GEMM_BLOCK) {
-        let i1 = (i0 + GEMM_BLOCK).min(m);
-        for k0 in (0..k).step_by(GEMM_BLOCK) {
-            let k1 = (k0 + GEMM_BLOCK).min(k);
-            for j0 in (0..n).step_by(GEMM_BLOCK) {
-                let j1 = (j0 + GEMM_BLOCK).min(n);
-                for i in i0..i1 {
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        for j in j0..j1 {
-                            c_row[j] += aik * b_row[j];
-                        }
-                    }
-                }
-            }
-        }
     }
 }
 

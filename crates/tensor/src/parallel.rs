@@ -61,8 +61,9 @@ pub(crate) fn matmul_pooled_unchecked(
     let lhs_data = lhs.as_slice();
     let rhs_data = rhs.as_slice();
     let buf = out.as_mut_slice();
+    let kernel = crate::simd::dispatch();
     if threads <= 1 {
-        band_kernel(lhs_data, rhs_data, buf, k, n);
+        band_kernel(kernel, lhs_data, rhs_data, buf, k, n);
         return;
     }
     let rows_per = m.div_ceil(threads);
@@ -77,44 +78,32 @@ pub(crate) fn matmul_pooled_unchecked(
             let (band, tail) = rest.split_at_mut((hi - lo) * n);
             rest = tail;
             let lhs_band = &lhs_data[lo * k..hi * k];
-            scope.spawn(move || band_kernel(lhs_band, rhs_data, band, k, n));
+            scope.spawn(move || band_kernel(kernel, lhs_band, rhs_data, band, k, n));
         }
     });
 }
 
-/// The shared `a * b^T` per-band kernel: one [`crate::matrix::dot`] per
+/// The shared `a * b^T` per-band kernel: one [`crate::simd::dot`] per
 /// output element. Both [`Matrix::matmul_bt_into`] (full band) and the
 /// pooled row-partitioned path run exactly this loop, so serial and
-/// pooled results are bit-identical by construction.
+/// pooled results are bit-identical by construction — on every kernel
+/// tier, since the tier is resolved once and shared by all bands.
 pub(crate) fn bt_band_kernel(a_band: &[f32], b_data: &[f32], band: &mut [f32], k: usize, n: usize) {
-    let rows = a_band.len() / k.max(1);
-    for i in 0..rows {
-        let a_row = &a_band[i * k..(i + 1) * k];
-        let o = &mut band[i * n..(i + 1) * n];
-        for (j, oj) in o.iter_mut().enumerate() {
-            *oj = crate::matrix::dot(a_row, &b_data[j * k..(j + 1) * k]);
-        }
-    }
+    crate::simd::dot_band(crate::simd::dispatch(), a_band, b_data, band, k, n);
 }
 
 /// The shared per-band kernel: stream rhs rows, accumulate into the band.
 /// Accumulation over `k` is in ascending order for every output element,
-/// matching the serial blocked GEMM bit-for-bit.
-fn band_kernel(lhs_band: &[f32], rhs_data: &[f32], band: &mut [f32], k: usize, n: usize) {
-    let rows = lhs_band.len() / k.max(1);
-    for i in 0..rows {
-        let a_row = &lhs_band[i * k..(i + 1) * k];
-        let c_row = &mut band[i * n..(i + 1) * n];
-        for (kk, &a) in a_row.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let b_row = &rhs_data[kk * n..(kk + 1) * n];
-            for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
-                *c += a * b;
-            }
-        }
-    }
+/// matching the serial blocked GEMM bit-for-bit on every kernel tier.
+fn band_kernel(
+    kernel: crate::simd::KernelDispatch,
+    lhs_band: &[f32],
+    rhs_data: &[f32],
+    band: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    crate::simd::gemm_band(kernel, lhs_band, rhs_data, band, k, n);
 }
 
 #[cfg(test)]

@@ -1,0 +1,820 @@
+//! Runtime-dispatched SIMD kernels: x86-64 AVX2 (`std::arch`) with a
+//! portable scalar fallback.
+//!
+//! ROADMAP's "as fast as the hardware allows" requires explicit SIMD, but
+//! the repository's entire correctness story rests on bit-identity
+//! invariants (pooled == serial, sharded == unsharded, fused-batch ==
+//! per-query, resume == uninterrupted). The kernels here are therefore
+//! designed so that vectorization *cannot* change results:
+//!
+//! * Every kernel vectorizes **across the `j`/`dim` lane axis** and keeps
+//!   the reduction axis (`k`, lookup order) in exactly the scalar order,
+//!   so each output element sees the same operations in the same order.
+//! * The non-FMA tier ([`KernelDispatch::Avx2`]) uses only individually
+//!   correctly-rounded operations (`vmulps`/`vaddps`/`vsubps`/`vdivps`/
+//!   `vsqrtps` match their scalar counterparts per IEEE-754), so it is
+//!   **bit-identical** to [`KernelDispatch::Scalar`] — including on NaN,
+//!   `-0.0` and denormal inputs (Rust performs no FP contraction and x86
+//!   runs with FTZ/DAZ off by default).
+//! * The [`KernelDispatch::Fma`] tier contracts `a*b + c` with
+//!   `vfmaddps` (one rounding instead of two). It is *tolerance-gated*,
+//!   never auto-selected, and opt-in via `TCAST_KERNEL=fma`.
+//!
+//! The active tier is resolved once per process from the `TCAST_KERNEL`
+//! environment variable (`scalar` | `avx2` | `fma` | `auto`, default
+//! `auto` = AVX2 where `is_x86_feature_detected!` reports it, scalar
+//! otherwise) and cached; tests and benches can override it in-process
+//! with [`force`] or per call through the explicit-dispatch entry points.
+//! On non-x86-64 targets every tier falls back to the scalar kernels, so
+//! forcing `avx2` on such a host is safe (and a no-op).
+//!
+//! The dot-product kernels reduce eight partial accumulators with the
+//! AVX2 horizontal-add tree (`(s0+s2) + (s1+s3)` over `s_l = acc_l +
+//! acc_{l+4}`); the scalar kernel performs the identical fold, which is
+//! what makes `matmul_bt` bit-identical across tiers despite being a
+//! reduction.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Block edge (in elements) for the cache-blocked GEMM kernels.
+///
+/// 64x64 f32 tiles are 16 KiB per operand tile, comfortably inside L1/L2
+/// on any machine this runs on. All tiers share the same blocking so the
+/// per-element accumulation order is tier-independent.
+pub const GEMM_BLOCK: usize = 64;
+
+/// Environment variable selecting the kernel tier (`scalar` | `avx2` |
+/// `fma` | `auto`).
+pub const KERNEL_ENV: &str = "TCAST_KERNEL";
+
+/// Which kernel implementation the hot loops run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelDispatch {
+    /// Portable scalar loops — the bit-exact oracle for `Avx2` and the
+    /// tolerance oracle for `Fma`.
+    Scalar,
+    /// AVX2 without FMA contraction: bit-identical to `Scalar`.
+    Avx2,
+    /// AVX2 + FMA contraction in GEMM/dot/axpy: faster, tolerance-gated,
+    /// never auto-selected.
+    Fma,
+}
+
+impl KernelDispatch {
+    /// The best *bit-identical* tier this host supports (`Avx2` where
+    /// available, else `Scalar`). `Fma` is never auto-selected.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return KernelDispatch::Avx2;
+        }
+        KernelDispatch::Scalar
+    }
+
+    /// Parses a `TCAST_KERNEL` value. `auto` (and the empty string)
+    /// resolve through [`KernelDispatch::detect`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelDispatch::Scalar),
+            "avx2" => Some(KernelDispatch::Avx2),
+            "fma" => Some(KernelDispatch::Fma),
+            "auto" | "" => Some(KernelDispatch::detect()),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can actually run the tier. Scalar always can;
+    /// the SIMD tiers require the matching CPU features (queried at
+    /// runtime, cached by `std`).
+    pub fn supported(self) -> bool {
+        match self {
+            KernelDispatch::Scalar => true,
+            KernelDispatch::Avx2 => avx2_ok(),
+            KernelDispatch::Fma => fma_ok(),
+        }
+    }
+
+    /// Every tier this host supports, scalar first — the bench sweep
+    /// axis.
+    pub fn available() -> Vec<Self> {
+        let mut tiers = vec![KernelDispatch::Scalar];
+        if KernelDispatch::Avx2.supported() {
+            tiers.push(KernelDispatch::Avx2);
+        }
+        if KernelDispatch::Fma.supported() {
+            tiers.push(KernelDispatch::Fma);
+        }
+        tiers
+    }
+
+    /// Stable lowercase name (the `dispatch` field of bench JSON rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelDispatch::Scalar => "scalar",
+            KernelDispatch::Avx2 => "avx2",
+            KernelDispatch::Fma => "fma",
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn avx2_ok() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn fma_ok() -> bool {
+    avx2_ok() && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn avx2_ok() -> bool {
+    false
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn fma_ok() -> bool {
+    false
+}
+
+/// In-process override installed by [`force`]: 0 = none, else tier + 1.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+/// The once-per-process `TCAST_KERNEL` resolution.
+static RESOLVED: OnceLock<KernelDispatch> = OnceLock::new();
+
+/// The process-wide kernel tier every implicit-dispatch entry point
+/// (`Matrix::matmul_into`, `gather_reduce_into`, the optimizer steps)
+/// runs: the [`force`] override if one is installed, otherwise the cached
+/// `TCAST_KERNEL` resolution.
+#[inline]
+pub fn dispatch() -> KernelDispatch {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => KernelDispatch::Scalar,
+        2 => KernelDispatch::Avx2,
+        3 => KernelDispatch::Fma,
+        _ => *RESOLVED.get_or_init(resolve_from_env),
+    }
+}
+
+/// Installs (or with `None` removes) a process-wide dispatch override,
+/// taking precedence over `TCAST_KERNEL`. For tests and benches that
+/// compare tiers in one process; unsupported tiers still fall back to
+/// scalar inside each kernel, so forcing `Avx2` on a non-AVX2 host is
+/// safe.
+pub fn force(d: Option<KernelDispatch>) {
+    let code = match d {
+        None => 0,
+        Some(KernelDispatch::Scalar) => 1,
+        Some(KernelDispatch::Avx2) => 2,
+        Some(KernelDispatch::Fma) => 3,
+    };
+    FORCED.store(code, Ordering::Relaxed);
+}
+
+fn resolve_from_env() -> KernelDispatch {
+    match std::env::var(KERNEL_ENV) {
+        Ok(v) => match KernelDispatch::parse(&v) {
+            Some(d) if d.supported() => d,
+            Some(d) => {
+                eprintln!(
+                    "{KERNEL_ENV}={} not supported on this host; falling back to {}",
+                    d.name(),
+                    KernelDispatch::detect().name()
+                );
+                KernelDispatch::detect()
+            }
+            None => {
+                eprintln!(
+                    "{KERNEL_ENV}={v:?} not recognized (expected scalar|avx2|fma|auto); \
+                     falling back to {}",
+                    KernelDispatch::detect().name()
+                );
+                KernelDispatch::detect()
+            }
+        },
+        Err(_) => KernelDispatch::detect(),
+    }
+}
+
+/// Hints the prefetcher to pull `row` (up to 512 bytes of it) into L1.
+///
+/// Used ahead of the next gather row so the accumulate of the current row
+/// overlaps the memory latency of the next — the software-prefetch half
+/// of the paper's "gathers are bandwidth-bound" observation. No-op on
+/// non-x86-64 targets; `prefetcht0` requires no feature detection on
+/// x86-64 and never faults.
+#[inline(always)]
+pub fn prefetch(row: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let base = row.as_ptr() as *const i8;
+        let bytes = (row.len() * 4).min(512);
+        let mut off = 0;
+        while off < bytes {
+            // SAFETY: prefetch is a hint; it never faults, even on
+            // addresses past the slice end.
+            unsafe { _mm_prefetch(base.wrapping_add(off), _MM_HINT_T0) };
+            off += 64;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = row;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels: the oracle tier.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn add_assign_scalar(acc: &mut [f32], src: &[f32]) {
+    for (a, &v) in acc.iter_mut().zip(src.iter()) {
+        *a += v;
+    }
+}
+
+#[inline(always)]
+fn axpy_scalar(acc: &mut [f32], src: &[f32], alpha: f32) {
+    for (a, &v) in acc.iter_mut().zip(src.iter()) {
+        *a += alpha * v;
+    }
+}
+
+/// Scalar dot with eight partial accumulators folded in the exact AVX2
+/// horizontal-reduce order, so [`dot`] is bit-identical across tiers.
+#[inline(always)]
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        let ai = &a[i * 8..i * 8 + 8];
+        let bi = &b[i * 8..i * 8 + 8];
+        for l in 0..8 {
+            acc[l] += ai[l] * bi[l];
+        }
+    }
+    // The vextractf128/vmovhlps/vshufps fold: lanes l and l+4 first, then
+    // (s0+s2) + (s1+s3).
+    let s0 = acc[0] + acc[4];
+    let s1 = acc[1] + acc[5];
+    let s2 = acc[2] + acc[6];
+    let s3 = acc[3] + acc[7];
+    let mut sum = (s0 + s2) + (s1 + s3);
+    for i in chunks * 8..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// The blocked-GEMM driver, shared verbatim by all tiers (only the inner
+/// row-axpy differs): identical blocking means identical per-element
+/// accumulation order, which is the bit-identity argument.
+///
+/// Note there is deliberately *no* `aik == 0.0` skip: skipping defeats
+/// vectorization, and because every accumulator starts at `+0.0` and
+/// round-to-nearest never produces `-0.0` from a sum of non-`-0.0`
+/// addends, adding the `aik * b` products of a zero `aik` is bit-identical
+/// to skipping them for all finite inputs (and for NaN/Inf inputs the
+/// no-skip form is the IEEE-propagating one every tier now shares).
+macro_rules! gemm_driver {
+    ($a:ident, $b:ident, $c:ident, $m:ident, $k:ident, $n:ident, $axpy:ident) => {
+        for i0 in (0..$m).step_by(GEMM_BLOCK) {
+            let i1 = (i0 + GEMM_BLOCK).min($m);
+            for k0 in (0..$k).step_by(GEMM_BLOCK) {
+                let k1 = (k0 + GEMM_BLOCK).min($k);
+                for j0 in (0..$n).step_by(GEMM_BLOCK) {
+                    let j1 = (j0 + GEMM_BLOCK).min($n);
+                    for i in i0..i1 {
+                        let c_row = &mut $c[i * $n..(i + 1) * $n];
+                        for kk in k0..k1 {
+                            let aik = $a[i * $k + kk];
+                            let b_row = &$b[kk * $n..(kk + 1) * $n];
+                            $axpy(&mut c_row[j0..j1], &b_row[j0..j1], aik);
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// The `A^T * B` driver: `r` outermost so both operands stream
+/// sequentially; one row-axpy per `(r, i)`.
+macro_rules! gemm_at_driver {
+    ($a:ident, $b:ident, $c:ident, $k:ident, $m:ident, $n:ident, $axpy:ident) => {
+        for r in 0..$k {
+            let a_row = &$a[r * $m..(r + 1) * $m];
+            let b_row = &$b[r * $n..(r + 1) * $n];
+            for (i, &av) in a_row.iter().enumerate() {
+                $axpy(&mut $c[i * $n..(i + 1) * $n], b_row, av);
+            }
+        }
+    };
+}
+
+/// The unblocked band driver used by the pooled row-partitioned matmul:
+/// per output element the `k` order is ascending, exactly like
+/// [`gemm_driver`], so serial-blocked and pooled-banded stay
+/// bit-identical.
+macro_rules! gemm_band_driver {
+    ($lhs:ident, $rhs:ident, $band:ident, $k:ident, $n:ident, $axpy:ident) => {
+        let rows = $lhs.len() / $k.max(1);
+        for i in 0..rows {
+            let a_row = &$lhs[i * $k..(i + 1) * $k];
+            let c_row = &mut $band[i * $n..(i + 1) * $n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                $axpy(c_row, &$rhs[kk * $n..(kk + 1) * $n], av);
+            }
+        }
+    };
+}
+
+/// The `A * B^T` band driver: one dot per output element.
+macro_rules! dot_band_driver {
+    ($a_band:ident, $b_data:ident, $band:ident, $k:ident, $n:ident, $dot:ident) => {
+        let rows = $a_band.len() / $k.max(1);
+        for i in 0..rows {
+            let a_row = &$a_band[i * $k..(i + 1) * $k];
+            let o = &mut $band[i * $n..(i + 1) * $n];
+            for (j, oj) in o.iter_mut().enumerate() {
+                *oj = $dot(a_row, &$b_data[j * $k..(j + 1) * $k]);
+            }
+        }
+    };
+}
+
+fn gemm_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_driver!(a, b, c, m, k, n, axpy_scalar);
+}
+
+fn gemm_at_scalar(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    gemm_at_driver!(a, b, c, k, m, n, axpy_scalar);
+}
+
+fn gemm_band_scalar(lhs: &[f32], rhs: &[f32], band: &mut [f32], k: usize, n: usize) {
+    gemm_band_driver!(lhs, rhs, band, k, n, axpy_scalar);
+}
+
+fn dot_band_scalar(a_band: &[f32], b_data: &[f32], band: &mut [f32], k: usize, n: usize) {
+    dot_band_driver!(a_band, b_data, band, k, n, dot_scalar);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 / FMA kernels.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::GEMM_BLOCK;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub fn add_assign(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len().min(src.len());
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n bounds both 8-lane loads and the store.
+            unsafe {
+                let a = _mm256_loadu_ps(acc.as_ptr().add(j));
+                let s = _mm256_loadu_ps(src.as_ptr().add(j));
+                _mm256_storeu_ps(acc.as_mut_ptr().add(j), _mm256_add_ps(a, s));
+            }
+            j += 8;
+        }
+        while j < n {
+            acc[j] += src[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub fn axpy(acc: &mut [f32], src: &[f32], alpha: f32) {
+        let n = acc.len().min(src.len());
+        let va = _mm256_set1_ps(alpha);
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n bounds both 8-lane loads and the store.
+            unsafe {
+                let a = _mm256_loadu_ps(acc.as_ptr().add(j));
+                let s = _mm256_loadu_ps(src.as_ptr().add(j));
+                // mul then add (no contraction): matches the scalar
+                // `acc += alpha * src` bit for bit per lane.
+                _mm256_storeu_ps(
+                    acc.as_mut_ptr().add(j),
+                    _mm256_add_ps(a, _mm256_mul_ps(va, s)),
+                );
+            }
+            j += 8;
+        }
+        while j < n {
+            acc[j] += alpha * src[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub fn axpy_fma(acc: &mut [f32], src: &[f32], alpha: f32) {
+        let n = acc.len().min(src.len());
+        let va = _mm256_set1_ps(alpha);
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n bounds both 8-lane loads and the store.
+            unsafe {
+                let a = _mm256_loadu_ps(acc.as_ptr().add(j));
+                let s = _mm256_loadu_ps(src.as_ptr().add(j));
+                _mm256_storeu_ps(acc.as_mut_ptr().add(j), _mm256_fmadd_ps(va, s, a));
+            }
+            j += 8;
+        }
+        while j < n {
+            acc[j] = alpha.mul_add(src[j], acc[j]);
+            j += 1;
+        }
+    }
+
+    /// The horizontal fold matched bit-for-bit by the scalar oracle.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn hreduce(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let q = _mm_add_ps(lo, hi); // [s0, s1, s2, s3]
+        let h = _mm_add_ps(q, _mm_movehl_ps(q, q)); // [s0+s2, s1+s3, ..]
+        let r = _mm_add_ss(h, _mm_shuffle_ps(h, h, 1)); // (s0+s2)+(s1+s3)
+        _mm_cvtss_f32(r)
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut vacc = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n bounds both 8-lane loads.
+            unsafe {
+                let av = _mm256_loadu_ps(a.as_ptr().add(j));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+                vacc = _mm256_add_ps(vacc, _mm256_mul_ps(av, bv));
+            }
+            j += 8;
+        }
+        let mut sum = hreduce(vacc);
+        while j < n {
+            sum += a[j] * b[j];
+            j += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut vacc = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n bounds both 8-lane loads.
+            unsafe {
+                let av = _mm256_loadu_ps(a.as_ptr().add(j));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+                vacc = _mm256_fmadd_ps(av, bv, vacc);
+            }
+            j += 8;
+        }
+        let mut sum = hreduce(vacc);
+        while j < n {
+            sum = a[j].mul_add(b[j], sum);
+            j += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        gemm_driver!(a, b, c, m, k, n, axpy);
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn gemm_fma(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        gemm_driver!(a, b, c, m, k, n, axpy_fma);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn gemm_at(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+        gemm_at_driver!(a, b, c, k, m, n, axpy);
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn gemm_at_fma(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+        gemm_at_driver!(a, b, c, k, m, n, axpy_fma);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn gemm_band(lhs: &[f32], rhs: &[f32], band: &mut [f32], k: usize, n: usize) {
+        gemm_band_driver!(lhs, rhs, band, k, n, axpy);
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn gemm_band_fma(lhs: &[f32], rhs: &[f32], band: &mut [f32], k: usize, n: usize) {
+        gemm_band_driver!(lhs, rhs, band, k, n, axpy_fma);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn dot_band(a_band: &[f32], b_data: &[f32], band: &mut [f32], k: usize, n: usize) {
+        dot_band_driver!(a_band, b_data, band, k, n, dot);
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn dot_band_fma(a_band: &[f32], b_data: &[f32], band: &mut [f32], k: usize, n: usize) {
+        dot_band_driver!(a_band, b_data, band, k, n, dot_fma);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points.
+//
+// Each checks the requested tier against the host at runtime (the
+// feature queries are cached atomics) and falls back to scalar when the
+// tier is unavailable, so arbitrary `KernelDispatch` values are safe on
+// any host.
+// ---------------------------------------------------------------------------
+
+/// `acc[j] += src[j]` — the gather-reduce accumulate. Bit-identical
+/// across all tiers (pure lane-wise adds; FMA cannot apply).
+#[inline]
+pub fn add_assign(d: KernelDispatch, acc: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(acc.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if d != KernelDispatch::Scalar && avx2_ok() {
+        // SAFETY: AVX2 support verified on the line above.
+        unsafe { x86::add_assign(acc, src) };
+        return;
+    }
+    let _ = d;
+    add_assign_scalar(acc, src);
+}
+
+/// `acc[j] += alpha * src[j]`. `Avx2` is bit-identical to `Scalar`;
+/// `Fma` contracts the multiply-add (tolerance tier).
+#[inline]
+pub fn axpy(d: KernelDispatch, acc: &mut [f32], src: &[f32], alpha: f32) {
+    debug_assert_eq!(acc.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if d == KernelDispatch::Fma && fma_ok() {
+            // SAFETY: AVX2+FMA support verified on the line above.
+            unsafe { x86::axpy_fma(acc, src, alpha) };
+            return;
+        }
+        if d != KernelDispatch::Scalar && avx2_ok() {
+            // SAFETY: AVX2 support verified on the line above.
+            unsafe { x86::axpy(acc, src, alpha) };
+            return;
+        }
+    }
+    let _ = d;
+    axpy_scalar(acc, src, alpha);
+}
+
+/// Dot product with the 8-accumulator AVX2 fold on every tier (see the
+/// module docs); `Avx2` is bit-identical to `Scalar`.
+#[inline]
+pub fn dot(d: KernelDispatch, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if d == KernelDispatch::Fma && fma_ok() {
+            // SAFETY: AVX2+FMA support verified on the line above.
+            return unsafe { x86::dot_fma(a, b) };
+        }
+        if d != KernelDispatch::Scalar && avx2_ok() {
+            // SAFETY: AVX2 support verified on the line above.
+            return unsafe { x86::dot(a, b) };
+        }
+    }
+    let _ = d;
+    dot_scalar(a, b)
+}
+
+/// Cache-blocked `C += A * B` for row-major operands (`C` pre-zeroed).
+pub fn gemm(d: KernelDispatch, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if d == KernelDispatch::Fma && fma_ok() {
+            // SAFETY: AVX2+FMA support verified on the line above.
+            unsafe { x86::gemm_fma(a, b, c, m, k, n) };
+            return;
+        }
+        if d != KernelDispatch::Scalar && avx2_ok() {
+            // SAFETY: AVX2 support verified on the line above.
+            unsafe { x86::gemm(a, b, c, m, k, n) };
+            return;
+        }
+    }
+    let _ = d;
+    gemm_scalar(a, b, c, m, k, n);
+}
+
+/// `C += A^T * B` where `a` is `k x m` row-major (`C` pre-zeroed): the
+/// backprop weight gradient without materializing the transpose.
+pub fn gemm_at(
+    d: KernelDispatch,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if d == KernelDispatch::Fma && fma_ok() {
+            // SAFETY: AVX2+FMA support verified on the line above.
+            unsafe { x86::gemm_at_fma(a, b, c, k, m, n) };
+            return;
+        }
+        if d != KernelDispatch::Scalar && avx2_ok() {
+            // SAFETY: AVX2 support verified on the line above.
+            unsafe { x86::gemm_at(a, b, c, k, m, n) };
+            return;
+        }
+    }
+    let _ = d;
+    gemm_at_scalar(a, b, c, k, m, n);
+}
+
+/// The row-band `C += A_band * B` kernel behind the pooled matmul:
+/// bit-identical to [`gemm`] per output element (same ascending-`k`
+/// accumulation), on every tier.
+pub fn gemm_band(
+    d: KernelDispatch,
+    lhs: &[f32],
+    rhs: &[f32],
+    band: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if d == KernelDispatch::Fma && fma_ok() {
+            // SAFETY: AVX2+FMA support verified on the line above.
+            unsafe { x86::gemm_band_fma(lhs, rhs, band, k, n) };
+            return;
+        }
+        if d != KernelDispatch::Scalar && avx2_ok() {
+            // SAFETY: AVX2 support verified on the line above.
+            unsafe { x86::gemm_band(lhs, rhs, band, k, n) };
+            return;
+        }
+    }
+    let _ = d;
+    gemm_band_scalar(lhs, rhs, band, k, n);
+}
+
+/// The `A_band * B^T` band kernel behind `matmul_bt`: one [`dot`] per
+/// output element.
+pub fn dot_band(
+    d: KernelDispatch,
+    a_band: &[f32],
+    b_data: &[f32],
+    band: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if d == KernelDispatch::Fma && fma_ok() {
+            // SAFETY: AVX2+FMA support verified on the line above.
+            unsafe { x86::dot_band_fma(a_band, b_data, band, k, n) };
+            return;
+        }
+        if d != KernelDispatch::Scalar && avx2_ok() {
+            // SAFETY: AVX2 support verified on the line above.
+            unsafe { x86::dot_band(a_band, b_data, band, k, n) };
+            return;
+        }
+    }
+    let _ = d;
+    dot_band_scalar(a_band, b_data, band, k, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * scale).sin()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_all_tiers() {
+        assert_eq!(
+            KernelDispatch::parse("scalar"),
+            Some(KernelDispatch::Scalar)
+        );
+        assert_eq!(KernelDispatch::parse("AVX2"), Some(KernelDispatch::Avx2));
+        assert_eq!(KernelDispatch::parse(" fma "), Some(KernelDispatch::Fma));
+        assert_eq!(
+            KernelDispatch::parse("auto"),
+            Some(KernelDispatch::detect())
+        );
+        assert_eq!(KernelDispatch::parse("neon"), None);
+    }
+
+    #[test]
+    fn scalar_always_supported_and_first() {
+        assert!(KernelDispatch::Scalar.supported());
+        assert_eq!(KernelDispatch::available()[0], KernelDispatch::Scalar);
+    }
+
+    #[test]
+    fn detect_never_returns_fma() {
+        assert_ne!(KernelDispatch::detect(), KernelDispatch::Fma);
+    }
+
+    #[test]
+    fn add_assign_bit_identical_across_tiers() {
+        for n in [0, 1, 5, 8, 17, 64, 67] {
+            let src = seq(n, 0.37);
+            let base = seq(n, 0.61);
+            let mut scalar = base.clone();
+            add_assign(KernelDispatch::Scalar, &mut scalar, &src);
+            for d in KernelDispatch::available() {
+                let mut out = base.clone();
+                add_assign(d, &mut out, &src);
+                assert_eq!(
+                    scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "n={n} tier={}",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_axpy_and_dot_bit_identical() {
+        if !KernelDispatch::Avx2.supported() {
+            return;
+        }
+        for n in [1, 7, 8, 9, 31, 64, 66] {
+            let src = seq(n, 0.73);
+            let base = seq(n, 0.11);
+            let mut scalar = base.clone();
+            let mut simd = base.clone();
+            axpy(KernelDispatch::Scalar, &mut scalar, &src, -0.625);
+            axpy(KernelDispatch::Avx2, &mut simd, &src, -0.625);
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "axpy n={n}"
+            );
+            let ds = dot(KernelDispatch::Scalar, &base, &src);
+            let dv = dot(KernelDispatch::Avx2, &base, &src);
+            assert_eq!(ds.to_bits(), dv.to_bits(), "dot n={n}");
+        }
+    }
+
+    #[test]
+    fn fma_dot_within_tolerance() {
+        if !KernelDispatch::Fma.supported() {
+            return;
+        }
+        let a = seq(123, 0.41);
+        let b = seq(123, 0.29);
+        let ds = dot(KernelDispatch::Scalar, &a, &b) as f64;
+        let df = dot(KernelDispatch::Fma, &a, &b) as f64;
+        assert!((ds - df).abs() < 1e-4, "scalar {ds} vs fma {df}");
+    }
+
+    #[test]
+    fn forcing_overrides_env_resolution() {
+        let before = dispatch();
+        force(Some(KernelDispatch::Scalar));
+        assert_eq!(dispatch(), KernelDispatch::Scalar);
+        force(None);
+        assert_eq!(dispatch(), before);
+    }
+
+    #[test]
+    fn prefetch_accepts_any_slice() {
+        prefetch(&[]);
+        prefetch(&[1.0; 3]);
+        prefetch(&vec![0.5; 1024]);
+    }
+}

@@ -583,4 +583,51 @@ fn steady_state_hot_path_performs_zero_allocations() {
         0,
         "warm sharded prefetch checkout/recycle steady state must not allocate"
     );
+
+    // ---- SIMD kernel tiers ---------------------------------------------
+    // The runtime-dispatched kernels must be allocation-free on every
+    // tier the host supports: the AVX2/FMA paths are straight-line
+    // intrinsic loops over caller-owned slices, and tier selection is an
+    // atomic load (the env read behind the OnceLock happened at first
+    // dispatch, during warm-up). Certified by forcing each tier through
+    // the same warmed embedding step and a GEMM round-trip.
+    use tensor_casting::tensor::simd;
+    let a = random_matrix(48, 33, 21); // ragged shapes: every vector tail runs
+    let b = random_matrix(33, 29, 22);
+    let at_rhs = random_matrix(48, 29, 23); // a^T * at_rhs: 33 x 29
+    let bt = random_matrix(29, 33, 24); // a * bt^T: 48 x 29
+    let mut gemm_out = Matrix::zeros(48, 29);
+    let mut at_out = Matrix::zeros(33, 29);
+    let mut bt_out = Matrix::zeros(48, 29);
+    for tier in simd::KernelDispatch::available() {
+        simd::force(Some(tier));
+        // Warm under this tier (the first forced dispatch resolves the
+        // feature-detection caches, which must not count either way).
+        embedding_step(&mut pooled, &mut coalesced, &mut table, &mut sgd);
+        a.matmul_into_with(&b, &mut gemm_out, tier).unwrap();
+
+        let before = allocations();
+        for _ in 0..5 {
+            embedding_step(&mut pooled, &mut coalesced, &mut table, &mut sgd);
+            scatter_apply_dense(&mut ada_table, &coalesced.rows, &coalesced.grads, &mut ada)
+                .unwrap();
+            scatter_apply_dense(
+                &mut adam_table,
+                &coalesced.rows,
+                &coalesced.grads,
+                &mut adam,
+            )
+            .unwrap();
+            a.matmul_into_with(&b, &mut gemm_out, tier).unwrap();
+            a.matmul_at_into_with(&at_rhs, &mut at_out, tier).unwrap();
+            a.matmul_bt_into_with(&bt, &mut bt_out, tier).unwrap();
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{} kernel tier must not allocate in steady state",
+            tier.name()
+        );
+    }
+    simd::force(None);
 }
