@@ -26,14 +26,16 @@
 //! smoke runs report the ratio without gating.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use tcast_bench::{banner, fast_mode, json};
 use tcast_datasets::{BatchSource, PrefetchSource, SyntheticCtr, SyntheticSource};
 use tcast_dlrm::checkpoint::save_train_checkpoint;
-use tcast_dlrm::{BackwardMode, Dlrm, DlrmConfig, Execution, TableConfig, Trainer};
+use tcast_dlrm::{BackwardMode, Dlrm, DlrmConfig, Execution, TableConfig, TrainLoop, Trainer};
 use tcast_serve::{
-    serve, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy, CandidateCount, HotRestore,
-    OnlineConfig, OnlineReport, QueryModel, ServeConfig, ServeEngine, ServeReport,
+    serve, serve_concurrent, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy,
+    CandidateCount, ConcurrentConfig, ConcurrentReport, HotRestore, OnlineConfig, OnlineReport,
+    QueryModel, ServeConfig, ServeEngine, ServeReport, SnapshotStore,
 };
 
 #[derive(Clone)]
@@ -295,6 +297,125 @@ fn emit_online(args: &Args, prefetch: bool, sla_ns: u64, r: &ServeReport, o: &On
     }
 }
 
+/// The concurrent section's publish cadence: one snapshot every K
+/// casted steps, mirroring the online section's update rhythm.
+const CONCURRENT_SNAPSHOT_EVERY: usize = 4;
+
+/// One concurrent train-and-serve run: a `TrainLoop` publishes
+/// epoch-versioned snapshots into a `SnapshotStore` while `engines`
+/// serve engines score them from separate pool workers. Kernels stay
+/// serial on every task — the concurrency axis here is the fleet,
+/// scheduled by the scope pool, not intra-batch GEMM parallelism.
+fn run_concurrent(
+    args: &Args,
+    engines: usize,
+    train_batch: usize,
+    train_steps: usize,
+    sla_ns: u64,
+) -> ConcurrentReport {
+    let cfg = online_model_config();
+    let trainer = Trainer::with_execution(
+        cfg.clone(),
+        BackwardMode::Casted,
+        tcast_dlrm::EmbeddingOptimizer::Sgd,
+        Execution::Serial,
+        91,
+    )
+    .expect("valid online config");
+    let mut driver = TrainLoop::new(trainer, 2);
+    let store = SnapshotStore::new(driver.trainer().model(), 0, 4);
+    let mut source = SyntheticSource::new(
+        SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 29),
+        train_batch,
+    );
+    let mut workloads: Vec<QueryModel> = (0..engines)
+        .map(|i| {
+            QueryModel::new(
+                &cfg.table_workloads(),
+                cfg.dense_features,
+                args.catalog,
+                CandidateCount::Fixed(1),
+                1.1,
+                17 + i as u64,
+            )
+        })
+        .collect();
+    let pool = tcast_pool::Pool::new(engines + 1);
+    let mut config = ConcurrentConfig::new(
+        (args.queries / engines).max(ONLINE_BATCH),
+        ONLINE_BATCH,
+        train_steps,
+        CONCURRENT_SNAPSHOT_EVERY,
+    );
+    config.staleness_bound = 1;
+    config.sla_ns = sla_ns;
+    serve_concurrent(
+        &mut driver,
+        &mut source,
+        &store,
+        &mut workloads,
+        &pool,
+        &config,
+    )
+    .expect("concurrent serving must succeed")
+}
+
+fn emit_concurrent(
+    args: &Args,
+    engines: usize,
+    sla_ns: u64,
+    rep: &ConcurrentReport,
+    solo_sps: f64,
+) {
+    let sps = rep.train.steps_per_sec();
+    println!(
+        "  concurrent x{engines}  {:>9.1} qps  p99 {:>7.0} us  model age p99 {:>7.2} ms  \
+         staleness mean {:.2} / max {}  trainer {:>7.1} steps/s ({:.0}% of solo)",
+        rep.fleet.qps(),
+        rep.fleet.latency.p99_ns() as f64 / 1e3,
+        rep.freshness.p99_model_age_ns() as f64 / 1e6,
+        rep.freshness.mean_staleness_versions(),
+        rep.freshness.max_staleness_versions(),
+        sps,
+        100.0 * sps / solo_sps.max(1e-9),
+    );
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "serve_concurrent")
+        .u64_field("concurrency", engines as u64)
+        .u64_field("snapshot_every", CONCURRENT_SNAPSHOT_EVERY as u64)
+        .u64_field("batch_cap", ONLINE_BATCH as u64)
+        .u64_field("sla_ns", sla_ns)
+        .u64_field("queries", rep.fleet.queries)
+        .u64_field("batches", rep.fleet.batches)
+        .u64_field("train_steps", rep.train.steps)
+        .u64_field("publishes", rep.train.publishes)
+        .u64_field(
+            "max_staleness_versions",
+            rep.freshness.max_staleness_versions(),
+        )
+        .u64_field("cores", tcast_pool::default_parallelism() as u64)
+        .u64_field("threads", args.threads as u64)
+        .f64_field("qps", rep.fleet.qps())
+        .f64_field("p99_us", rep.fleet.latency.p99_ns() as f64 / 1e3)
+        .f64_field(
+            "model_age_p99_us",
+            rep.freshness.p99_model_age_ns() as f64 / 1e3,
+        )
+        .f64_field(
+            "mean_staleness_versions",
+            rep.freshness.mean_staleness_versions(),
+        )
+        .f64_field("train_steps_per_sec", sps)
+        .f64_field("solo_train_steps_per_sec", solo_sps)
+        .f64_field("sla_violation_rate", rep.fleet.sla_violation_rate());
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[serve_throughput] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
+}
+
 fn emit(args: &Args, policy: &str, batch_cap: usize, sla_ns: u64, r: &ServeReport) {
     println!(
         "  {policy:<9} B<={batch_cap:<3} sla {:>6} us  {:>9.1} qps  (p50 {:>7.0} us, p95 {:>7.0} us, \
@@ -532,6 +653,85 @@ fn main() {
         );
     }
     let _ = std::fs::remove_file(&ckpt_path);
+
+    // --- Concurrent train-and-serve: the concurrency axis. ------------
+    // The trainer and an engine fleet run simultaneously, trading model
+    // state only through the epoch-versioned `SnapshotStore` (publish
+    // every K casted steps, staleness bound 1 version). The interleaved
+    // online mode above is the oracle this mode is property-tested
+    // against: a batch served at version V scores bit-identically to
+    // the offline trainer at V's step count (tests/concurrent_serving.rs).
+    let concurrent_steps = if fast_mode() { 8 } else { 64 };
+    println!(
+        "\nconcurrent train-and-serve (snapshot every {CONCURRENT_SNAPSHOT_EVERY} casted steps, \
+         staleness bound 1, train batch {train_batch}):"
+    );
+    // Solo-training baseline: the same TrainLoop with no engine fleet
+    // competing, for the trainer-retention bound below.
+    let solo_sps = {
+        let cfg = online_model_config();
+        let trainer = Trainer::with_execution(
+            cfg.clone(),
+            BackwardMode::Casted,
+            tcast_dlrm::EmbeddingOptimizer::Sgd,
+            Execution::Serial,
+            91,
+        )
+        .expect("valid online config");
+        let mut driver = TrainLoop::new(trainer, 2);
+        let mut src = SyntheticSource::new(
+            SyntheticCtr::new(cfg.table_workloads(), cfg.dense_features, 29),
+            train_batch,
+        );
+        let t0 = Instant::now();
+        driver
+            .run(&mut src, concurrent_steps)
+            .expect("solo training");
+        concurrent_steps as f64 / t0.elapsed().as_secs_f64()
+    };
+    let fleet_sizes: &[usize] = if fast_mode() { &[1, 2] } else { &[1, 2, 4] };
+    let mut two_engine: Option<ConcurrentReport> = None;
+    for &engines in fleet_sizes {
+        let rep = run_concurrent(&args, engines, train_batch, concurrent_steps, sla_ns);
+        emit_concurrent(&args, engines, sla_ns, &rep, solo_sps);
+        if engines == 2 {
+            two_engine = Some(rep);
+        }
+    }
+    let two = two_engine.expect("fleet sweep includes 2 engines");
+    println!(
+        "concurrent vs interleaved QPS (2 engines vs online prefetch): {:.1} vs {:.1} \
+         ({:.2}x); model age p99 {:.2} ms",
+        two.fleet.qps(),
+        r_on.qps(),
+        two.fleet.qps() / r_on.qps().max(1e-9),
+        two.freshness.p99_model_age_ns() as f64 / 1e6,
+    );
+    // Trainer retention under concurrent serving. On >= 2 cores the
+    // trainer gets a worker to itself while the fleet scores flat out,
+    // so it must keep at least 25% of its solo steps/s (the snapshot
+    // copy plus cache pressure are the only taxes). A 1-core host
+    // timeshares trainer and engines on one core — report-only there.
+    let retention = two.train.steps_per_sec() / solo_sps.max(1e-9);
+    println!(
+        "trainer retention under concurrent serving: {:.1} steps/s vs solo {:.1} steps/s \
+         ({:.0}%)",
+        two.train.steps_per_sec(),
+        solo_sps,
+        100.0 * retention,
+    );
+    if !fast_mode()
+        && tcast_pool::default_parallelism() >= 2
+        && args.threads >= 2
+        && retention < 0.25
+    {
+        eprintln!(
+            "[serve_throughput] WARNING: concurrent serving dragged the trainer to \
+             {:.0}% of solo steps/s (target >= 25% on a multi-core host)",
+            100.0 * retention
+        );
+        std::process::exit(1);
+    }
 
     // --- The headline ratio + full-size gate. -------------------------
     let qps_of = |target: usize| {

@@ -563,6 +563,23 @@ impl TrainLoop {
         &self.trainer
     }
 
+    /// Mutable access to the wrapped trainer, for out-of-band weight
+    /// surgery between runs (e.g. hot-swapping in a checkpoint-restored
+    /// model mid-traffic before republishing a snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if steps are still in flight: mutating the trainer under
+    /// queued casting jobs would corrupt the pipeline's bookkeeping.
+    pub fn trainer_mut(&mut self) -> &mut Trainer {
+        assert!(
+            self.queue.is_empty(),
+            "{} steps still in flight: call finish() first",
+            self.queue.len()
+        );
+        &mut self.trainer
+    }
+
     /// Feeds one batch into the pipeline: begins its casting job and —
     /// once more than `depth` steps are in flight — completes the oldest
     /// one, returning its report together with its batch (so the caller

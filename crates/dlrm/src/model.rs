@@ -197,6 +197,34 @@ impl Dlrm {
         &mut self.top
     }
 
+    /// Copies every trainable weight of `src` into this model **in
+    /// place**: both MLPs' parameters and all embedding-table slabs, with
+    /// zero allocation. This is the slab-copy half of epoch-versioned
+    /// snapshot publication (`tcast-snapshot`): the trainer's live model
+    /// is captured into a recycled buffer model between steps, so serving
+    /// engines can read a frozen copy while training mutates the
+    /// original. Scratch, cached activations and shard plans are *not*
+    /// copied — the receiving model keeps its own (weights fully
+    /// determine inference, and sharding is placement, not state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the models disagree on architecture (table count/shape,
+    /// MLP depth or layer shapes).
+    pub fn copy_weights_from(&mut self, src: &Dlrm) {
+        self.bottom.copy_parameters_from(&src.bottom);
+        self.top.copy_parameters_from(&src.top);
+        assert_eq!(self.tables.len(), src.tables.len(), "table count mismatch");
+        for (dst, src) in self.tables.iter_mut().zip(src.tables.iter()) {
+            assert_eq!(
+                (dst.rows(), dst.dim()),
+                (src.rows(), src.dim()),
+                "table shape mismatch"
+            );
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+    }
+
     /// Total trainable parameters (MLPs + embeddings).
     pub fn parameter_count(&self) -> usize {
         self.bottom.parameter_count()

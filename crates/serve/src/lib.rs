@@ -27,7 +27,12 @@
 //!   SLA-violation accounting;
 //! * [`online`] — the serving loop, including the online-training mode
 //!   that interleaves casted [`Trainer`] update steps with serving,
-//!   tracking model staleness.
+//!   tracking model staleness;
+//! * [`concurrent`] — *true* concurrent train-and-serve: the trainer
+//!   publishes epoch-versioned snapshots (`tcast-snapshot`) every K
+//!   steps while N engines score consistent snapshots on separate pool
+//!   workers under a freshness SLA (p99 model age), with hot-swap and
+//!   rollback drills that never pause serving.
 //!
 //! # The serving invariant
 //!
@@ -82,16 +87,22 @@
 //! [`Trainer`]: tcast_dlrm::Trainer
 //! [`CastingCache`]: tcast_core::CastingCache
 
+pub mod concurrent;
 pub mod engine;
 pub mod online;
 pub mod queue;
 pub mod request;
 pub mod stats;
 
+pub use concurrent::{
+    serve_concurrent, ConcurrentConfig, ConcurrentError, ConcurrentReport, HotSwap, RollbackDrill,
+    ServedBatchRecord, TrainReport,
+};
 pub use engine::{ScoredBatch, ServeEngine, DEFAULT_CACHE_CAPACITY};
 pub use online::{
     serve, serve_online, HotRestore, OnlineConfig, OnlineReport, ServeConfig, ServeError,
 };
 pub use queue::{AdaptiveBatcher, AdmissionQueue, BatchPolicy, Decision, QueuedQuery};
 pub use request::{ArrivalProcess, CandidateCount, Query, QueryModel};
-pub use stats::{LatencyHistogram, ServeReport};
+pub use stats::{FreshnessLedger, LatencyHistogram, ServeReport};
+pub use tcast_snapshot::{ModelSnapshot, SnapshotError, SnapshotStore};

@@ -42,7 +42,7 @@ use std::time::Instant;
 use crate::engine::ServeEngine;
 use crate::queue::{AdmissionQueue, BatchPolicy, Decision, QueuedQuery};
 use crate::request::{ArrivalProcess, Query, QueryModel};
-use crate::stats::{LatencyHistogram, ServeReport};
+use crate::stats::{FreshnessLedger, LatencyHistogram, ServeReport};
 use tcast_datasets::BatchSource;
 use tcast_dlrm::checkpoint::{read_train_checkpoint, CheckpointError};
 use tcast_dlrm::Trainer;
@@ -160,6 +160,12 @@ pub struct OnlineReport {
     /// histogram of this vector shows; entry `i` is the staleness of
     /// fused batch `i` (0 = scored by a just-updated model).
     pub staleness_batches: Vec<u64>,
+    /// Per-batch freshness on the schema shared with the concurrent
+    /// runtime: model version (1 + mutations so far — update steps and
+    /// hot-restores both advance it), staleness in versions (always 0
+    /// here: interleaved serving always scores the newest model), and
+    /// wall-clock model age.
+    pub freshness: FreshnessLedger,
 }
 
 impl OnlineReport {
@@ -217,14 +223,27 @@ pub fn serve_online(
     let mut loop_ = ServeLoop::new(engine, workload, config);
     let mut report = OnlineReport::default();
     let mut batches_since_update = 0u64;
+    // Freshness bookkeeping on the snapshot schema: the initial model is
+    // version 1, every mutation (update step or hot-restore) publishes
+    // the next version, and interleaved serving always scores the head —
+    // staleness in versions is identically 0.
+    let mut model_version = 1u64;
+    let mut model_published = Instant::now();
     let mut restore = online.restore;
     if let Some(hr) = restore.take_if(|hr| hr.at_update == 0) {
         hot_restore(&mut loop_, trainer, &hr)?;
+        model_version += 1;
+        model_published = Instant::now();
     }
     while !loop_.done() {
         let fired = loop_.tick(trainer.model())?;
         if fired {
             report.staleness_batches.push(batches_since_update);
+            report.freshness.record(
+                model_version,
+                0,
+                model_published.elapsed().as_nanos() as u64,
+            );
             batches_since_update += 1;
             if batches_since_update >= online.update_every as u64 {
                 let t0 = Instant::now();
@@ -242,9 +261,13 @@ pub fn serve_online(
                 report.losses.push(step.loss);
                 report.updates += 1;
                 batches_since_update = 0;
+                model_version += 1;
+                model_published = Instant::now();
                 source.recycle(batch);
                 if let Some(hr) = restore.take_if(|hr| report.updates >= hr.at_update) {
                     hot_restore(&mut loop_, trainer, &hr)?;
+                    model_version += 1;
+                    model_published = Instant::now();
                 }
             }
         }
@@ -672,6 +695,13 @@ mod tests {
         assert!(online.max_staleness() <= 1, "update_every 2 -> 0/1 stale");
         assert!(online.train_ns > 0);
         assert!(online.gen_ns > 0, "inline generation must be measurable");
+        // Freshness: one record per fused batch, interleaved serving is
+        // never behind the head, versions climb with the updates.
+        assert_eq!(online.freshness.batches(), 10);
+        assert_eq!(online.freshness.max_staleness_versions(), 0);
+        assert_eq!(online.freshness.versions.first(), Some(&1));
+        assert_eq!(online.freshness.versions.last(), Some(&5));
+        assert!(online.freshness.versions.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -145,6 +145,21 @@ impl LatencyHistogram {
         self.quantile_ns(0.99)
     }
 
+    /// Folds `other` into `self`. Because buckets are positional, the
+    /// merged histogram is exactly the histogram that would have been
+    /// produced by recording both value streams into one instance — so
+    /// fleet-level percentiles from merged per-engine histograms equal
+    /// the single-histogram answer (unit-tested below).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Recorded values above `threshold_ns` — SLA-violation counting via
     /// buckets would round; this needs exactness, so the caller counts
     /// violations at record time. Provided here for bucket-level
@@ -222,6 +237,98 @@ impl ServeReport {
             return 0.0;
         }
         self.shed as f64 / self.queries as f64
+    }
+
+    /// Folds `other` into `self`, producing the fleet-level report for
+    /// engines that ran concurrently: counters add, histograms merge
+    /// (bucket-exact — see [`LatencyHistogram::merge`]), `span_ns` and
+    /// `max_queue_depth` take the max (concurrent engines share the
+    /// clock), `cache_hit_rate` is re-weighted by scored queries, and
+    /// `sla_ns` keeps `self`'s value (engines in one fleet share an SLA).
+    pub fn merge(&mut self, other: &ServeReport) {
+        let self_scored = self.queries - self.shed;
+        let other_scored = other.queries - other.shed;
+        let scored = self_scored + other_scored;
+        self.cache_hit_rate = if scored == 0 {
+            0.0
+        } else {
+            (self.cache_hit_rate * self_scored as f64 + other.cache_hit_rate * other_scored as f64)
+                / scored as f64
+        };
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.samples += other.samples;
+        self.latency.merge(&other.latency);
+        self.service.merge(&other.service);
+        self.span_ns = self.span_ns.max(other.span_ns);
+        self.sla_violations += other.sla_violations;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.shed += other.shed;
+        self.restores += other.restores;
+        self.restore_ns += other.restore_ns;
+    }
+}
+
+/// Per-batch model-freshness accounting — the staleness ledger grown
+/// into a freshness SLA. Each served batch records the snapshot version
+/// it was scored against, how many versions behind the store's head that
+/// was, and the snapshot's wall-clock age; p99 model age is the
+/// freshness figure of merit, symmetric with p99 latency.
+///
+/// Both serving modes fill the same ledger — the interleaved oracle
+/// (`serve_online`, where "version" is the update count and staleness in
+/// versions is always 0) and the concurrent runtime — so freshness is
+/// comparable across modes on one schema.
+#[derive(Debug, Clone, Default)]
+pub struct FreshnessLedger {
+    /// Snapshot version each batch was scored against, in batch order.
+    pub versions: Vec<u64>,
+    /// Versions behind the store head at score time, in batch order.
+    pub staleness_versions: Vec<u64>,
+    /// Wall-clock model age (ns) at score time.
+    pub model_age: LatencyHistogram,
+}
+
+impl FreshnessLedger {
+    /// Records one served batch.
+    pub fn record(&mut self, version: u64, versions_behind: u64, model_age_ns: u64) {
+        self.versions.push(version);
+        self.staleness_versions.push(versions_behind);
+        self.model_age.record(model_age_ns);
+    }
+
+    /// Folds `other` into `self` (fleet aggregation). Batch order across
+    /// engines is interleaving-dependent, so the per-batch vectors
+    /// concatenate; the age histogram merges bucket-exactly.
+    pub fn merge(&mut self, other: &FreshnessLedger) {
+        self.versions.extend_from_slice(&other.versions);
+        self.staleness_versions
+            .extend_from_slice(&other.staleness_versions);
+        self.model_age.merge(&other.model_age);
+    }
+
+    /// Batches recorded.
+    pub fn batches(&self) -> u64 {
+        self.model_age.count()
+    }
+
+    /// p99 wall-clock model age (ns) — the freshness SLA headline.
+    pub fn p99_model_age_ns(&self) -> u64 {
+        self.model_age.p99_ns()
+    }
+
+    /// Worst staleness in versions any batch was served at (0 when
+    /// empty).
+    pub fn max_staleness_versions(&self) -> u64 {
+        self.staleness_versions.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean staleness in versions (0 when empty).
+    pub fn mean_staleness_versions(&self) -> f64 {
+        if self.staleness_versions.is_empty() {
+            return 0.0;
+        }
+        self.staleness_versions.iter().sum::<u64>() as f64 / self.staleness_versions.len() as f64
     }
 }
 
@@ -309,6 +416,109 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn merged_histogram_equals_single_histogram_over_both_streams() {
+        // Two disjoint streams recorded separately then merged must
+        // report the same percentiles as one histogram fed everything.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut oracle = LatencyHistogram::new();
+        for v in 1..=700u64 {
+            a.record(v * 131);
+            oracle.record(v * 131);
+        }
+        for v in 1..=300u64 {
+            b.record(v * 17 + 5);
+            oracle.record(v * 17 + 5);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), oracle.count());
+        assert_eq!(a.min_ns(), oracle.min_ns());
+        assert_eq!(a.max_ns(), oracle.max_ns());
+        assert!((a.mean_ns() - oracle.mean_ns()).abs() < 1e-9);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), oracle.quantile_ns(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(42);
+        a.record(4200);
+        let before = (a.count(), a.min_ns(), a.max_ns(), a.p99_ns());
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.min_ns(), a.max_ns(), a.p99_ns()), before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.min_ns(), a.min_ns());
+        assert_eq!(empty.max_ns(), a.max_ns());
+    }
+
+    #[test]
+    fn report_merge_aggregates_counters_and_reweights_cache_hits() {
+        let mut a = ServeReport {
+            queries: 100,
+            batches: 20,
+            samples: 800,
+            span_ns: 5_000,
+            sla_ns: 1_000_000,
+            sla_violations: 2,
+            max_queue_depth: 7,
+            cache_hit_rate: 0.5,
+            shed: 20, // 80 scored
+            ..Default::default()
+        };
+        a.latency.record(100);
+        let mut b = ServeReport {
+            queries: 40,
+            batches: 10,
+            samples: 320,
+            span_ns: 9_000,
+            sla_ns: 1_000_000,
+            sla_violations: 1,
+            max_queue_depth: 3,
+            cache_hit_rate: 0.8,
+            shed: 0, // 40 scored
+            restores: 1,
+            restore_ns: 77,
+            ..Default::default()
+        };
+        b.latency.record(900);
+        a.merge(&b);
+        assert_eq!(a.queries, 140);
+        assert_eq!(a.batches, 30);
+        assert_eq!(a.samples, 1120);
+        assert_eq!(a.span_ns, 9_000);
+        assert_eq!(a.sla_violations, 3);
+        assert_eq!(a.max_queue_depth, 7);
+        assert_eq!(a.shed, 20);
+        assert_eq!(a.restores, 1);
+        assert_eq!(a.restore_ns, 77);
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.latency.max_ns(), 900);
+        // (0.5 * 80 + 0.8 * 40) / 120 = 0.6
+        assert!((a.cache_hit_rate - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freshness_ledger_records_and_merges() {
+        let mut a = FreshnessLedger::default();
+        a.record(1, 0, 1_000);
+        a.record(2, 1, 2_000);
+        let mut b = FreshnessLedger::default();
+        b.record(2, 0, 500);
+        b.record(3, 4, 8_000);
+        a.merge(&b);
+        assert_eq!(a.batches(), 4);
+        assert_eq!(a.versions, vec![1, 2, 2, 3]);
+        assert_eq!(a.max_staleness_versions(), 4);
+        assert!((a.mean_staleness_versions() - 1.25).abs() < 1e-9);
+        assert!(a.p99_model_age_ns() >= 8_000);
+        assert_eq!(FreshnessLedger::default().max_staleness_versions(), 0);
+        assert_eq!(FreshnessLedger::default().mean_staleness_versions(), 0.0);
     }
 
     #[test]

@@ -95,6 +95,28 @@ impl Linear {
         self.weight.len() + self.bias.len()
     }
 
+    /// Copies `src`'s parameters into this layer **in place** — no
+    /// allocation, shapes must already match. This is the snapshot-capture
+    /// primitive: publishing an epoch-versioned model copy every K steps
+    /// must not allocate in steady state, so the copy writes through the
+    /// existing weight/bias slabs instead of [`Linear::set_parameters`]'
+    /// buffer replacement. Cached activations and gradients are *not*
+    /// copied — a parameter copy captures what the layer computes, not
+    /// what it was computing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers disagree on shape.
+    pub fn copy_parameters_from(&mut self, src: &Linear) {
+        assert_eq!(
+            self.weight.shape(),
+            src.weight.shape(),
+            "layer shape mismatch"
+        );
+        self.weight.copy_from(&src.weight);
+        self.bias.copy_from_slice(&src.bias);
+    }
+
     /// Forward pass: `y = x W + b`. Caches `x` for the backward pass.
     ///
     /// # Errors

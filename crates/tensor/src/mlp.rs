@@ -109,6 +109,20 @@ impl Mlp {
         &mut self.layers
     }
 
+    /// Copies `src`'s parameters layer by layer **in place** (see
+    /// [`Linear::copy_parameters_from`]) — the allocation-free capture
+    /// path for epoch-versioned model snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MLPs disagree on depth or any layer's shape.
+    pub fn copy_parameters_from(&mut self, src: &Mlp) {
+        assert_eq!(self.layers.len(), src.layers.len(), "MLP depth mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(src.layers.iter()) {
+            dst.copy_parameters_from(src);
+        }
+    }
+
     /// Forward pass over a `batch x input_dim` matrix, caching
     /// pre-activations for [`Mlp::backward`].
     ///

@@ -31,8 +31,12 @@
 //!   kernels with switchable baseline/casted backward.
 //! * [`serve`] (`tcast-serve`) — SLA-aware batched inference serving:
 //!   query workload models, admission-queue batching policies, the
-//!   zero-alloc fused scoring engine with a casting-cache hot path, and
-//!   the online-training mode.
+//!   zero-alloc fused scoring engine with a casting-cache hot path, the
+//!   online-training mode, and true concurrent train-and-serve.
+//! * [`snapshot`] (`tcast-snapshot`) — epoch-versioned model snapshot
+//!   publication: the trainer publishes immutable, recycled-buffer
+//!   snapshots every K steps; serve engines resolve consistent versions
+//!   with bounded staleness, hot swap and rollback.
 //!
 //! See `examples/` for runnable entry points and `crates/bench/src/bin/`
 //! for the per-figure reproduction harness.
@@ -57,5 +61,6 @@ pub use tcast_dram as dram;
 pub use tcast_embedding as embedding;
 pub use tcast_nmp as nmp;
 pub use tcast_serve as serve;
+pub use tcast_snapshot as snapshot;
 pub use tcast_system as system;
 pub use tcast_tensor as tensor;

@@ -432,6 +432,27 @@ fn steady_state_hot_path_performs_zero_allocations() {
         "warm-cache fused serving steady state must not allocate"
     );
 
+    // ---- Snapshot publication: warm slab copy into recycled buffers ---
+    // The concurrent train-and-serve publish path: once the store's
+    // circulating buffer census is warm (current + retained ring + one
+    // free buffer), every further publish recycles an unpinned buffer —
+    // the slab copy lands in place (`copy_weights_from`), the ring
+    // rotates within warmed VecDeque capacity, and the version counter
+    // is an atomic store. Nothing allocates.
+    let snap_store = tensor_casting::snapshot::SnapshotStore::new(&serve_model, 0, 2);
+    for s in 1..=4u64 {
+        snap_store.publish(&serve_model, s);
+    }
+    let before = allocations();
+    for s in 5..=14u64 {
+        snap_store.publish(&serve_model, s);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm snapshot publish steady state must not allocate"
+    );
+
     // ---- Prefetched batch source: warm checkout/recycle ---------------
     // A PrefetchSource generates on a producer thread and refills
     // buffers the consumer recycles across the thread boundary. Once
