@@ -33,9 +33,10 @@ use tcast_datasets::{BatchSource, PrefetchSource, SyntheticCtr, SyntheticSource}
 use tcast_dlrm::checkpoint::save_train_checkpoint;
 use tcast_dlrm::{BackwardMode, Dlrm, DlrmConfig, Execution, TableConfig, TrainLoop, Trainer};
 use tcast_serve::{
-    serve, serve_concurrent, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy,
-    CandidateCount, ConcurrentConfig, ConcurrentReport, HotRestore, OnlineConfig, OnlineReport,
-    QueryModel, ServeConfig, ServeEngine, ServeReport, SnapshotStore,
+    run_fleet, serve, serve_concurrent, serve_online, AdaptiveBatcher, ArrivalProcess, BatchPolicy,
+    CandidateCount, ConcurrentConfig, ConcurrentReport, FleetConfig, FleetReport, HotRestore,
+    OnlineConfig, OnlineReport, PoolCostModel, PopularityShift, PublishCadence, QueryModel,
+    RateCurve, ServeConfig, ServeEngine, ServeReport, SnapshotStore, Tenant, TenantSpec,
 };
 
 #[derive(Clone)]
@@ -416,6 +417,146 @@ fn emit_concurrent(
     }
 }
 
+/// The fleet scenario's quiet tenant: steady load, deadline batching, a
+/// 6 ms SLA with shedding on — the tenant whose tail the isolation gate
+/// protects. Per-spec seeds keep its arrival schedule identical whether
+/// it runs solo (the baseline) or next to the flash crowd.
+fn quiet_tenant_spec() -> TenantSpec {
+    let queries = if fast_mode() { 120 } else { 600 };
+    TenantSpec {
+        name: "quiet".to_string(),
+        weight: 1,
+        queries,
+        arrivals: RateCurve::Constant { qps: 3_000.0 },
+        policy: BatchPolicy::Deadline {
+            max_batch: 8,
+            max_wait_ns: 500_000,
+        },
+        sla_ns: 6_000_000,
+        shed_unmeetable: true,
+        seed: 404,
+        publish: Some(PublishCadence::new(8_000_000, 1_000_000)),
+        popularity_shift: None,
+    }
+}
+
+/// The fleet scenario's aggressor: an 80x flash crowd mid-run plus a
+/// popularity shift that churns its casting cache, under adaptive
+/// batching. The spike runs ~2x over its lane's pool capacity (a batch
+/// of 16 costs 450 us under `fleet_cost`, ~35.5k qps), so it *must*
+/// shed or violate — the gate below checks the stress was real. Its
+/// publish cadence is staggered against the quiet tenant's.
+fn flashy_tenant_spec() -> TenantSpec {
+    let (queries, spike_start, spike_len) = if fast_mode() {
+        (400, 5_000_000, 10_000_000)
+    } else {
+        (2_400, 10_000_000, 30_000_000)
+    };
+    TenantSpec {
+        name: "flashy".to_string(),
+        weight: 1,
+        queries,
+        arrivals: RateCurve::FlashCrowd {
+            base_qps: 1_000.0,
+            spike_qps: 80_000.0,
+            start_ns: spike_start,
+            duration_ns: spike_len,
+        },
+        policy: BatchPolicy::Adaptive(AdaptiveBatcher::new(4_000_000, 16, 400_000)),
+        sla_ns: 4_000_000,
+        shed_unmeetable: true,
+        seed: 505,
+        publish: Some(PublishCadence::new(8_000_000, 5_000_000)),
+        popularity_shift: Some(PopularityShift {
+            at_ns: spike_start + spike_len / 2,
+            rotation: 32,
+        }),
+    }
+}
+
+fn fleet_tenant(args: &Args, spec: TenantSpec, model_seed: u64) -> Tenant {
+    let cfg = online_model_config();
+    let model = Dlrm::new(cfg.clone(), model_seed).expect("valid fleet model");
+    let workload = QueryModel::new(
+        &cfg.table_workloads(),
+        cfg.dense_features,
+        args.catalog,
+        CandidateCount::Fixed(1),
+        1.1,
+        spec.seed,
+    );
+    Tenant::new(spec, &model, workload)
+}
+
+/// The fleet's simulated batch cost, loosely calibrated to the lean
+/// model: the quiet tenant's 3k qps fits comfortably, the 40k qps
+/// flash crowd is ~2x over pool capacity and must shed.
+fn fleet_cost() -> PoolCostModel {
+    PoolCostModel {
+        batch_overhead_ns: 50_000,
+        ns_per_sample: 25_000,
+    }
+}
+
+fn run_fleet_scenario(args: &Args, specs: Vec<(TenantSpec, u64)>) -> FleetReport {
+    let mut tenants: Vec<Tenant> = specs
+        .into_iter()
+        .map(|(spec, model_seed)| fleet_tenant(args, spec, model_seed))
+        .collect();
+    let config = FleetConfig {
+        cost: fleet_cost(),
+        ..FleetConfig::default()
+    };
+    run_fleet(&mut tenants, &config).expect("fleet must serve")
+}
+
+fn emit_fleet(args: &Args, scenario: &str, tenants: usize, report: &FleetReport) {
+    for t in &report.tenants {
+        println!(
+            "  fleet[{scenario}] {:<7} w{} {:>9.1} qps  p99 {:>7.0} us  viol {:>5.1}%  \
+             shed {:>5.1}%  pool {:>5.1}%  cache hit {:>5.1}%  {} publishes",
+            t.name,
+            t.weight,
+            t.serve.qps(),
+            t.serve.latency.p99_ns() as f64 / 1e3,
+            100.0 * t.serve.sla_violation_rate(),
+            100.0 * t.serve.shed_rate(),
+            100.0 * t.pool_share,
+            100.0 * t.serve.cache_hit_rate,
+            t.publishes,
+        );
+        let mut row = json::JsonRow::new();
+        row.str_field("kind", "serve_fleet")
+            .str_field("scenario", scenario)
+            .str_field("tenant", &t.name)
+            .u64_field("tenants", tenants as u64)
+            .u64_field("weight", t.weight)
+            .u64_field("queries", t.serve.queries)
+            .u64_field("batches", t.serve.batches)
+            .u64_field("sla_ns", t.serve.sla_ns)
+            .u64_field("publishes", t.publishes)
+            .u64_field("cache_evictions", t.cache_evictions)
+            .u64_field("cores", tcast_pool::default_parallelism() as u64)
+            .u64_field("threads", args.threads as u64)
+            .f64_field("qps", t.serve.qps())
+            .f64_field("p99_us", t.serve.latency.p99_ns() as f64 / 1e3)
+            .f64_field("sla_violation_rate", t.serve.sla_violation_rate())
+            .f64_field("shed_rate", t.serve.shed_rate())
+            .f64_field("pool_share", t.pool_share)
+            .f64_field("cache_hit_rate", t.serve.cache_hit_rate)
+            .f64_field(
+                "model_age_p99_us",
+                t.freshness.p99_model_age_ns() as f64 / 1e3,
+            );
+        if let Err(e) = json::append_row(&args.json, &row) {
+            eprintln!(
+                "[serve_throughput] cannot write {}: {e}",
+                args.json.display()
+            );
+        }
+    }
+}
+
 fn emit(args: &Args, policy: &str, batch_cap: usize, sla_ns: u64, r: &ServeReport) {
     println!(
         "  {policy:<9} B<={batch_cap:<3} sla {:>6} us  {:>9.1} qps  (p50 {:>7.0} us, p95 {:>7.0} us, \
@@ -731,6 +872,116 @@ fn main() {
             100.0 * retention
         );
         std::process::exit(1);
+    }
+
+    // --- Multi-tenant fleet: per-tenant SLA isolation. ----------------
+    // A quiet tenant (steady 3k qps, 6 ms SLA) first runs solo as its
+    // own baseline, then next to a flash-crowd tenant (40x spike plus a
+    // mid-run popularity shift) over the same pool, under the
+    // virtual-time weighted-fair scheduler. The flash crowd must
+    // overload its own lane without dragging the quiet tenant's tail or
+    // shed rate past the solo baseline. The whole scenario is a
+    // deterministic simulation over `PoolCostModel`, so the duo run is
+    // also replayed and compared bit-for-bit.
+    println!("\nmulti-tenant fleet (weighted-fair pool sharing, per-tenant SLAs):");
+    let solo_report = run_fleet_scenario(&args, vec![(quiet_tenant_spec(), 91)]);
+    emit_fleet(&args, "solo", 1, &solo_report);
+    let duo_specs = || vec![(quiet_tenant_spec(), 91), (flashy_tenant_spec(), 137)];
+    let duo_report = run_fleet_scenario(&args, duo_specs());
+    emit_fleet(&args, "flash-crowd", 2, &duo_report);
+    let fleet_digest = |r: &FleetReport| {
+        r.tenants
+            .iter()
+            .map(|t| {
+                (
+                    t.pool_ns,
+                    t.serve.batches,
+                    t.serve.shed,
+                    t.serve.sla_violations,
+                    t.serve.latency.p99_ns(),
+                    t.freshness.versions.clone(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let replay = run_fleet_scenario(&args, duo_specs());
+    let deterministic =
+        replay.span_ns == duo_report.span_ns && fleet_digest(&replay) == fleet_digest(&duo_report);
+    println!(
+        "fleet scheduler determinism: replay {} (span {} ns, {} pool-ns charged)",
+        if deterministic {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        duo_report.span_ns,
+        duo_report.tenants.iter().map(|t| t.pool_ns).sum::<u64>(),
+    );
+    let solo_quiet = solo_report.tenant("quiet").expect("solo quiet tenant");
+    let duo_quiet = duo_report.tenant("quiet").expect("duo quiet tenant");
+    let flashy = duo_report.tenant("flashy").expect("flashy tenant");
+    let solo_p99 = solo_quiet.serve.latency.p99_ns();
+    let duo_p99 = duo_quiet.serve.latency.p99_ns();
+    let p99_bound = 2 * solo_p99 + 1_000_000;
+    let shed_bound = solo_quiet.serve.shed_rate() + 0.05;
+    let stressed = flashy.serve.shed > 0 || flashy.serve.sla_violations > 0;
+    let isolated = duo_p99 <= p99_bound && duo_quiet.serve.shed_rate() <= shed_bound;
+    println!(
+        "per-tenant SLA isolation: {} — quiet p99 {:.0} us solo -> {:.0} us beside the flash \
+         crowd (bound {:.0} us), shed {:.1}% -> {:.1}% (bound {:.1}%), aggressor shed {:.1}%",
+        if isolated { "held" } else { "BROKEN" },
+        solo_p99 as f64 / 1e3,
+        duo_p99 as f64 / 1e3,
+        p99_bound as f64 / 1e3,
+        100.0 * solo_quiet.serve.shed_rate(),
+        100.0 * duo_quiet.serve.shed_rate(),
+        100.0 * shed_bound,
+        100.0 * flashy.serve.shed_rate(),
+    );
+    let mut row = json::JsonRow::new();
+    row.str_field("kind", "serve_fleet_isolation")
+        .u64_field("tenants", 2)
+        .u64_field("solo_p99_ns", solo_p99)
+        .u64_field("duo_p99_ns", duo_p99)
+        .u64_field("p99_bound_ns", p99_bound)
+        .u64_field("cores", tcast_pool::default_parallelism() as u64)
+        .u64_field("threads", args.threads as u64)
+        .f64_field("solo_shed_rate", solo_quiet.serve.shed_rate())
+        .f64_field("duo_shed_rate", duo_quiet.serve.shed_rate())
+        .f64_field("aggressor_shed_rate", flashy.serve.shed_rate())
+        .str_field("isolated", if isolated { "yes" } else { "no" })
+        .str_field("deterministic", if deterministic { "yes" } else { "no" });
+    if let Err(e) = json::append_row(&args.json, &row) {
+        eprintln!(
+            "[serve_throughput] cannot write {}: {e}",
+            args.json.display()
+        );
+    }
+    // Determinism gates unconditionally: the fleet clock is simulated,
+    // so host speed and core count cannot excuse a diverged replay.
+    if !deterministic {
+        eprintln!("[serve_throughput] WARNING: fleet replay diverged on identical specs");
+        std::process::exit(1);
+    }
+    // The isolation gate is full-size multi-core only (report-only on a
+    // 1-core host or FAST smoke), matching the other serve-plane gates.
+    if !fast_mode() && tcast_pool::default_parallelism() >= 2 && args.threads >= 2 {
+        if !stressed {
+            eprintln!(
+                "[serve_throughput] WARNING: the flash-crowd tenant never stressed the pool \
+                 (no shed, no violations) — the isolation check proved nothing"
+            );
+            std::process::exit(1);
+        }
+        if !isolated {
+            eprintln!(
+                "[serve_throughput] WARNING: flash crowd broke tenant isolation — quiet p99 \
+                 {duo_p99} ns vs bound {p99_bound} ns, shed {:.3} vs bound {:.3}",
+                duo_quiet.serve.shed_rate(),
+                shed_bound,
+            );
+            std::process::exit(1);
+        }
     }
 
     // --- The headline ratio + full-size gate. -------------------------

@@ -27,16 +27,25 @@ pub use tcast_tensor::simd::{dispatch, force, KernelDispatch};
 // ---------------------------------------------------------------------------
 // Scalar row kernels: the oracles. Exact transcriptions of the optimizer
 // update loops they replaced.
+//
+// `#[inline(never)]` is load-bearing for the bit-identity invariant: the
+// AVX2 kernels call these same functions for their sub-8-lane tails, and
+// LLVM's NaN-payload choice for a float expression is unspecified *per
+// compilation* — two inlined copies of identical source can legally
+// disagree on which NaN `p - step` returns when `sqrt` of a negative
+// accumulator mints a fresh one. One compiled instance shared by the
+// scalar tier and every SIMD tail makes that divergence impossible (the
+// call is per row, amortized over the whole `dim` loop).
 // ---------------------------------------------------------------------------
 
-#[inline(always)]
+#[inline(never)]
 fn sgd_scalar(lr: f32, param: &mut [f32], grad: &[f32]) {
     for (p, &g) in param.iter_mut().zip(grad.iter()) {
         *p -= lr * g;
     }
 }
 
-#[inline(always)]
+#[inline(never)]
 fn momentum_scalar(lr: f32, mu: f32, v: &mut [f32], param: &mut [f32], grad: &[f32]) {
     for ((p, &g), vi) in param.iter_mut().zip(grad.iter()).zip(v.iter_mut()) {
         *vi = mu * *vi + g;
@@ -44,7 +53,7 @@ fn momentum_scalar(lr: f32, mu: f32, v: &mut [f32], param: &mut [f32], grad: &[f
     }
 }
 
-#[inline(always)]
+#[inline(never)]
 fn adagrad_scalar(lr: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f32]) {
     for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
         *ai += g * g;
@@ -52,7 +61,7 @@ fn adagrad_scalar(lr: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f
     }
 }
 
-#[inline(always)]
+#[inline(never)]
 fn rmsprop_scalar(lr: f32, gamma: f32, eps: f32, a: &mut [f32], param: &mut [f32], grad: &[f32]) {
     for ((p, &g), ai) in param.iter_mut().zip(grad.iter()).zip(a.iter_mut()) {
         *ai = gamma * *ai + (1.0 - gamma) * g * g;
@@ -78,7 +87,7 @@ pub struct AdamRow {
     pub bc2: f32,
 }
 
-#[inline(always)]
+#[inline(never)]
 fn adam_scalar(h: AdamRow, m: &mut [f32], v: &mut [f32], param: &mut [f32], grad: &[f32]) {
     for (((p, &g), mi), vi) in param
         .iter_mut()
@@ -96,7 +105,9 @@ fn adam_scalar(h: AdamRow, m: &mut [f32], v: &mut [f32], param: &mut [f32], grad
 
 // ---------------------------------------------------------------------------
 // AVX2 row kernels: lane-wise transcriptions of the scalar loops above,
-// operation for operation, in the same order.
+// operation for operation, in the same order. Sub-8-lane tails call the
+// scalar oracles (the single `#[inline(never)]` instances), never an
+// open-coded copy of them.
 // ---------------------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
@@ -121,10 +132,7 @@ mod x86 {
             }
             j += 8;
         }
-        while j < n {
-            param[j] -= lr * grad[j];
-            j += 1;
-        }
+        super::sgd_scalar(lr, &mut param[j..n], &grad[j..n]);
     }
 
     #[target_feature(enable = "avx2")]
@@ -148,11 +156,7 @@ mod x86 {
             }
             j += 8;
         }
-        while j < n {
-            v[j] = mu * v[j] + grad[j];
-            param[j] -= lr * v[j];
-            j += 1;
-        }
+        super::momentum_scalar(lr, mu, &mut v[j..n], &mut param[j..n], &grad[j..n]);
     }
 
     #[target_feature(enable = "avx2")]
@@ -175,11 +179,7 @@ mod x86 {
             }
             j += 8;
         }
-        while j < n {
-            a[j] += grad[j] * grad[j];
-            param[j] -= lr * grad[j] / (eps + a[j]).sqrt();
-            j += 1;
-        }
+        super::adagrad_scalar(lr, eps, &mut a[j..n], &mut param[j..n], &grad[j..n]);
     }
 
     #[target_feature(enable = "avx2")]
@@ -209,11 +209,7 @@ mod x86 {
             }
             j += 8;
         }
-        while j < n {
-            a[j] = gamma * a[j] + (1.0 - gamma) * grad[j] * grad[j];
-            param[j] -= lr * grad[j] / (eps + a[j]).sqrt();
-            j += 1;
-        }
+        super::rmsprop_scalar(lr, gamma, eps, &mut a[j..n], &mut param[j..n], &grad[j..n]);
     }
 
     #[target_feature(enable = "avx2")]
@@ -250,14 +246,7 @@ mod x86 {
             }
             j += 8;
         }
-        while j < n {
-            m[j] = h.beta1 * m[j] + (1.0 - h.beta1) * grad[j];
-            v[j] = h.beta2 * v[j] + (1.0 - h.beta2) * grad[j] * grad[j];
-            let mhat = m[j] / h.bc1;
-            let vhat = v[j] / h.bc2;
-            param[j] -= h.lr * mhat / (vhat.sqrt() + h.eps);
-            j += 1;
-        }
+        super::adam_scalar(h, &mut m[j..n], &mut v[j..n], &mut param[j..n], &grad[j..n]);
     }
 }
 
@@ -469,5 +458,71 @@ mod tests {
         adagrad_row(KernelDispatch::Avx2, 0.1, 1e-8, &mut a, &mut p, &g);
         assert_eq!(bits(&pr), bits(&p));
         assert_eq!(bits(&ar), bits(&a));
+    }
+
+    /// Regression: a *negative* accumulator at a tail index (element 64
+    /// of 65) makes `sqrt(eps + a)` mint a fresh NaN, and `NaN - NaN`'s
+    /// payload is an unspecified per-compilation LLVM choice — the
+    /// scalar oracle's own tail and an open-coded copy of it inside the
+    /// AVX2 kernel used to pick *different* NaNs (0xffc00000 vs
+    /// 0x7fc00000). The tails now call the one `#[inline(never)]`
+    /// scalar instance, so the tiers cannot diverge; this pins the
+    /// exact inputs that caught it.
+    #[test]
+    fn fresh_nan_from_negative_state_is_tier_identical() {
+        if !KernelDispatch::Avx2.supported() {
+            return;
+        }
+        let n = 65;
+        let tail = n - 1;
+        let mut p0 = vec![0.25f32; n];
+        let mut g = vec![0.5f32; n];
+        let mut s0 = vec![0.0f32; n];
+        p0[tail] = f32::from_bits(0x7fc00000); // NaN param...
+        g[tail] = f32::from_bits(0x3f9b2610); // finite grad...
+        s0[tail] = f32::from_bits(0xbfe71036); // negative accumulator
+        s0[3] = -2.5; // and one in the vector body too
+
+        for d in KernelDispatch::available() {
+            // Adagrad and RMSprop hit sqrt(eps + negative) directly.
+            let (mut pr, mut ar) = (p0.clone(), s0.clone());
+            adagrad_row(KernelDispatch::Scalar, 0.05, 1e-8, &mut ar, &mut pr, &g);
+            let (mut p, mut a) = (p0.clone(), s0.clone());
+            adagrad_row(d, 0.05, 1e-8, &mut a, &mut p, &g);
+            assert_eq!(bits(&pr), bits(&p), "adagrad param d={}", d.name());
+            assert_eq!(bits(&ar), bits(&a), "adagrad state d={}", d.name());
+
+            let (mut pr, mut ar) = (p0.clone(), s0.clone());
+            rmsprop_row(
+                KernelDispatch::Scalar,
+                0.05,
+                0.95,
+                1e-8,
+                &mut ar,
+                &mut pr,
+                &g,
+            );
+            let (mut p, mut a) = (p0.clone(), s0.clone());
+            rmsprop_row(d, 0.05, 0.95, 1e-8, &mut a, &mut p, &g);
+            assert_eq!(bits(&pr), bits(&p), "rmsprop param d={}", d.name());
+            assert_eq!(bits(&ar), bits(&a), "rmsprop state d={}", d.name());
+
+            // Adam's sqrt sees the negative second moment.
+            let h = AdamRow {
+                lr: 0.01,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                bc1: 1.0 - 0.9f32.powi(3),
+                bc2: 1.0 - 0.999f32.powi(3),
+            };
+            let (mut pr, mut mr, mut vr) = (p0.clone(), s0.clone(), s0.clone());
+            adam_row(KernelDispatch::Scalar, h, &mut mr, &mut vr, &mut pr, &g);
+            let (mut p, mut m, mut v) = (p0.clone(), s0.clone(), s0.clone());
+            adam_row(d, h, &mut m, &mut v, &mut p, &g);
+            assert_eq!(bits(&pr), bits(&p), "adam param d={}", d.name());
+            assert_eq!(bits(&mr), bits(&m), "adam m d={}", d.name());
+            assert_eq!(bits(&vr), bits(&v), "adam v d={}", d.name());
+        }
     }
 }

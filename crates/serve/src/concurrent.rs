@@ -442,7 +442,8 @@ fn run_engine(
         // Engine-paced: a query's latency is its batch's service time.
         for _ in 0..n {
             report.latency.record(service_ns);
-            if service_ns > config.sla_ns {
+            // Exclusive deadline: meet iff latency < sla_ns.
+            if service_ns >= config.sla_ns {
                 report.sla_violations += 1;
             }
         }

@@ -32,7 +32,13 @@
 //!   publishes epoch-versioned snapshots (`tcast-snapshot`) every K
 //!   steps while N engines score consistent snapshots on separate pool
 //!   workers under a freshness SLA (p99 model age), with hot-swap and
-//!   rollback drills that never pause serving.
+//!   rollback drills that never pause serving;
+//! * [`fleet`] — the multi-tenant serving fleet: N tenants, each with
+//!   its own model/snapshot store, admission queue, SLA and shedding,
+//!   share one execution pool under a deterministic virtual-time
+//!   weighted-fair scheduler, driven by scenario arrival curves
+//!   (diurnal, flash crowd) and mid-run popularity shifts — the
+//!   cross-tenant isolation layer, with per-tenant and merged rollups.
 //!
 //! # The serving invariant
 //!
@@ -89,6 +95,7 @@
 
 pub mod concurrent;
 pub mod engine;
+pub mod fleet;
 pub mod online;
 pub mod queue;
 pub mod request;
@@ -99,10 +106,14 @@ pub use concurrent::{
     ServedBatchRecord, TrainReport,
 };
 pub use engine::{ScoredBatch, ServeEngine, DEFAULT_CACHE_CAPACITY};
+pub use fleet::{
+    run_fleet, FleetConfig, FleetReport, PoolCostModel, PopularityShift, Tenant, TenantReport,
+    TenantSpec, WfqScheduler,
+};
 pub use online::{
     serve, serve_online, HotRestore, OnlineConfig, OnlineReport, ServeConfig, ServeError,
 };
 pub use queue::{AdaptiveBatcher, AdmissionQueue, BatchPolicy, Decision, QueuedQuery};
-pub use request::{ArrivalProcess, CandidateCount, Query, QueryModel};
+pub use request::{ArrivalProcess, CandidateCount, Query, QueryModel, RateCurve};
 pub use stats::{FreshnessLedger, LatencyHistogram, ServeReport};
-pub use tcast_snapshot::{ModelSnapshot, SnapshotError, SnapshotStore};
+pub use tcast_snapshot::{ModelSnapshot, PublishCadence, SnapshotError, SnapshotStore};

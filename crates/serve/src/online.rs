@@ -491,7 +491,9 @@ impl<'a> ServeLoop<'a> {
         for item in &batch {
             let latency = self.clock_ns - item.arrival_ns;
             self.latency.record(latency);
-            if latency > self.sla_ns {
+            // Exclusive deadline: meet iff latency < sla_ns, matching
+            // the shed and adaptive-batcher boundary.
+            if latency >= self.sla_ns {
                 self.sla_violations += 1;
             }
         }

@@ -89,13 +89,19 @@ impl AdaptiveBatcher {
 
     /// Feeds back one completed batch's end-to-end latency (admission of
     /// its oldest query to completion): additive increase under the SLA
-    /// headroom, multiplicative decrease on violation.
+    /// headroom, multiplicative decrease on violation. A batch landing
+    /// *exactly* at the SLA is a violation — the serve plane's deadline
+    /// convention is everywhere exclusive (meet iff `latency < sla_ns`;
+    /// see [`AdmissionQueue::shed_expired_into`]).
     pub fn observe(&mut self, batch_latency_ns: u64) {
-        if batch_latency_ns > self.sla_ns {
-            self.target = (self.target / 2).max(1);
+        if batch_latency_ns >= self.sla_ns {
+            self.target /= 2;
         } else if (batch_latency_ns as f64) < self.grow_below * self.sla_ns as f64 {
-            self.target = (self.target + 1).min(self.max_batch);
+            self.target += 1;
         }
+        // The decision function owns its own bounds: whatever latency
+        // sequence arrives, the target stays inside [1, max_batch].
+        self.target = self.target.clamp(1, self.max_batch);
     }
 }
 
@@ -179,12 +185,17 @@ impl AdmissionQueue {
     }
 
     /// Sheds every waiting query whose deadline is already provably
-    /// unmeetable at clock `now_ns`: one that has waited `sla_ns` or
-    /// longer would violate the SLA even if scored instantly (service
-    /// time is strictly positive), so scoring it only burns compute that
-    /// queries still inside their budget need. Shed queries are drained
-    /// into `out` (cleared first) so the serve loop can complete their
-    /// closed-loop clients without scoring them.
+    /// unmeetable at clock `now_ns`. The serve plane's deadline
+    /// convention is *exclusive*: a query meets its SLA iff its
+    /// end-to-end latency is strictly below `sla_ns`, so one that has
+    /// already waited `sla_ns` or longer would violate even if scored in
+    /// zero time — scoring it only burns pool time that queries still
+    /// inside their budget need. (Violation counting and
+    /// [`AdaptiveBatcher::observe`] use the same `>= sla_ns` boundary,
+    /// so a shed query and a scored query that aged identically land on
+    /// the same side of the SLA.) Shed queries are drained into `out`
+    /// (cleared first) so the serve loop can complete their closed-loop
+    /// clients without scoring them.
     ///
     /// Admission order is FIFO and arrival times are non-decreasing, so
     /// the expired queries form a prefix of the queue.
@@ -417,6 +428,45 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(queue.shed_count(), 3);
         assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn exactly_at_deadline_is_a_violation_on_every_path() {
+        // The unified boundary convention: meet iff latency < sla_ns.
+        // A query aged exactly sla_ns is shed (unmeetable even at zero
+        // service time)...
+        let mut queue = AdmissionQueue::new(BatchPolicy::Fixed { batch: 8 });
+        queue.push(q(0), 100);
+        let mut out = Vec::new();
+        queue.shed_expired_into(1_100, 1_000, &mut out);
+        assert_eq!(out.len(), 1, "age == sla is shed");
+        // ...and a batch landing exactly at the SLA is treated as a
+        // violation by the adaptive batcher (halve, not grow/hold).
+        let mut b = AdaptiveBatcher::new(1_000_000, 32, 100_000);
+        for _ in 0..7 {
+            b.observe(100_000);
+        }
+        assert_eq!(b.target(), 8);
+        b.observe(1_000_000); // exactly at the SLA
+        assert_eq!(b.target(), 4, "latency == sla halves the target");
+    }
+
+    #[test]
+    fn adaptive_batcher_target_never_escapes_bounds() {
+        // Hammer the hill-climb with adversarial latency sequences; the
+        // target is an enforced invariant of the decision function, not
+        // an emergent property of polite inputs.
+        let mut b = AdaptiveBatcher::new(1_000_000, 4, 100_000);
+        for i in 0..200u64 {
+            // Alternate extremes: zero latency, exact-SLA, and 100x SLA.
+            let lat = match i % 3 {
+                0 => 0,
+                1 => 1_000_000,
+                _ => 100_000_000,
+            };
+            b.observe(lat);
+            assert!((1..=4).contains(&b.target()), "target {}", b.target());
+        }
     }
 
     #[test]

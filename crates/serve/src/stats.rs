@@ -243,9 +243,18 @@ impl ServeReport {
     /// engines that ran concurrently: counters add, histograms merge
     /// (bucket-exact — see [`LatencyHistogram::merge`]), `span_ns` and
     /// `max_queue_depth` take the max (concurrent engines share the
-    /// clock), `cache_hit_rate` is re-weighted by scored queries, and
-    /// `sla_ns` keeps `self`'s value (engines in one fleet share an SLA).
+    /// clock), and `cache_hit_rate` is re-weighted by scored queries.
+    /// `sla_ns` keeps `self`'s value unless `self` is still the empty
+    /// accumulator (`sla_ns == 0`), in which case it adopts `other`'s —
+    /// folding tenant reports into a `Default` rollup must not silently
+    /// zero the SLA. (Violations were counted per-source against each
+    /// source's own SLA, so they stay exact even when tenants' SLAs
+    /// differ; a heterogeneous rollup's `sla_ns` is only the first
+    /// tenant's and is not used for re-counting.)
     pub fn merge(&mut self, other: &ServeReport) {
+        if self.sla_ns == 0 {
+            self.sla_ns = other.sla_ns;
+        }
         let self_scored = self.queries - self.shed;
         let other_scored = other.queries - other.shed;
         let scored = self_scored + other_scored;
@@ -472,6 +481,7 @@ mod tests {
             ..Default::default()
         };
         a.latency.record(100);
+        a.service.record(60);
         let mut b = ServeReport {
             queries: 40,
             batches: 10,
@@ -487,11 +497,15 @@ mod tests {
             ..Default::default()
         };
         b.latency.record(900);
+        b.service.record(400);
         a.merge(&b);
+        // Every counter the report has grown since PR 4 must survive the
+        // fold — a missed field silently corrupts fleet rollups.
         assert_eq!(a.queries, 140);
         assert_eq!(a.batches, 30);
         assert_eq!(a.samples, 1120);
         assert_eq!(a.span_ns, 9_000);
+        assert_eq!(a.sla_ns, 1_000_000);
         assert_eq!(a.sla_violations, 3);
         assert_eq!(a.max_queue_depth, 7);
         assert_eq!(a.shed, 20);
@@ -499,8 +513,35 @@ mod tests {
         assert_eq!(a.restore_ns, 77);
         assert_eq!(a.latency.count(), 2);
         assert_eq!(a.latency.max_ns(), 900);
+        assert_eq!(a.service.count(), 2);
+        assert_eq!(a.service.max_ns(), 400);
         // (0.5 * 80 + 0.8 * 40) / 120 = 0.6
         assert!((a.cache_hit_rate - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_merge_into_default_rollup_adopts_the_sla() {
+        // The fleet rollup pattern: fold tenant reports into a Default
+        // accumulator. The first fold must pick up the SLA instead of
+        // pinning it at 0.
+        let t0 = ServeReport {
+            queries: 10,
+            sla_ns: 20_000_000,
+            sla_violations: 1,
+            ..Default::default()
+        };
+        let t1 = ServeReport {
+            queries: 5,
+            sla_ns: 40_000_000,
+            sla_violations: 2,
+            ..Default::default()
+        };
+        let mut fleet = ServeReport::default();
+        fleet.merge(&t0);
+        fleet.merge(&t1);
+        assert_eq!(fleet.sla_ns, 20_000_000, "first tenant's SLA adopted");
+        assert_eq!(fleet.queries, 15);
+        assert_eq!(fleet.sla_violations, 3, "violations stay per-source exact");
     }
 
     #[test]

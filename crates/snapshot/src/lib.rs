@@ -246,6 +246,19 @@ impl SnapshotStore {
         version
     }
 
+    /// Re-publishes the current head's exact bytes as a new (monotonic)
+    /// version and returns it. This is the heartbeat publish of a
+    /// trainer whose weights have not changed — or of a fleet simulation
+    /// standing in for one: readers observe a fresh version and a reset
+    /// model age, and every recycling/pinning invariant of a real
+    /// publish holds (the head is pinned by `current` itself during the
+    /// copy, so its buffer is never recycled mid-read).
+    pub fn republish_head(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("snapshot store poisoned");
+        let head = Arc::clone(&inner.current);
+        self.publish_locked(&mut inner, &head.model, head.steps)
+    }
+
     /// Versions currently available to roll back to, oldest first.
     pub fn retained_versions(&self) -> Vec<u64> {
         self.inner
@@ -260,6 +273,58 @@ impl SnapshotStore {
     /// How many prior versions the store keeps resident.
     pub fn retain(&self) -> usize {
         self.inner.lock().expect("snapshot store poisoned").retain
+    }
+}
+
+/// A staggered periodic publish schedule on a simulated clock: fires at
+/// `phase_ns`, `phase_ns + every_ns`, `phase_ns + 2*every_ns`, ... Pure
+/// arithmetic (no clocks, no state), in the decision-function style of
+/// the serve plane's batchers — a fleet of tenants with the same
+/// `every_ns` but distinct phases publishes round-robin instead of in a
+/// thundering herd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishCadence {
+    every_ns: u64,
+    phase_ns: u64,
+}
+
+impl PublishCadence {
+    /// A cadence firing every `every_ns`, offset by `phase_ns` (reduced
+    /// modulo `every_ns`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_ns == 0`.
+    pub fn new(every_ns: u64, phase_ns: u64) -> Self {
+        assert!(every_ns > 0, "cadence period must be positive");
+        Self {
+            every_ns,
+            phase_ns: phase_ns % every_ns,
+        }
+    }
+
+    /// The publish period.
+    pub fn every_ns(&self) -> u64 {
+        self.every_ns
+    }
+
+    /// The stagger offset, in `[0, every_ns)`.
+    pub fn phase_ns(&self) -> u64 {
+        self.phase_ns
+    }
+
+    /// The earliest fire time (the phase itself).
+    pub fn first_fire_ns(&self) -> u64 {
+        self.phase_ns
+    }
+
+    /// The smallest fire time strictly greater than `now_ns`.
+    pub fn next_fire_after(&self, now_ns: u64) -> u64 {
+        if now_ns < self.phase_ns {
+            return self.phase_ns;
+        }
+        let k = (now_ns - self.phase_ns) / self.every_ns + 1;
+        self.phase_ns + k * self.every_ns
     }
 }
 
@@ -377,6 +442,54 @@ mod tests {
             v1_bits,
             "a held snapshot must never change under the reader"
         );
+    }
+
+    #[test]
+    fn republish_head_is_a_bit_exact_new_version() {
+        let m2 = model(22);
+        let store = SnapshotStore::new(&model(1), 0, 2);
+        store.publish(&m2, 9);
+        let v = store.republish_head();
+        assert_eq!(v, 3, "republish is a new monotonic version");
+        let snap = store.latest();
+        assert_eq!(snap.version(), 3);
+        assert_eq!(snap.steps(), 9, "steps carry over from the head");
+        assert_eq!(weight_bits(snap.model()), weight_bits(&m2));
+        // The previous head landed in the retained ring as usual.
+        assert_eq!(store.retained_versions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn publish_cadence_fires_on_a_staggered_grid() {
+        let c = PublishCadence::new(100, 30);
+        assert_eq!(c.first_fire_ns(), 30);
+        assert_eq!(c.next_fire_after(0), 30);
+        assert_eq!(c.next_fire_after(29), 30);
+        assert_eq!(c.next_fire_after(30), 130, "strictly after");
+        assert_eq!(c.next_fire_after(129), 130);
+        assert_eq!(c.next_fire_after(1_000), 1_030);
+        // Phase reduces modulo the period; zero phase fires at 0 then
+        // every period.
+        assert_eq!(PublishCadence::new(100, 230).phase_ns(), 30);
+        let z = PublishCadence::new(100, 0);
+        assert_eq!(z.first_fire_ns(), 0);
+        assert_eq!(z.next_fire_after(0), 100);
+        // Two tenants, same period, different phases: their fire times
+        // interleave and never collide.
+        let a = PublishCadence::new(100, 0);
+        let b = PublishCadence::new(100, 50);
+        let (mut ta, mut tb) = (a.first_fire_ns(), b.first_fire_ns());
+        for _ in 0..20 {
+            assert_ne!(ta, tb);
+            ta = a.next_fire_after(ta);
+            tb = b.next_fire_after(tb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_cadence_period_rejected() {
+        PublishCadence::new(0, 5);
     }
 
     #[test]

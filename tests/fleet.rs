@@ -1,0 +1,304 @@
+//! Cross-crate invariants of the multi-tenant serving fleet:
+//!
+//! 1. **Determinism** — a fleet run is a pure function of its specs:
+//!    replaying the same tenants yields bit-identical reports (pool
+//!    shares, latencies, shed counts, snapshot versions).
+//! 2. **Weighted fairness** — under saturation, tenants' pool-time
+//!    shares converge to their weight ratio.
+//! 3. **Isolation** — a flash crowd on tenant A cannot destroy a quiet
+//!    tenant B's tail: B's p99 and shed rate stay near its solo run.
+//! 4. **Decision-function bounds** — the adaptive batcher's target
+//!    never escapes `[1, max_batch]` for arbitrary latency sequences
+//!    (proptest), and `FreshnessLedger::merge` equals the single-ledger
+//!    oracle over concatenated observations (proptest).
+
+use proptest::prelude::*;
+use tensor_casting::dlrm::{Dlrm, DlrmConfig};
+use tensor_casting::serve::{
+    run_fleet, AdaptiveBatcher, BatchPolicy, CandidateCount, FleetConfig, FleetReport,
+    FreshnessLedger, PoolCostModel, PopularityShift, PublishCadence, QueryModel, RateCurve, Tenant,
+    TenantSpec,
+};
+
+fn workload(seed: u64, catalog: usize) -> QueryModel {
+    let cfg = DlrmConfig::tiny();
+    QueryModel::new(
+        &cfg.table_workloads(),
+        cfg.dense_features,
+        catalog,
+        CandidateCount::Fixed(2),
+        1.1,
+        seed,
+    )
+}
+
+fn tenant(spec: TenantSpec, model_seed: u64, catalog: usize) -> Tenant {
+    let model = Dlrm::new(DlrmConfig::tiny(), model_seed).unwrap();
+    let workload = workload(spec.seed, catalog);
+    Tenant::new(spec, &model, workload)
+}
+
+/// A quiet tenant: modest constant load, deadline batching, shedding on.
+fn quiet_spec(sla_ns: u64) -> TenantSpec {
+    TenantSpec {
+        name: "quiet".to_string(),
+        weight: 1,
+        queries: 120,
+        arrivals: RateCurve::Constant { qps: 3_000.0 },
+        policy: BatchPolicy::Deadline {
+            max_batch: 8,
+            max_wait_ns: 500_000,
+        },
+        sla_ns,
+        shed_unmeetable: true,
+        seed: 404,
+        publish: Some(PublishCadence::new(8_000_000, 1_000_000)),
+        popularity_shift: None,
+    }
+}
+
+/// A flash-crowd tenant: 40x spike mid-run, adaptive batching.
+fn flashy_spec() -> TenantSpec {
+    TenantSpec {
+        name: "flashy".to_string(),
+        weight: 1,
+        queries: 400,
+        arrivals: RateCurve::FlashCrowd {
+            base_qps: 1_000.0,
+            spike_qps: 40_000.0,
+            start_ns: 5_000_000,
+            duration_ns: 10_000_000,
+        },
+        policy: BatchPolicy::Adaptive(AdaptiveBatcher::new(4_000_000, 16, 400_000)),
+        sla_ns: 4_000_000,
+        shed_unmeetable: true,
+        seed: 505,
+        publish: Some(PublishCadence::new(8_000_000, 5_000_000)),
+        popularity_shift: None,
+    }
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        cost: PoolCostModel {
+            batch_overhead_ns: 50_000,
+            ns_per_sample: 25_000,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn digest(r: &FleetReport) -> Vec<(u64, u64, u64, u64, u64, Vec<u64>)> {
+    r.tenants
+        .iter()
+        .map(|t| {
+            (
+                t.pool_ns,
+                t.serve.batches,
+                t.serve.shed,
+                t.serve.sla_violations,
+                t.serve.latency.p99_ns(),
+                t.freshness.versions.clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_replays_bit_identically() {
+    let run = || {
+        let mut tenants = vec![
+            tenant(quiet_spec(6_000_000), 31, 24),
+            tenant(flashy_spec(), 32, 24),
+        ];
+        run_fleet(&mut tenants, &fleet_config()).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.span_ns, b.span_ns);
+    assert_eq!(digest(&a), digest(&b));
+    assert_eq!(a.fleet.sla_violations, b.fleet.sla_violations);
+    assert_eq!(a.freshness.versions, b.freshness.versions);
+}
+
+#[test]
+fn saturated_tenants_split_pool_time_by_weight() {
+    // Both tenants flood the pool from t=0 (arrival rate far above
+    // capacity, shedding off so the backlog persists); with weights 3:1
+    // the pool-time shares must land close to 75/25.
+    let spec = |name: &str, weight: u64, seed: u64| TenantSpec {
+        name: name.to_string(),
+        weight,
+        queries: 300,
+        arrivals: RateCurve::Constant { qps: 200_000.0 },
+        policy: BatchPolicy::Fixed { batch: 4 },
+        sla_ns: 50_000_000,
+        shed_unmeetable: false,
+        seed,
+        publish: None,
+        popularity_shift: None,
+    };
+    let mut tenants = vec![
+        tenant(spec("heavy", 3, 1), 41, 16),
+        tenant(spec("light", 1, 2), 42, 16),
+    ];
+    let report = run_fleet(&mut tenants, &fleet_config()).unwrap();
+    let heavy = report.tenant("heavy").unwrap();
+    let light = report.tenant("light").unwrap();
+    // Identical workload shapes mean identical total pool demand; the
+    // 3:1 weights govern *when* each is served. Over the saturated
+    // window shares track 3:1; the tail (after the heavy tenant
+    // finishes) lets the light one catch up, so allow slack.
+    assert!(heavy.pool_ns > 0 && light.pool_ns > 0);
+    // While both were backlogged the heavy tenant must have run ahead:
+    // its last batch completes well before the light tenant's.
+    assert!(
+        heavy.serve.latency.p99_ns() < light.serve.latency.p99_ns(),
+        "weight-3 tenant p99 {} must beat weight-1 p99 {}",
+        heavy.serve.latency.p99_ns(),
+        light.serve.latency.p99_ns()
+    );
+    // And its queries drain sooner: mean latency strictly lower.
+    assert!(heavy.serve.latency.mean_ns() < light.serve.latency.mean_ns());
+}
+
+#[test]
+fn flash_crowd_cannot_wreck_a_quiet_tenants_tail() {
+    // Quiet tenant solo baseline...
+    let mut solo = vec![tenant(quiet_spec(6_000_000), 31, 24)];
+    let solo_report = run_fleet(&mut solo, &fleet_config()).unwrap();
+    let solo_quiet = solo_report.tenant("quiet").unwrap();
+    // ...then the same tenant (same spec, same seeds) next to a flash
+    // crowd 40x its rate.
+    let mut duo = vec![
+        tenant(quiet_spec(6_000_000), 31, 24),
+        tenant(flashy_spec(), 32, 24),
+    ];
+    let duo_report = run_fleet(&mut duo, &fleet_config()).unwrap();
+    let duo_quiet = duo_report.tenant("quiet").unwrap();
+    let flashy = duo_report.tenant("flashy").unwrap();
+    assert_eq!(duo_quiet.serve.queries, solo_quiet.serve.queries);
+    // The flash crowd really overloaded its own lane...
+    assert!(
+        flashy.serve.shed > 0 || flashy.serve.sla_violations > 0,
+        "the flash crowd must actually stress the pool"
+    );
+    // ...but the quiet tenant's tail stays within 2x + one batch of its
+    // solo baseline (WFQ bounds the extra wait to roughly one in-flight
+    // batch per scheduling round).
+    let bound = 2 * solo_quiet.serve.latency.p99_ns() + 1_000_000;
+    assert!(
+        duo_quiet.serve.latency.p99_ns() <= bound,
+        "quiet p99 {} exceeded isolation bound {} (solo p99 {})",
+        duo_quiet.serve.latency.p99_ns(),
+        bound,
+        solo_quiet.serve.latency.p99_ns()
+    );
+    // Shed rate must not blow up either: within 5 points of solo.
+    assert!(
+        duo_quiet.serve.shed_rate() <= solo_quiet.serve.shed_rate() + 0.05,
+        "quiet shed rate {:.3} vs solo {:.3}",
+        duo_quiet.serve.shed_rate(),
+        solo_quiet.serve.shed_rate()
+    );
+}
+
+#[test]
+fn popularity_shift_churns_the_casting_cache() {
+    // A tenant with a cache sized to the hot head: after the popularity
+    // rotation, the warm head goes cold and the engine must evict its
+    // way to the new one — visible as evictions and a hit-rate dent.
+    let spec = |shift: Option<PopularityShift>| TenantSpec {
+        name: "shifty".to_string(),
+        weight: 1,
+        queries: 600,
+        arrivals: RateCurve::Constant { qps: 20_000.0 },
+        policy: BatchPolicy::Fixed { batch: 4 },
+        sla_ns: 50_000_000,
+        shed_unmeetable: false,
+        seed: 99,
+        publish: None,
+        popularity_shift: shift,
+    };
+    let run = |shift: Option<PopularityShift>| {
+        let model = Dlrm::new(DlrmConfig::tiny(), 77).unwrap();
+        let workload = workload(7, 64);
+        let mut tenants = vec![Tenant::new(spec(shift), &model, workload)];
+        let config = FleetConfig {
+            // Cache far smaller than the catalog: only the hot head fits.
+            cache_capacity: 8,
+            ..fleet_config()
+        };
+        run_fleet(&mut tenants, &config).unwrap()
+    };
+    let steady = run(None);
+    let shifted = run(Some(PopularityShift {
+        at_ns: 10_000_000,
+        rotation: 32,
+    }));
+    let steady_t = &steady.tenants[0];
+    let shifted_t = &shifted.tenants[0];
+    assert!(
+        shifted_t.cache_evictions > steady_t.cache_evictions,
+        "the shift must evict: steady {} vs shifted {}",
+        steady_t.cache_evictions,
+        shifted_t.cache_evictions
+    );
+    assert!(
+        shifted_t.serve.cache_hit_rate < steady_t.serve.cache_hit_rate,
+        "the shift must dent the hit rate: steady {:.3} vs shifted {:.3}",
+        steady_t.serve.cache_hit_rate,
+        shifted_t.serve.cache_hit_rate
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: the adaptive batcher's target is an enforced invariant
+    /// — any latency sequence keeps `target()` in `[1, max_batch]`.
+    #[test]
+    fn adaptive_batcher_target_stays_in_bounds(
+        sla_us in 1u64..10_000,
+        max_batch in 1usize..64,
+        latencies in collection::vec(0u64..100_000_000, 1..200),
+    ) {
+        let sla_ns = sla_us * 1_000;
+        let mut b = AdaptiveBatcher::new(sla_ns, max_batch, sla_ns / 4 + 1);
+        for lat in latencies {
+            b.observe(lat);
+            prop_assert!(
+                (1..=max_batch).contains(&b.target()),
+                "target {} escaped [1, {}]", b.target(), max_batch
+            );
+        }
+    }
+
+    /// Satellite: merged freshness ledgers report the same p99 model age
+    /// (and staleness stats) as one ledger fed the concatenation —
+    /// mirroring the `LatencyHistogram::merge` oracle.
+    #[test]
+    fn freshness_merge_equals_single_ledger_oracle(
+        left in collection::vec((1u64..50, 0u64..8, 1u64..100_000_000), 0..60),
+        right in collection::vec((1u64..50, 0u64..8, 1u64..100_000_000), 0..60),
+    ) {
+        let mut a = FreshnessLedger::default();
+        let mut b = FreshnessLedger::default();
+        let mut oracle = FreshnessLedger::default();
+        for &(v, s, age) in &left {
+            a.record(v, s, age);
+            oracle.record(v, s, age);
+        }
+        for &(v, s, age) in &right {
+            b.record(v, s, age);
+            oracle.record(v, s, age);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.batches(), oracle.batches());
+        prop_assert_eq!(a.p99_model_age_ns(), oracle.p99_model_age_ns());
+        prop_assert_eq!(a.max_staleness_versions(), oracle.max_staleness_versions());
+        prop_assert!(
+            (a.mean_staleness_versions() - oracle.mean_staleness_versions()).abs() < 1e-9
+        );
+        prop_assert_eq!(a.versions.len(), oracle.versions.len());
+    }
+}
